@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark file regenerates one of the paper's tables or figures.
+pytest-benchmark times the *simulation*; the numbers the paper reports —
+simulated cycles and traps — are attached to each benchmark's
+``extra_info`` so ``pytest benchmarks/ --benchmark-only`` output carries
+both.
+"""
+
+import pytest
+
+from repro.harness.configs import make_microbench
+
+_SUITES = {}
+
+
+@pytest.fixture
+def suite_for():
+    """Cached microbenchmark suites (machine construction is costly)."""
+
+    def get(config):
+        if config not in _SUITES:
+            _SUITES[config] = make_microbench(config)
+        return _SUITES[config]
+
+    return get
+
+
+def record_simulated(benchmark, result, paper=None):
+    benchmark.extra_info["simulated_cycles"] = round(result.cycles, 1)
+    benchmark.extra_info["simulated_traps"] = round(result.traps, 1)
+    if paper is not None:
+        benchmark.extra_info["paper_value"] = paper

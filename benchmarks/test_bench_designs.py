@@ -1,0 +1,59 @@
+"""Hypervisor-design ablation (experiment E10, Section 6.5).
+
+Quantifies how much each guest-hypervisor design suffers from exit
+multiplication and gains from NEVE: hosted non-VHE KVM, hosted VHE KVM,
+and a Xen-like standalone hypervisor.
+"""
+
+import pytest
+
+from repro.harness.configs import ALL_CONFIGS, arm_arch_for
+from repro.workloads.microbench import ArmMicrobench
+
+from conftest import record_simulated
+
+_SUITES = {}
+
+
+def suite(nested, guest_vhe, design):
+    key = (nested, guest_vhe, design)
+    if key not in _SUITES:
+        config = ALL_CONFIGS["arm-nested" if nested == "nv"
+                             else "neve-nested"]
+        bench = ArmMicrobench(nested=nested, guest_vhe=guest_vhe,
+                              arch=arm_arch_for(config))
+        bench.vm.guest_hyp.design = design
+        _SUITES[key] = bench
+    return _SUITES[key]
+
+
+@pytest.mark.parametrize("nested", ["nv", "neve"])
+@pytest.mark.parametrize("guest_vhe,design", [
+    (False, "kvm"), (True, "kvm"), (False, "standalone")],
+    ids=["kvm-novhe", "kvm-vhe", "standalone"])
+def test_design_ablation(benchmark, nested, guest_vhe, design):
+    benchmark.group = "designs:%s" % nested
+    result = benchmark(suite(nested, guest_vhe, design).run,
+                       "hypercall", 5)
+    record_simulated(benchmark, result)
+    benchmark.extra_info["design"] = design
+
+
+def test_every_design_benefits_from_neve(benchmark):
+    """Section 6.5's conclusion: non-VHE KVM, VHE KVM and Xen-like
+    designs all gain from NEVE."""
+
+    def gains():
+        out = {}
+        for guest_vhe, design in ((False, "kvm"), (True, "kvm"),
+                                  (False, "standalone")):
+            v83 = suite("nv", guest_vhe, design).run("hypercall", 5)
+            neve = suite("neve", guest_vhe, design).run("hypercall", 5)
+            out["%s%s" % (design, "-vhe" if guest_vhe else "")] = (
+                v83.cycles / neve.cycles)
+        return out
+
+    ratios = benchmark.pedantic(gains, rounds=1, iterations=1)
+    for design, ratio in ratios.items():
+        benchmark.extra_info[design] = round(ratio, 2)
+        assert ratio > 1.5, design

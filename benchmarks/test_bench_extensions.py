@@ -1,0 +1,86 @@
+"""Benchmarks for the extension experiments (E8, E11, E15-E17)."""
+
+import pytest
+
+from repro.hypervisor.recursive import RecursiveHost
+from repro.workloads.reqresp import RequestResponseSim
+from repro.workloads.tracegen import TraceRunner, generate_trace
+
+
+@pytest.mark.parametrize("neve", [False, True],
+                         ids=["armv8.3", "neve"])
+def test_recursive_l2_hypervisor(benchmark, neve):
+    """E8: an L2-hypervisor fragment across both schemes."""
+    benchmark.group = "recursive"
+
+    def run():
+        host = RecursiveHost(neve=neve)
+        return host.run_l2_hypervisor_fragment()
+
+    stats = benchmark(run)
+    benchmark.extra_info["l2hyp_traps"] = stats.l2hyp_traps
+    benchmark.extra_info["l1_emulation_traps"] = stats.l1_emulation_traps
+
+
+@pytest.mark.parametrize("config", ["arm-vm", "arm-nested",
+                                    "neve-nested"])
+def test_request_response_latency(benchmark, config):
+    """E17-adjacent: executed TCP_RR transactions."""
+    benchmark.group = "reqresp"
+    sim = RequestResponseSim(config)
+
+    def run():
+        return sim.run(transactions=3)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["overhead"] = round(result.overhead, 2)
+    benchmark.extra_info["traps_per_txn"] = result.traps_per_txn
+
+
+@pytest.mark.parametrize("config", ["arm-nested", "neve-nested"])
+def test_trace_execution(benchmark, config):
+    """E17: executed memcached trace (400 us window)."""
+    benchmark.group = "trace"
+    trace = generate_trace("memcached", window_us=400)
+    runner = TraceRunner(config)
+
+    def run():
+        return runner.run(trace)
+
+    overhead, _cycles, traps = benchmark.pedantic(run, rounds=3,
+                                                  iterations=1)
+    benchmark.extra_info["overhead"] = round(overhead, 2)
+    benchmark.extra_info["traps"] = traps
+
+
+def test_el0_deprivileging_study(benchmark):
+    """E15: the Section 2 rejected-design comparison."""
+    from repro.hypervisor.el0_deprivilege import El0DeprivilegeModel
+
+    def run():
+        model = El0DeprivilegeModel(working_set_pages=64)
+        return model.compare()
+
+    totals = benchmark.pedantic(run, rounds=2, iterations=1)
+    for design, cycles in totals.items():
+        benchmark.extra_info[design.split()[0]] = round(cycles)
+
+
+def test_trap_attribution(benchmark):
+    """E11: decompose one nested hypercall's traps."""
+    from repro.harness.analysis import attribute_traps
+
+    def run():
+        return attribute_traps("arm-nested")
+
+    attribution = benchmark.pedantic(run, rounds=2, iterations=1)
+    for bucket, count in attribution.by_bucket.items():
+        benchmark.extra_info[bucket] = count
+
+
+def test_conformance_suite(benchmark):
+    """The 760-check architecture conformance matrix."""
+    from repro.core.conformance import run_conformance
+    result = benchmark(run_conformance)
+    benchmark.extra_info["checks"] = result.checks
+    assert result.passed

@@ -1,0 +1,36 @@
+"""Figure 2: application benchmark overheads (experiment E5).
+
+One benchmark per workload computes that workload's full row (all seven
+configurations); the bars land in ``extra_info``.
+"""
+
+import pytest
+
+from repro.harness.configs import FIGURE2_CONFIGS
+from repro.workloads.appbench import AppBenchmark, cost_table
+from repro.workloads.profiles import FIGURE2_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def app():
+    bench = AppBenchmark(iterations=4)
+    # Pre-measure cost tables so per-workload timings reflect the model.
+    for config in FIGURE2_CONFIGS:
+        cost_table(config, iterations=4)
+    return bench
+
+
+@pytest.mark.parametrize("workload", FIGURE2_WORKLOADS)
+def test_figure2_row(benchmark, app, workload):
+    benchmark.group = "figure2"
+    row = benchmark(app.run_workload, workload, FIGURE2_CONFIGS)
+    for config in FIGURE2_CONFIGS:
+        benchmark.extra_info[config] = round(row[config].overhead, 2)
+    assert row["arm-nested"].overhead == max(
+        r.overhead for r in row.values())
+
+
+def test_figure2_full(benchmark, app):
+    """The entire figure in one run (the artifact)."""
+    data = benchmark.pedantic(app.figure2, rounds=1, iterations=1)
+    assert len(data) == len(FIGURE2_WORKLOADS)

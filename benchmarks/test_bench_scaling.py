@@ -1,0 +1,23 @@
+"""SMP scaling benchmark (experiment E18)."""
+
+import pytest
+
+from repro.workloads.scaling import SmpScalingStudy
+
+
+@pytest.mark.parametrize("config", ["arm-vm", "arm-nested",
+                                    "neve-nested"])
+@pytest.mark.parametrize("vcpus", [2, 4])
+def test_rendezvous_scaling(benchmark, config, vcpus):
+    benchmark.group = "scaling:%dvcpu" % vcpus
+    study = SmpScalingStudy(config, vcpus)
+
+    def run():
+        return study.run(iterations=1)
+
+    point = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["cycles_per_rendezvous"] = round(
+        point.cycles_per_rendezvous)
+    benchmark.extra_info["traps_per_rendezvous"] = round(
+        point.traps_per_rendezvous, 1)
+    benchmark.extra_info["ipis"] = point.ipis_per_rendezvous

@@ -1,0 +1,27 @@
+"""Table 1: microbenchmark cycle counts for ARMv8.3 and x86 (experiment
+E1).  One benchmark per (configuration, microbenchmark) cell."""
+
+import pytest
+
+from repro.harness.tables import PAPER_TABLE1, TABLE1_CONFIGS
+from repro.workloads.microbench import MICROBENCHMARKS
+
+from conftest import record_simulated
+
+
+@pytest.mark.parametrize("config", TABLE1_CONFIGS)
+@pytest.mark.parametrize("bench_name", MICROBENCHMARKS)
+def test_table1_cell(benchmark, suite_for, config, bench_name):
+    suite = suite_for(config)
+    benchmark.group = "table1:%s" % bench_name
+    result = benchmark(suite.run, bench_name, 5)
+    record_simulated(benchmark, result,
+                     paper=PAPER_TABLE1[bench_name][config])
+
+
+def test_table1_render(benchmark):
+    """Regenerate the whole table (the paper artifact itself)."""
+    from repro.harness.tables import render_table1
+    text = benchmark.pedantic(render_table1, args=(3,), rounds=1,
+                              iterations=1)
+    assert "hypercall" in text

@@ -1,0 +1,25 @@
+"""Table 6: microbenchmark cycle counts with NEVE (experiment E4)."""
+
+import pytest
+
+from repro.harness.tables import PAPER_TABLE6, TABLE6_CONFIGS
+from repro.workloads.microbench import MICROBENCHMARKS
+
+from conftest import record_simulated
+
+
+@pytest.mark.parametrize("config", TABLE6_CONFIGS)
+@pytest.mark.parametrize("bench_name", MICROBENCHMARKS)
+def test_table6_cell(benchmark, suite_for, config, bench_name):
+    suite = suite_for(config)
+    benchmark.group = "table6:%s" % bench_name
+    result = benchmark(suite.run, bench_name, 5)
+    record_simulated(benchmark, result,
+                     paper=PAPER_TABLE6[bench_name][config])
+
+
+def test_table6_render(benchmark):
+    from repro.harness.tables import render_table6
+    text = benchmark.pedantic(render_table6, args=(3,), rounds=1,
+                              iterations=1)
+    assert "neve" in text

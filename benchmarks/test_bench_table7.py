@@ -1,0 +1,29 @@
+"""Table 7: average traps to the host hypervisor (experiment E3)."""
+
+import pytest
+
+from repro.harness.tables import PAPER_TABLE7, TABLE6_CONFIGS
+from repro.workloads.microbench import MICROBENCHMARKS
+
+from conftest import record_simulated
+
+
+@pytest.mark.parametrize("config", TABLE6_CONFIGS)
+@pytest.mark.parametrize("bench_name", MICROBENCHMARKS)
+def test_table7_cell(benchmark, suite_for, config, bench_name):
+    suite = suite_for(config)
+    benchmark.group = "table7:%s" % bench_name
+    result = benchmark(suite.run, bench_name, 5)
+    record_simulated(benchmark, result,
+                     paper=PAPER_TABLE7[bench_name][config])
+    # Trap counts are the point of this table: keep them honest here too.
+    paper = PAPER_TABLE7[bench_name][config]
+    assert abs(result.traps - paper) <= max(3, paper * 0.15)
+
+
+def test_exit_multiplication_single_trap_baseline(benchmark, suite_for):
+    """The 'VM takes 1 trap' baseline the multiplication is measured
+    against (Section 5)."""
+    suite = suite_for("arm-vm")
+    result = benchmark(suite.run, "hypercall", 5)
+    assert result.traps == 1

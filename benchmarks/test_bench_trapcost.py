@@ -1,0 +1,33 @@
+"""Section 5's trap-cost interchangeability measurement (experiment E2)."""
+
+import pytest
+
+from repro.arch.cpu import Cpu
+from repro.arch.features import ARMV8_3
+from repro.core.paravirt import TrapCostValidation
+
+
+@pytest.mark.parametrize("vehicle", [name for name, _ in
+                                     TrapCostValidation.VEHICLES])
+def test_trap_round_trip(benchmark, vehicle):
+    benchmark.group = "trapcost"
+    validation = TrapCostValidation(lambda: Cpu(arch=ARMV8_3))
+
+    def measure():
+        return validation.run(iterations=50)[vehicle]
+
+    cycles = benchmark(measure)
+    benchmark.extra_info["simulated_cycles"] = cycles
+    benchmark.extra_info["paper_band"] = "133-141 (68-76 in + 65 out)"
+    assert 125 <= cycles <= 160
+
+
+def test_spread_below_ten_percent(benchmark):
+    validation = TrapCostValidation(lambda: Cpu(arch=ARMV8_3))
+
+    def spread():
+        return TrapCostValidation.spread(validation.run(iterations=50))
+
+    value = benchmark(spread)
+    benchmark.extra_info["spread_pct"] = round(value * 100, 1)
+    assert value < 0.10

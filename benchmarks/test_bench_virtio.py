@@ -1,0 +1,39 @@
+"""The Section 7.2 virtio-notification study (experiment E6)."""
+
+import pytest
+
+from repro.harness.figures import notification_study
+from repro.hypervisor.virtio import VirtioQueue
+
+
+@pytest.mark.parametrize("speedup", [0.5, 1.0, 2.0, 3.0, 5.0])
+def test_kick_ratio_vs_backend_speed(benchmark, speedup):
+    benchmark.group = "virtio"
+    queue = VirtioQueue(backend_service_cycles=max(int(9_000 / speedup), 1),
+                        wakeup_latency_cycles=4_000)
+    times = [i * 8_000 for i in range(4_000)]
+    stats = benchmark(queue.simulate, times)
+    benchmark.extra_info["backend_speedup"] = speedup
+    benchmark.extra_info["kick_ratio"] = round(stats.kick_ratio, 3)
+
+
+def test_study_is_monotone(benchmark):
+    rows = benchmark(notification_study)
+    ratios = [row["kick_ratio"] for row in rows]
+    assert ratios == sorted(ratios)
+
+
+def test_busy_wait_brings_x86_close_to_neve(benchmark):
+    """The paper's control experiment: artificially slowing the backend
+    removes the notification storm."""
+
+    def experiment():
+        times = [i * 8_000 for i in range(4_000)]
+        fast = VirtioQueue(3_000, 4_000).simulate(times)
+        delayed = VirtioQueue(7_000, 4_000).simulate(times)
+        return fast.kicks, delayed.kicks
+
+    fast_kicks, delayed_kicks = benchmark(experiment)
+    benchmark.extra_info["fast_kicks"] = fast_kicks
+    benchmark.extra_info["delayed_kicks"] = delayed_kicks
+    assert delayed_kicks < fast_kicks

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The paper's central comparison: why ARM nesting loses to x86, and how
+NEVE changes the answer.
+
+Walks through the three-act structure of the paper with live numbers:
+
+1. Single-level virtualization — ARM and x86 are comparable.
+2. Nested on ARMv8.3 — trap-and-emulate multiplies exits; x86's VMCS
+   coalesces state transfer in hardware, ARM's flexible-but-software
+   approach pays per register.
+3. NEVE — coalescing in memory instead of microcode: ARM's relative
+   overhead returns to x86's range, and on workloads where x86's faster
+   hardware provokes more I/O exits, NEVE wins outright.
+"""
+
+from repro.harness.configs import make_microbench
+from repro.workloads.appbench import AppBenchmark
+
+
+def act(title):
+    print()
+    print("=" * 64)
+    print(title)
+    print("-" * 64)
+
+
+def main():
+    suites = {name: make_microbench(name)
+              for name in ("arm-vm", "x86-vm", "arm-nested",
+                           "neve-nested", "x86-nested")}
+    hypercall = {name: suite.run("hypercall", iterations=8)
+                 for name, suite in suites.items()}
+
+    act("Act 1: single-level virtualization is fine on both")
+    for name in ("arm-vm", "x86-vm"):
+        print("  %-12s hypercall: %6.0f cycles, %d trap"
+              % (name, hypercall[name].cycles, hypercall[name].traps))
+
+    act("Act 2: ARMv8.3 nesting collapses; x86 nesting holds up")
+    arm = hypercall["arm-nested"]
+    x86 = hypercall["x86-nested"]
+    print("  ARMv8.3 nested: %8.0f cycles, %3.0f traps (%3.0fx its VM)"
+          % (arm.cycles, arm.traps,
+             arm.cycles / hypercall["arm-vm"].cycles))
+    print("  x86 nested:     %8.0f cycles, %3.0f traps (%3.0fx its VM)"
+          % (x86.cycles, x86.traps,
+             x86.cycles / hypercall["x86-vm"].cycles))
+    print()
+    print("  Same trap-and-emulate design, %.0fx the traps: the VMCS"
+          % (arm.traps / x86.traps))
+    print("  saves/restores VM state in one hardware operation, while")
+    print("  ARM software touches each register — and each touch traps.")
+
+    act("Act 3: NEVE coalesces in memory; relative overhead matches x86")
+    neve = hypercall["neve-nested"]
+    print("  NEVE nested:    %8.0f cycles, %3.0f traps (%3.0fx its VM)"
+          % (neve.cycles, neve.traps,
+             neve.cycles / hypercall["arm-vm"].cycles))
+    print()
+    app = AppBenchmark(iterations=6)
+    print("  Application overheads (normalized to native):")
+    print("  %-20s %10s %10s %10s" % ("workload", "v8.3", "NEVE",
+                                      "x86"))
+    for workload in ("memcached", "netperf_tcp_maerts", "nginx",
+                     "mysql", "apache"):
+        row = app.run_workload(workload, ("arm-nested", "neve-nested",
+                                          "x86-nested"))
+        marker = (" <- NEVE wins"
+                  if row["neve-nested"].overhead
+                  < row["x86-nested"].overhead else "")
+        print("  %-20s %10.2f %10.2f %10.2f%s"
+              % (workload, row["arm-nested"].overhead,
+                 row["neve-nested"].overhead,
+                 row["x86-nested"].overhead, marker))
+    print()
+    print("  NEVE beats x86 exactly where the paper says: TCP MAERTS,")
+    print("  Nginx, Memcached and MySQL — the workloads where x86's")
+    print("  faster backend provokes more virtio notifications.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim so editable installs work on older pip/setuptools
+without network access (pyproject.toml carries the real metadata)."""
+
+from setuptools import setup
+
+setup()

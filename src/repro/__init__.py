@@ -1,0 +1,58 @@
+"""repro — an architecture-level reproduction of "NEVE: Nested
+Virtualization Extensions for ARM" (SOSP 2017).
+
+Quickstart::
+
+    from repro import make_microbench
+    suite = make_microbench("neve-nested")
+    print(suite.run("hypercall"))
+
+Public surface:
+
+* :func:`make_microbench` / :data:`ALL_CONFIGS` — the paper's seven
+  configurations, ready to measure.
+* :class:`Machine` / :class:`X86Machine` — the ARM and x86 machine
+  models, for building custom scenarios.
+* :class:`AppBenchmark` — the Figure 2 application-workload model.
+* :class:`VirtioQueue` — the Section 7.2 notification-dynamics model.
+* :mod:`repro.core` — the NEVE mechanisms themselves (VNCR, deferral,
+  redirection, the Section 3 paravirtualization rewriter).
+* ``python -m repro.harness.report <table1|table6|table7|figure2|spec|
+  attribution|sensitivity|chart|virtio|shadowing|designs|el0|scaling|
+  riscv|conformance|regression|all>`` — regenerate any artifact.
+* ``python -m repro.harness.export results.json`` — machine-readable
+  results.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the full
+paper-vs-measured ledger.
+"""
+
+from repro.harness.configs import ALL_CONFIGS, FIGURE2_CONFIGS, make_microbench
+from repro.hypervisor.kvm import Machine
+from repro.hypervisor.virtio import VirtioDevice, VirtioQueue
+from repro.workloads.appbench import AppBenchmark
+from repro.workloads.microbench import (
+    MICROBENCHMARKS,
+    ArmMicrobench,
+    MicrobenchResult,
+    X86Microbench,
+)
+from repro.x86.kvm_x86 import X86Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_CONFIGS",
+    "AppBenchmark",
+    "ArmMicrobench",
+    "FIGURE2_CONFIGS",
+    "MICROBENCHMARKS",
+    "Machine",
+    "MicrobenchResult",
+    "VirtioDevice",
+    "VirtioQueue",
+    "X86Machine",
+    "X86Microbench",
+    "make_microbench",
+    "__version__",
+]

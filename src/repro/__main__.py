@@ -1,0 +1,8 @@
+"""``python -m repro``: the one-shot reproduction verdict."""
+
+import sys
+
+from repro.harness.summary import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""ARM architecture model.
+
+This package models the slice of the ARMv8 architecture that the paper's
+evaluation depends on: exception levels and exception entry, the system
+register file with per-register trap semantics across architecture
+revisions (v8.0 baseline, v8.1 VHE, v8.3 nested virtualization, v8.4 NEVE),
+the GIC hypervisor control interface, and the generic timers.
+"""
+
+from repro.arch.cpu import AccessKind, Cpu, CpuOps, Encoding
+from repro.arch.exceptions import (
+    ExceptionClass,
+    ExceptionLevel,
+    Syndrome,
+    TrapToEl2,
+    UndefinedInstruction,
+)
+from repro.arch.features import ArchConfig, ArchVersion, GicVersion
+from repro.arch.registers import (
+    NeveBehavior,
+    RegClass,
+    RegisterFile,
+    SysReg,
+    iter_registers,
+    lookup_register,
+)
+
+__all__ = [
+    "AccessKind",
+    "ArchConfig",
+    "ArchVersion",
+    "Cpu",
+    "CpuOps",
+    "Encoding",
+    "ExceptionClass",
+    "ExceptionLevel",
+    "GicVersion",
+    "NeveBehavior",
+    "RegClass",
+    "RegisterFile",
+    "Syndrome",
+    "SysReg",
+    "TrapToEl2",
+    "UndefinedInstruction",
+    "iter_registers",
+    "lookup_register",
+]

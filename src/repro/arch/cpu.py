@@ -1,0 +1,680 @@
+"""The simulated ARM CPU: register access resolution and trap semantics.
+
+This module is the heart of the reproduction.  The paper's entire
+evaluation reduces to one question per register access: *given who is
+running (EL2 host hypervisor, virtual-EL2 guest hypervisor, plain EL1
+guest) and which architecture revision is modelled, does this access go
+through, get rewritten, or trap to the host hypervisor?*
+
+The resolution rules implemented here follow Sections 2, 4 and 6:
+
+========================  =========================================================
+Running context           Behaviour
+========================  =========================================================
+EL2 (host hypervisor)     All accesses direct.  With ``HCR_EL2.E2H`` (VHE host),
+                          EL1-encoded accesses are redirected to EL2 registers and
+                          ``*_EL12``/``*_EL02`` encodings reach the real EL1/EL0
+                          registers.
+virtual EL2, pre-v8.3     EL2-encoded accesses are UNDEFINED at EL1: exception to
+                          EL1, "likely leading to a software crash" (Section 2).
+virtual EL2, ARMv8.3      EL2-encoded accesses trap to EL2.  EL1-encoded accesses
+                          trap for a non-VHE guest hypervisor (they would clobber
+                          its own EL1 state) but go straight to the hardware EL1
+                          registers for a VHE guest hypervisor, because the host
+                          keeps those loaded with the guest hypervisor's state.
+                          ``*_EL12``/``*_EL02`` encodings trap.  ``eret`` traps.
+                          ``CurrentEL`` reads are disguised to report EL2.
+virtual EL2, NEVE         Per the register classification (Tables 3-5): VM
+                          registers become loads/stores on the deferred access
+                          page, redirect-class hypervisor control registers become
+                          EL1 accesses, cached-copy registers read from the page
+                          and trap only on writes, EL2 timers and ``*_EL02``
+                          encodings still trap, ``eret`` still traps.
+plain EL1 (a guest OS)    EL1/EL0 accesses direct; EL2 accesses undefined;
+                          ``hvc``/SGI/MMIO trap to EL2 as configured.
+========================  =========================================================
+"""
+
+import enum
+from contextlib import contextmanager
+
+from repro.arch.exceptions import (
+    ExceptionClass,
+    ExceptionLevel,
+    Syndrome,
+    TrapToEl2,
+    UndefinedInstruction,
+)
+from repro.arch.features import ArchConfig
+from repro.arch.registers import (
+    NeveBehavior,
+    RegClass,
+    RegisterFile,
+    lookup_register,
+)
+from repro.metrics.counters import ExitReason, TrapCounter
+from repro.metrics.cycles import ARM_COSTS, CycleLedger
+
+
+class Encoding(enum.Enum):
+    """Instruction encoding space of a system-register access."""
+
+    NORMAL = "normal"  # the register's own encoding (X_EL0/X_EL1/X_EL2)
+    EL12 = "el12"  # VHE alias reaching the real EL1 register from EL2
+    EL02 = "el02"  # VHE alias reaching the real EL0 register from EL2
+
+
+class AccessKind(enum.Enum):
+    """How an access was ultimately satisfied (for tests and analysis)."""
+
+    DIRECT_EL1 = "direct_el1"
+    DIRECT_EL2 = "direct_el2"
+    REDIRECTED_EL1 = "redirected_el1"  # NEVE EL2->EL1 register redirection
+    DEFERRED_MEMORY = "deferred"  # NEVE deferred access page
+    TRAPPED = "trapped"
+    UNDEFINED = "undefined"
+
+
+#: Register bases the VHE ``HCR_EL2.E2H`` bit redirects from the EL1
+#: encoding to the EL2 register when executing at EL2 (ARM ARM D5.x); used
+#: to model a VHE *host* hypervisor.  Cross-name pairs included.
+E2H_REDIRECTS = {
+    "SCTLR_EL1": "SCTLR_EL2",
+    "TTBR0_EL1": "TTBR0_EL2",
+    "TTBR1_EL1": "TTBR1_EL2",
+    "TCR_EL1": "TCR_EL2",
+    "AFSR0_EL1": "AFSR0_EL2",
+    "AFSR1_EL1": "AFSR1_EL2",
+    "ESR_EL1": "ESR_EL2",
+    "FAR_EL1": "FAR_EL2",
+    "MAIR_EL1": "MAIR_EL2",
+    "AMAIR_EL1": "AMAIR_EL2",
+    "VBAR_EL1": "VBAR_EL2",
+    "CONTEXTIDR_EL1": "CONTEXTIDR_EL2",
+    "CPACR_EL1": "CPTR_EL2",
+    "CNTKCTL_EL1": "CNTHCTL_EL2",
+    "ELR_EL1": "ELR_EL2",
+    "SPSR_EL1": "SPSR_EL2",
+    # At EL2 with E2H, the EL0 virtual-timer encodings access the EL2
+    # virtual timer — this is how a VHE hypervisor "directly accesses the
+    # EL1 virtual timer when it programs its EL2 virtual timer" when
+    # deprivileged (Section 7.1).
+    "CNTV_CTL_EL0": "CNTHV_CTL_EL2",
+    "CNTV_CVAL_EL0": "CNTHV_CVAL_EL2",
+}
+
+
+class Cpu:
+    """One simulated CPU (a physical core).
+
+    The CPU owns the *hardware* register state (one EL1/EL0 bank, one EL2
+    bank), the cycle ledger and the trap counter.  Hypervisors install
+    themselves as ``trap_handler`` and manipulate the guest-context flags
+    via :meth:`enter_guest_context` when switching worlds.
+    """
+
+    def __init__(self, arch=None, costs=None, ledger=None, traps=None,
+                 memory=None, cpu_id=0):
+        self.arch = arch if arch is not None else ArchConfig()
+        self.costs = costs if costs is not None else ARM_COSTS
+        self.ledger = ledger if ledger is not None else CycleLedger()
+        self.traps = traps if traps is not None else TrapCounter()
+        self.memory = memory
+        self.cpu_id = cpu_id
+
+        self.el1_regs = RegisterFile()  # hardware EL0/EL1 bank
+        self.el2_regs = RegisterFile()  # hardware EL2 bank
+
+        self.current_el = ExceptionLevel.EL2
+        self.host_e2h = False  # VHE host hypervisor running with E2H=1
+
+        # Guest-context flags, configured by the host hypervisor before
+        # entering a guest (Section 4 / 6.1 workflow).
+        self.nv_enabled = False  # vcpu is in *virtual* EL2
+        self.virtual_e2h = False  # the guest hypervisor is a VHE hypervisor
+        self.trap_wfi = True
+        self.fp_trap = True  # CPTR_EL2 traps FP/SIMD (lazy switching)
+
+        self.trap_handler = None  # host hypervisor (L0)
+        self.gic = None  # GIC attached by the machine model
+        self._in_host_handler = False
+
+    # ------------------------------------------------------------------
+    # Context management
+    # ------------------------------------------------------------------
+
+    def enter_guest_context(self, el, nv=False, virtual_e2h=False):
+        """Configure the CPU to run a guest (called by L0 on VM entry)."""
+        if el not in (ExceptionLevel.EL0, ExceptionLevel.EL1):
+            raise ValueError("guests run at EL0 or EL1, not %r" % (el,))
+        self.current_el = el
+        self.nv_enabled = nv
+        self.virtual_e2h = virtual_e2h
+
+    def enter_host_context(self):
+        """Return the CPU to host-hypervisor (EL2) execution."""
+        self.current_el = ExceptionLevel.EL2
+        self.nv_enabled = False
+        self.virtual_e2h = False
+
+    @contextmanager
+    def host_mode(self):
+        """Temporarily run at EL2 (used while servicing a trap)."""
+        saved = (self.current_el, self.nv_enabled, self.virtual_e2h,
+                 self._in_host_handler)
+        self.enter_host_context()
+        self._in_host_handler = True
+        try:
+            yield self
+        finally:
+            (self.current_el, self.nv_enabled, self.virtual_e2h,
+             self._in_host_handler) = saved
+
+    @contextmanager
+    def guest_call(self, nv, virtual_e2h):
+        """Run guest code synchronously from within a trap handler.
+
+        The host hypervisor uses this when it *forwards* an exception into
+        a guest hypervisor: the guest flow runs at (virtual) EL1 and its
+        accesses may trap recursively.  On exit the CPU returns to
+        host-handler mode so the enclosing handler can finish.
+        """
+        saved = (self.current_el, self.nv_enabled, self.virtual_e2h,
+                 self._in_host_handler)
+        self.enter_guest_context(ExceptionLevel.EL1, nv=nv,
+                                 virtual_e2h=virtual_e2h)
+        self._in_host_handler = False
+        try:
+            yield self
+        finally:
+            (self.current_el, self.nv_enabled, self.virtual_e2h,
+             self._in_host_handler) = saved
+
+    @property
+    def at_virtual_el2(self):
+        return self.current_el == ExceptionLevel.EL1 and self.nv_enabled
+
+    @property
+    def neve_enabled(self):
+        """NEVE is active: hardware supports it and VNCR_EL2.Enable is set."""
+        return bool(self.arch.has_neve and (self.el2_regs.read("VNCR_EL2") & 1))
+
+    @property
+    def vncr_baddr(self):
+        """Deferred-access-page base address from VNCR_EL2 (Table 2)."""
+        return self.el2_regs.read("VNCR_EL2") & ~0xFFF
+
+    # ------------------------------------------------------------------
+    # Cost helpers
+    # ------------------------------------------------------------------
+
+    def work(self, instructions, category="guest"):
+        """Charge *instructions* plain-instruction cycles."""
+        self.ledger.charge(instructions * self.costs.instr, category)
+
+    def gpr_block(self, count, category="world_switch"):
+        """Charge the cost of saving-or-restoring *count* GPRs."""
+        self.ledger.charge(count * self.costs.gpr_save_restore, category)
+
+    def barrier(self, category="world_switch"):
+        self.ledger.charge(self.costs.dsb_isb, category)
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+
+    def load(self, addr, category="mem"):
+        self.ledger.charge(self.costs.mem_load, category)
+        if self.memory is None:
+            return 0
+        return self.memory.read_word(addr)
+
+    def store(self, addr, value, category="mem"):
+        self.ledger.charge(self.costs.mem_store, category)
+        if self.memory is not None:
+            self.memory.write_word(addr, value)
+
+    def mmio_read(self, addr):
+        """Guest access to unmapped/MMIO IPA: stage-2 abort to EL2."""
+        syndrome = Syndrome(ec=ExceptionClass.DABT_LOWER, fault_ipa=addr,
+                            is_write=False)
+        return self._trap(syndrome, ExitReason.MEM_ABORT)
+
+    def mmio_write(self, addr, value):
+        syndrome = Syndrome(ec=ExceptionClass.DABT_LOWER, fault_ipa=addr,
+                            is_write=True, value=value)
+        return self._trap(syndrome, ExitReason.MEM_ABORT)
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+
+    def hvc(self, imm=0):
+        """Hypervisor call.  From any guest context this traps to EL2."""
+        if self.current_el == ExceptionLevel.EL2:
+            raise RuntimeError("hvc at EL2 is a self-call; not modelled")
+        syndrome = Syndrome(ec=ExceptionClass.HVC, imm=imm)
+        return self._trap(syndrome, ExitReason.HVC)
+
+    def eret(self):
+        """Exception return.
+
+        At real EL2 this is the host hypervisor entering a guest (the
+        caller handles the actual context switch); at virtual EL2 it traps
+        to the host hypervisor (Section 4: "the eret instruction is
+        paravirtualized to trap to EL2"), NEVE included (Section 6.1).
+        """
+        if self.current_el == ExceptionLevel.EL2:
+            self.ledger.charge(self.costs.trap_return, "trap")
+            return None
+        if self.at_virtual_el2:
+            if not self.arch.has_nv:
+                raise UndefinedInstruction("ERET-to-EL1-from-vEL2", False)
+            syndrome = Syndrome(ec=ExceptionClass.ERET)
+            return self._trap(syndrome, ExitReason.ERET_TRAP)
+        # eret inside a guest (kernel returning to userspace): local cost.
+        self.ledger.charge(self.costs.trap_return, "guest")
+        return None
+
+    def wfi(self):
+        if self.current_el == ExceptionLevel.EL2:
+            self.ledger.charge(self.costs.instr, "host")
+            return None
+        if self.trap_wfi:
+            syndrome = Syndrome(ec=ExceptionClass.WFI)
+            return self._trap(syndrome, ExitReason.WFI)
+        self.ledger.charge(self.costs.instr, "guest")
+        return None
+
+    def fp_op(self, instructions=1):
+        """Execute FP/SIMD work.
+
+        KVM switches FP state lazily: ``CPTR_EL2`` traps the first FP use
+        after a world switch so the hypervisor can load the guest's FP
+        context; afterwards FP runs at native speed until the next
+        switch.
+        """
+        if self.current_el != ExceptionLevel.EL2 and self.fp_trap:
+            syndrome = Syndrome(ec=ExceptionClass.FP_ACCESS)
+            self._trap(syndrome, ExitReason.FP_TRAP)
+        self.ledger.charge(instructions * self.costs.instr, "fp")
+        return None
+
+    def smc(self, function_id=0, args=()):
+        """Secure monitor call — the PSCI conduit on the paper's testbed.
+
+        Carries the PSCI function id and arguments in the syndrome
+        detail for the hypervisor's PSCI emulation.
+        """
+        syndrome = Syndrome(ec=ExceptionClass.SMC, imm=0,
+                            detail={"function": function_id,
+                                    "args": tuple(args)})
+        return self._trap(syndrome, ExitReason.SMC)
+
+    def tlbi(self, scope="vmalls12e1", address=None):
+        """TLB maintenance.
+
+        At EL2 and inside ordinary guests this is a local operation; at
+        virtual EL2 it must trap — under ARMv8.3 *and* NEVE — because the
+        host hypervisor has to mirror the invalidation onto the shadow
+        stage-2 tables it built for the nested VM (Section 4).  NEVE
+        explicitly does not defer TLB maintenance: it has an immediate
+        effect on translation.
+        """
+        if self.current_el == ExceptionLevel.EL2:
+            self.ledger.charge(self.costs.tlb_maintenance, "tlbi")
+            return None
+        if self.at_virtual_el2:
+            syndrome = Syndrome(ec=ExceptionClass.TLBI,
+                                detail={"scope": scope,
+                                        "address": address})
+            return self._trap(syndrome, ExitReason.TLBI_TRAP)
+        # A guest's own TLBI is handled by hardware (VMID-scoped).
+        self.ledger.charge(self.costs.tlb_maintenance // 4, "guest")
+        return None
+
+    def at_translate(self, va):
+        """AT S1E1R-style address translation, result into PAR_EL1.
+
+        Traps from virtual EL2 so the host can run the walk against the
+        virtual translation state.
+        """
+        if self.at_virtual_el2:
+            syndrome = Syndrome(ec=ExceptionClass.AT,
+                                detail={"va": va})
+            return self._trap(syndrome, ExitReason.SYSREG_TRAP)
+        self.ledger.charge(20 * self.costs.instr, "mmu")
+        return None
+
+    def read_currentel(self):
+        """Read the CurrentEL special register.
+
+        ARMv8.3 "disguises the deprivileged execution by telling the guest
+        hypervisor that it runs in EL2" (Section 2); this never traps.
+        """
+        self.ledger.charge(self.costs.sysreg_read, "sysreg")
+        if self.current_el == ExceptionLevel.EL2 or self.at_virtual_el2:
+            return ExceptionLevel.EL2
+        return self.current_el
+
+    # ------------------------------------------------------------------
+    # System register access
+    # ------------------------------------------------------------------
+
+    def mrs(self, name, enc=Encoding.NORMAL):
+        """Read system register *name* using encoding space *enc*."""
+        value, _kind = self.sysreg_access(name, is_write=False, enc=enc)
+        return value
+
+    def msr(self, name, value, enc=Encoding.NORMAL):
+        """Write system register *name* using encoding space *enc*."""
+        _value, _kind = self.sysreg_access(name, is_write=True, value=value,
+                                           enc=enc)
+        return None
+
+    def sysreg_access(self, name, is_write, value=None, enc=Encoding.NORMAL):
+        """Perform a system register access; returns ``(value, AccessKind)``.
+
+        This is the single resolution point for the semantics table in the
+        module docstring.
+        """
+        reg = lookup_register(name)
+        if reg.vhe_only and not self.arch.has_vhe:
+            raise UndefinedInstruction(name, is_write)
+        if is_write and reg.read_only:
+            raise UndefinedInstruction(name, is_write)
+
+        cost = self.costs.sysreg_write if is_write else self.costs.sysreg_read
+        self.ledger.charge(cost, "sysreg")
+
+        if self.current_el == ExceptionLevel.EL2:
+            return self._access_at_el2(reg, is_write, value, enc)
+        if self.at_virtual_el2:
+            return self._access_at_virtual_el2(reg, is_write, value, enc)
+        return self._access_at_guest_el1(reg, is_write, value, enc)
+
+    # -- resolution per context -----------------------------------------
+
+    def _access_at_el2(self, reg, is_write, value, enc):
+        if enc is Encoding.EL12 or enc is Encoding.EL02:
+            if not (self.arch.has_vhe and self.host_e2h):
+                raise UndefinedInstruction(reg.name, is_write)
+            return self._hw_access(self.el1_regs, reg.name, is_write, value,
+                                   AccessKind.DIRECT_EL1)
+        if reg.el == 2:
+            return self._hw_access(self.el2_regs, reg.name, is_write, value,
+                                   AccessKind.DIRECT_EL2)
+        # EL1-encoded access at EL2.
+        if self.host_e2h and reg.name in E2H_REDIRECTS:
+            target = E2H_REDIRECTS[reg.name]
+            return self._hw_access(self.el2_regs, target, is_write, value,
+                                   AccessKind.DIRECT_EL2)
+        return self._hw_access(self.el1_regs, reg.name, is_write, value,
+                               AccessKind.DIRECT_EL1)
+
+    def _access_at_virtual_el2(self, reg, is_write, value, enc):
+        if not self.arch.has_nv:
+            # Pre-v8.3: hypervisor instructions at EL1 do not trap to EL2;
+            # EL2 accesses and VHE aliases are undefined (Section 2).
+            if reg.el == 2 or enc in (Encoding.EL12, Encoding.EL02):
+                raise UndefinedInstruction(reg.name, is_write)
+            return self._hw_access(self.el1_regs, reg.name, is_write, value,
+                                   AccessKind.DIRECT_EL1)
+
+        if enc is Encoding.EL02:
+            # Always trap, NEVE or not (Section 6.1 / 7.1 discussion of the
+            # VHE guest hypervisor's EL2 virtual timer).
+            return self._sysreg_trap(reg, is_write, value, enc)
+
+        if enc is Encoding.EL12:
+            if self.neve_enabled and reg.neve is NeveBehavior.DEFER:
+                return self._deferred_access(reg, is_write, value)
+            if (self.neve_enabled and reg.neve is NeveBehavior.CACHED_COPY
+                    and not is_write):
+                # e.g. MDSCR_EL1: "reads ... can be redirected to a cached
+                # copy so that only writes must trap" (Section 6.1).
+                return self._deferred_access(reg, is_write, value)
+            return self._sysreg_trap(reg, is_write, value, enc)
+
+        if reg.el == 2:
+            return self._virtual_el2_reg_access(reg, is_write, value, enc)
+
+        # EL1/EL0-encoded access from virtual EL2.
+        if reg.reg_class is RegClass.GIC_CPU:
+            # The GIC virtual CPU interface serves the guest hypervisor's
+            # own interrupt handling without traps (except SGIs).
+            return self._gic_cpu_access(reg, is_write, value)
+        if self.virtual_e2h:
+            # VHE guest hypervisor: the E2H-redirected access targets an
+            # EL2 register.  If NEVE keeps that register in the deferred
+            # access page (DEFER or cached copy), the transformation to a
+            # memory access applies to *this encoding too* — otherwise
+            # the cached copy could go stale through the alias.  All
+            # other accesses go straight to the hardware EL1 registers,
+            # which the host keeps loaded with the guest hypervisor's
+            # state (Section 5).
+            if self.neve_enabled:
+                counterpart_name = E2H_REDIRECTS.get(reg.name)
+                if counterpart_name is not None:
+                    counterpart = lookup_register(counterpart_name)
+                    redirected = (counterpart.reg_class
+                                  is RegClass.HYP_REDIRECT_OR_TRAP)
+                    if counterpart.vncr_offset is not None \
+                            and not redirected:
+                        # Under VHE the "redirect or trap" rows behave as
+                        # redirects (Table 4), so their aliases stay on
+                        # the hardware register; everything VNCR-backed
+                        # defers through this encoding too.
+                        return self._deferred_access(counterpart,
+                                                     is_write, value)
+            return self._hw_access(self.el1_regs, reg.name, is_write, value,
+                                   AccessKind.DIRECT_EL1)
+        if reg.neve is NeveBehavior.NONE:
+            # e.g. CNTVCT_EL0: reads the hardware counter directly.
+            return self._hw_access(self.el1_regs, reg.name, is_write, value,
+                                   AccessKind.DIRECT_EL1)
+        if reg.el == 0:
+            # EL0 register state is not protected by the NV mechanisms:
+            # accesses from virtual EL2 reach the hardware registers
+            # directly (the guest hypervisor multiplexes EL0 state itself;
+            # only the VHE *_EL02 aliases trap, handled above).
+            return self._hw_access(self.el1_regs, reg.name, is_write, value,
+                                   AccessKind.DIRECT_EL1)
+        if self.neve_enabled:
+            if reg.neve is NeveBehavior.DEFER:
+                return self._deferred_access(reg, is_write, value)
+            if reg.neve is NeveBehavior.CACHED_COPY:
+                if is_write:
+                    return self._sysreg_trap(reg, is_write, value, enc)
+                return self._deferred_access(reg, is_write, value)
+            if reg.neve is NeveBehavior.TRAP:
+                return self._sysreg_trap(reg, is_write, value, enc)
+        # ARMv8.3: non-VHE guest hypervisor EL1 accesses trap so the host
+        # can emulate them on the *nested VM's* virtual EL1 state
+        # (Section 4, second instruction category).
+        return self._sysreg_trap(reg, is_write, value, enc)
+
+    def _virtual_el2_reg_access(self, reg, is_write, value, enc):
+        """EL2-encoded access from virtual EL2 (ARMv8.3+ semantics)."""
+        if not self.neve_enabled:
+            return self._sysreg_trap(reg, is_write, value, enc)
+
+        behavior = reg.neve
+        if (reg.reg_class is RegClass.HYP_REDIRECT_OR_TRAP
+                and self.virtual_e2h):
+            # TCR_EL2/TTBR0_EL2: VHE format matches EL1, so redirect
+            # (Table 4, "Redirect or trap").
+            behavior = NeveBehavior.REDIRECT
+
+        if behavior is NeveBehavior.DEFER:
+            return self._deferred_access(reg, is_write, value)
+        if behavior is NeveBehavior.REDIRECT:
+            target = reg.el1_counterpart
+            if target is None:
+                raise RuntimeError("%s marked REDIRECT without counterpart"
+                                   % reg.name)
+            return self._hw_access(self.el1_regs, target, is_write, value,
+                                   AccessKind.REDIRECTED_EL1)
+        if behavior is NeveBehavior.CACHED_COPY:
+            if is_write:
+                return self._sysreg_trap(reg, is_write, value, enc)
+            return self._deferred_access(reg, is_write, value)
+        # TRAP (EL2 timers) and NONE fall through to a trap.
+        return self._sysreg_trap(reg, is_write, value, enc)
+
+    def _access_at_guest_el1(self, reg, is_write, value, enc):
+        if reg.el == 2 or enc in (Encoding.EL12, Encoding.EL02):
+            raise UndefinedInstruction(reg.name, is_write)
+        if reg.reg_class is RegClass.GIC_CPU:
+            return self._gic_cpu_access(reg, is_write, value)
+        return self._hw_access(self.el1_regs, reg.name, is_write, value,
+                               AccessKind.DIRECT_EL1)
+
+    # -- access mechanisms ------------------------------------------------
+
+    def _hw_access(self, regfile, name, is_write, value, kind):
+        if is_write:
+            regfile.write(name, value)
+            return value, kind
+        return regfile.read(name), kind
+
+    def _deferred_access(self, reg, is_write, value):
+        """NEVE: rewrite the access into a load/store on the deferred
+        access page (Section 6.1)."""
+        if reg.vncr_offset is None:
+            raise RuntimeError("%s has no deferred-access slot" % reg.name)
+        addr = self.vncr_baddr + reg.vncr_offset
+        if is_write:
+            self.store(addr, value, category="neve_deferred")
+            return value, AccessKind.DEFERRED_MEMORY
+        return (self.load(addr, category="neve_deferred"),
+                AccessKind.DEFERRED_MEMORY)
+
+    def _gic_cpu_access(self, reg, is_write, value):
+        """VM-side GIC CPU interface access (never traps except SGI)."""
+        if reg.neve is NeveBehavior.TRAP:
+            # ICC_SGI1R_EL1: SGIs trap so the hypervisor can route them.
+            syndrome = Syndrome(ec=ExceptionClass.SYSREG, register=reg.name,
+                                is_write=is_write, value=value)
+            result = self._trap(syndrome, ExitReason.GIC_TRAP)
+            return result, AccessKind.TRAPPED
+        if self.gic is None:
+            return self._hw_access(self.el1_regs, reg.name, is_write, value,
+                                   AccessKind.DIRECT_EL1)
+        result = self.gic.cpu_interface_access(self, reg.name, is_write,
+                                               value)
+        return result, AccessKind.DIRECT_EL1
+
+    def _sysreg_trap(self, reg, is_write, value, enc):
+        syndrome = Syndrome(ec=ExceptionClass.SYSREG, register=reg.name,
+                            is_write=is_write, value=value, encoding=enc)
+        result = self._trap(syndrome, ExitReason.SYSREG_TRAP)
+        return result, AccessKind.TRAPPED
+
+    # ------------------------------------------------------------------
+    # Trap plumbing
+    # ------------------------------------------------------------------
+
+    def _trap(self, syndrome, reason):
+        """Deliver a trap to the host hypervisor and resume."""
+        if self._in_host_handler:
+            raise RuntimeError(
+                "recursive trap while handling a trap at EL2: %s"
+                % syndrome.describe())
+        self.traps.record(reason)
+        self.ledger.charge(self.costs.trap_entry, "trap")
+        if self.trap_handler is None:
+            raise TrapToEl2(syndrome)
+        with self.host_mode():
+            result = self.trap_handler.handle_trap(self, syndrome)
+        # The handler may have switched worlds (entered a nested VM,
+        # emulated a virtual exception-level transition...).  Resume in
+        # whatever context the host hypervisor's bookkeeping says is now
+        # running; handlers without the hook keep the trapped context.
+        resume = getattr(self.trap_handler, "resume_context", None)
+        if resume is not None:
+            ctx = resume(self)
+            if ctx is None:
+                self.enter_host_context()
+            else:
+                self.enter_guest_context(
+                    ctx.get("el", ExceptionLevel.EL1),
+                    nv=ctx.get("nv", False),
+                    virtual_e2h=ctx.get("virtual_e2h", False))
+        self.ledger.charge(self.costs.trap_return, "trap")
+        return result
+
+    def deliver_interrupt(self):
+        """A physical interrupt arrives while a guest runs: exit to EL2."""
+        syndrome = Syndrome(ec=ExceptionClass.IRQ)
+        self.ledger.charge(self.costs.irq_delivery_wire, "irq")
+        return self._trap(syndrome, ExitReason.IRQ)
+
+
+class CpuOps:
+    """Hypervisor-eye view of the CPU, mirroring KVM/ARM's accessors.
+
+    KVM/ARM is compiled either for non-VHE (EL2-encoded accesses to
+    hypervisor state, EL1-encoded accesses to VM state) or for VHE
+    (EL1-encoded accesses to hypervisor state — redirected by E2H — and
+    ``*_EL12``/``*_EL02`` accesses to VM state).  The *same* hypervisor
+    flow code runs in both modes through this adapter, exactly as the same
+    KVM/ARM source builds both ways (Section 6.4).
+    """
+
+    def __init__(self, cpu, vhe):
+        self.cpu = cpu
+        self.vhe = vhe
+
+    # -- hypervisor's own (EL2) state -------------------------------------
+
+    def read_hyp(self, el2_name):
+        """Read hypervisor state: ``read_sysreg_el2()`` in KVM."""
+        name, enc = self._hyp_alias(el2_name)
+        return self.cpu.mrs(name, enc)
+
+    def write_hyp(self, el2_name, value):
+        name, enc = self._hyp_alias(el2_name)
+        return self.cpu.msr(name, value, enc)
+
+    def _hyp_alias(self, el2_name):
+        if self.vhe:
+            reg = lookup_register(el2_name)
+            counterpart = _e2h_reverse(el2_name)
+            if counterpart is not None:
+                return counterpart, Encoding.NORMAL
+            # No EL1 alias exists (HCR_EL2, VTTBR_EL2, ICH_*...): even a
+            # VHE hypervisor must use the EL2 encoding.
+            assert reg.el == 2
+        return el2_name, Encoding.NORMAL
+
+    # -- the VM's EL1/EL0 state -------------------------------------------
+
+    def read_vm(self, el1_name):
+        """Read VM context state: ``read_sysreg_el1()`` in KVM."""
+        enc = Encoding.EL12 if self.vhe else Encoding.NORMAL
+        return self.cpu.mrs(el1_name, enc)
+
+    def write_vm(self, el1_name, value):
+        enc = Encoding.EL12 if self.vhe else Encoding.NORMAL
+        return self.cpu.msr(el1_name, value, enc)
+
+    def read_vm_el0(self, el0_name):
+        """Access the VM's EL0 state (timers): EL02 encodings under VHE."""
+        enc = Encoding.EL02 if self.vhe else Encoding.NORMAL
+        return self.cpu.mrs(el0_name, enc)
+
+    def write_vm_el0(self, el0_name, value):
+        enc = Encoding.EL02 if self.vhe else Encoding.NORMAL
+        return self.cpu.msr(el0_name, value, enc)
+
+
+_E2H_REVERSE = None
+
+
+def _e2h_reverse(el2_name):
+    """EL1 encoding that E2H redirects to *el2_name*, or None."""
+    global _E2H_REVERSE
+    if _E2H_REVERSE is None:
+        _E2H_REVERSE = {v: k for k, v in E2H_REDIRECTS.items()}
+    return _E2H_REVERSE.get(el2_name)

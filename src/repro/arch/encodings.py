@@ -1,0 +1,162 @@
+"""Real AArch64 system-register encodings.
+
+Every register in the model's registry gets its architectural
+``(op0, op1, CRn, CRm, op2)`` encoding from the ARM ARM, so the binary
+paravirtualization path (:mod:`repro.core.binary`) can assemble and patch
+*genuine* A64 ``MRS``/``MSR`` instructions, and the ``*_EL12``/``*_EL02``
+aliases are what they really are: the same registers reached through the
+``op1 = 5`` encoding space VHE added.
+"""
+
+from repro.arch.cpu import Encoding
+from repro.arch.registers import iter_registers
+
+#: name -> (op0, op1, CRn, CRm, op2), from the ARM ARM system register
+#: descriptions.
+SYSREG_ENCODINGS = {
+    # --- EL1 / EL0 state ---
+    "SCTLR_EL1": (3, 0, 1, 0, 0),
+    "CPACR_EL1": (3, 0, 1, 0, 2),
+    "TTBR0_EL1": (3, 0, 2, 0, 0),
+    "TTBR1_EL1": (3, 0, 2, 0, 1),
+    "TCR_EL1": (3, 0, 2, 0, 2),
+    "SPSR_EL1": (3, 0, 4, 0, 0),
+    "ELR_EL1": (3, 0, 4, 0, 1),
+    "SP_EL0": (3, 0, 4, 1, 0),
+    "AFSR0_EL1": (3, 0, 5, 1, 0),
+    "AFSR1_EL1": (3, 0, 5, 1, 1),
+    "ESR_EL1": (3, 0, 5, 2, 0),
+    "FAR_EL1": (3, 0, 6, 0, 0),
+    "PAR_EL1": (3, 0, 7, 4, 0),
+    "MAIR_EL1": (3, 0, 10, 2, 0),
+    "AMAIR_EL1": (3, 0, 10, 3, 0),
+    "VBAR_EL1": (3, 0, 12, 0, 0),
+    "CONTEXTIDR_EL1": (3, 0, 13, 0, 1),
+    "TPIDR_EL1": (3, 0, 13, 0, 4),
+    "CNTKCTL_EL1": (3, 0, 14, 1, 0),
+    "CSSELR_EL1": (3, 2, 0, 0, 0),
+    "TPIDR_EL0": (3, 3, 13, 0, 2),
+    "TPIDRRO_EL0": (3, 3, 13, 0, 3),
+    "MDSCR_EL1": (2, 0, 0, 2, 2),
+    "SP_EL1": (3, 4, 4, 1, 0),  # accessible from EL2
+    "PMUSERENR_EL0": (3, 3, 9, 14, 0),
+    "PMSELR_EL0": (3, 3, 9, 12, 5),
+    # --- EL0 timers ---
+    "CNTVCT_EL0": (3, 3, 14, 0, 2),
+    "CNTP_CTL_EL0": (3, 3, 14, 2, 1),
+    "CNTP_CVAL_EL0": (3, 3, 14, 2, 2),
+    "CNTV_CTL_EL0": (3, 3, 14, 3, 1),
+    "CNTV_CVAL_EL0": (3, 3, 14, 3, 2),
+    # --- EL2 state ---
+    "VPIDR_EL2": (3, 4, 0, 0, 0),
+    "VMPIDR_EL2": (3, 4, 0, 0, 5),
+    "SCTLR_EL2": (3, 4, 1, 0, 0),
+    "HCR_EL2": (3, 4, 1, 1, 0),
+    "MDCR_EL2": (3, 4, 1, 1, 1),
+    "CPTR_EL2": (3, 4, 1, 1, 2),
+    "HSTR_EL2": (3, 4, 1, 1, 3),
+    "HACR_EL2": (3, 4, 1, 1, 7),
+    "TTBR0_EL2": (3, 4, 2, 0, 0),
+    "TTBR1_EL2": (3, 4, 2, 0, 1),
+    "TCR_EL2": (3, 4, 2, 0, 2),
+    "VTTBR_EL2": (3, 4, 2, 1, 0),
+    "VTCR_EL2": (3, 4, 2, 1, 2),
+    "VNCR_EL2": (3, 4, 2, 2, 0),
+    "SPSR_EL2": (3, 4, 4, 0, 0),
+    "ELR_EL2": (3, 4, 4, 0, 1),
+    "AFSR0_EL2": (3, 4, 5, 1, 0),
+    "AFSR1_EL2": (3, 4, 5, 1, 1),
+    "ESR_EL2": (3, 4, 5, 2, 0),
+    "FAR_EL2": (3, 4, 6, 0, 0),
+    "HPFAR_EL2": (3, 4, 6, 0, 4),
+    "MAIR_EL2": (3, 4, 10, 2, 0),
+    "AMAIR_EL2": (3, 4, 10, 3, 0),
+    "VBAR_EL2": (3, 4, 12, 0, 0),
+    "CONTEXTIDR_EL2": (3, 4, 13, 0, 1),
+    "TPIDR_EL2": (3, 4, 13, 0, 2),
+    "CNTVOFF_EL2": (3, 4, 14, 0, 3),
+    "CNTHCTL_EL2": (3, 4, 14, 1, 0),
+    "CNTHP_CTL_EL2": (3, 4, 14, 2, 1),
+    "CNTHP_CVAL_EL2": (3, 4, 14, 2, 2),
+    "CNTHV_CTL_EL2": (3, 4, 14, 3, 1),
+    "CNTHV_CVAL_EL2": (3, 4, 14, 3, 2),
+    # --- GIC hypervisor interface ---
+    "ICH_HCR_EL2": (3, 4, 12, 11, 0),
+    "ICH_VTR_EL2": (3, 4, 12, 11, 1),
+    "ICH_MISR_EL2": (3, 4, 12, 11, 2),
+    "ICH_EISR_EL2": (3, 4, 12, 11, 3),
+    "ICH_ELRSR_EL2": (3, 4, 12, 11, 5),
+    "ICH_VMCR_EL2": (3, 4, 12, 11, 7),
+    # --- GIC CPU interface ---
+    "ICC_PMR_EL1": (3, 0, 4, 6, 0),
+    "ICC_DIR_EL1": (3, 0, 12, 11, 1),
+    "ICC_SGI1R_EL1": (3, 0, 12, 11, 5),
+    "ICC_IAR1_EL1": (3, 0, 12, 12, 0),
+    "ICC_EOIR1_EL1": (3, 0, 12, 12, 1),
+    "ICC_BPR1_EL1": (3, 0, 12, 12, 3),
+    "ICC_IGRPEN1_EL1": (3, 0, 12, 12, 7),
+    # --- special ---
+    "CURRENTEL": (3, 0, 4, 2, 2),
+}
+
+# Active-priority and list registers, generated per the ARM ARM patterns.
+for _n in range(4):
+    SYSREG_ENCODINGS["ICH_AP0R%d_EL2" % _n] = (3, 4, 12, 8, _n)
+    SYSREG_ENCODINGS["ICH_AP1R%d_EL2" % _n] = (3, 4, 12, 9, _n)
+for _n in range(16):
+    SYSREG_ENCODINGS["ICH_LR%d_EL2" % _n] = (3, 4, 12, 12 + (_n >> 3),
+                                             _n & 7)
+
+#: Aliased encodings use a different op1 on the *EL1 register's* CRn/CRm:
+#: op1 = 5 for *_EL12/_EL02 (FEAT_VHE).
+ALIAS_OP1 = {Encoding.EL12: 5, Encoding.EL02: 5}
+
+
+def encoding_of(name, enc=Encoding.NORMAL):
+    """The (op0, op1, CRn, CRm, op2) tuple for an access to *name*
+    through encoding space *enc*."""
+    op0, op1, crn, crm, op2 = SYSREG_ENCODINGS[name]
+    if enc in (Encoding.EL12, Encoding.EL02):
+        return (op0, ALIAS_OP1[enc], crn, crm, op2)
+    return (op0, op1, crn, crm, op2)
+
+
+_REVERSE = None
+_REVERSE_ALIAS = None
+
+
+def _build_reverse():
+    global _REVERSE, _REVERSE_ALIAS
+    if _REVERSE is not None:
+        return
+    _REVERSE = {}
+    _REVERSE_ALIAS = {}
+    for name, fields in SYSREG_ENCODINGS.items():
+        _REVERSE[fields] = name
+        op0, op1, crn, crm, op2 = fields
+        if name.endswith("_EL1") or name.endswith("_EL0"):
+            if op1 in (0, 3):  # EL1/EL0 registers with VHE aliases
+                alias = Encoding.EL02 if name.endswith("_EL0") \
+                    else Encoding.EL12
+                _REVERSE_ALIAS[(op0, 5, crn, crm, op2)] = (name, alias)
+
+
+def lookup_encoding(fields):
+    """Inverse mapping: ``(op0,op1,CRn,CRm,op2)`` -> ``(name, Encoding)``.
+
+    Raises KeyError for encodings outside the modelled set.
+    """
+    _build_reverse()
+    if fields in _REVERSE:
+        return _REVERSE[fields], Encoding.NORMAL
+    if fields in _REVERSE_ALIAS:
+        return _REVERSE_ALIAS[fields]
+    raise KeyError("unknown system register encoding %r" % (fields,))
+
+
+def verify_registry_coverage():
+    """Every register in the registry must have an encoding (called from
+    the tests so the two tables cannot drift)."""
+    missing = [reg.name for reg in iter_registers()
+               if reg.name not in SYSREG_ENCODINGS]
+    return missing

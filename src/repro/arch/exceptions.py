@@ -1,0 +1,109 @@
+"""Exception levels, exception classes and syndrome encoding.
+
+Models the ARMv8 exception model to the depth the paper's evaluation needs:
+exceptions taken to EL2 (traps to the host hypervisor) carry a syndrome
+(``ESR_EL2``-style exception class plus instruction-specific information),
+and exceptions taken to EL1 model both a VM's normal operation and the
+"would crash an unmodified hypervisor at EL1" behaviour described in
+Section 2 for pre-v8.3 hardware.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ExceptionLevel(enum.IntEnum):
+    EL0 = 0
+    EL1 = 1
+    EL2 = 2
+
+
+class ExceptionClass(enum.Enum):
+    """ESR_ELx.EC values relevant to the model (names, not encodings)."""
+
+    UNKNOWN = "unknown"
+    WFI = "wfi"
+    HVC = "hvc"
+    SMC = "smc"
+    SYSREG = "sysreg"  # trapped MSR/MRS/system instruction
+    ERET = "eret"  # trapped eret (FEAT_NV)
+    IABT_LOWER = "iabt"
+    DABT_LOWER = "dabt"  # data abort from lower EL (stage-2 fault)
+    TLBI = "tlbi"  # trapped TLB maintenance (FEAT_NV)
+    AT = "at"  # trapped address-translation instruction
+    IRQ = "irq"  # asynchronous interrupt (pseudo-EC)
+    FP_ACCESS = "fp"
+    SVC = "svc"
+
+
+@dataclass
+class Syndrome:
+    """Decoded exception syndrome, the model's ESR.
+
+    ``register``/``is_write``/``value`` are populated for SYSREG traps,
+    ``imm`` for HVC, ``fault_ipa`` for stage-2 data aborts.
+    """
+
+    ec: ExceptionClass
+    register: str = None
+    is_write: bool = False
+    value: int = None
+    imm: int = 0
+    fault_ipa: int = None
+    encoding: object = None  # arch.cpu.Encoding of the trapped access
+    detail: dict = field(default_factory=dict)
+
+    def describe(self):
+        if self.ec is ExceptionClass.SYSREG:
+            direction = "write" if self.is_write else "read"
+            return "sysreg %s of %s" % (direction, self.register)
+        if self.ec is ExceptionClass.HVC:
+            return "hvc #%d" % self.imm
+        if self.ec is ExceptionClass.DABT_LOWER:
+            return "stage-2 data abort at IPA %#x" % (self.fault_ipa or 0)
+        return self.ec.value
+
+
+class TrapToEl2(Exception):
+    """An operation trapped to EL2.
+
+    Raised by the CPU layer when an access from a guest context must be
+    handled by the host hypervisor.  The host hypervisor's run loop and
+    the synchronous trap handler both consume these.
+    """
+
+    def __init__(self, syndrome):
+        super().__init__(syndrome.describe())
+        self.syndrome = syndrome
+
+
+class ExceptionToEl1(Exception):
+    """An exception delivered to EL1 (e.g. an undefined instruction).
+
+    On ARMv8.0 hardware, hypervisor instructions executed at EL1 do *not*
+    trap to EL2 — they raise an exception at EL1, "likely leading to a
+    software crash" (Section 2).  Modelling this faithfully lets tests
+    demonstrate why unmodified guest hypervisors cannot run before v8.3.
+    """
+
+    def __init__(self, syndrome):
+        super().__init__(syndrome.describe())
+        self.syndrome = syndrome
+
+
+class UndefinedInstruction(ExceptionToEl1):
+    """Undefined-instruction exception at EL1 (pre-v8.3 guest hypervisor
+    touching EL2 state, or VHE instructions on non-VHE hardware)."""
+
+    def __init__(self, register, is_write):
+        syndrome = Syndrome(
+            ec=ExceptionClass.UNKNOWN,
+            register=register,
+            is_write=is_write,
+        )
+        super().__init__(syndrome)
+
+
+class GuestCrash(Exception):
+    """The modelled guest software could not continue (e.g. an unmodified
+    hypervisor took an unexpected EL1 exception, Section 2)."""

@@ -1,0 +1,80 @@
+"""Architecture revisions and feature configuration.
+
+The paper's story spans four architecture points (Figure 1 and Section 2):
+
+* **ARMv8.0** — virtualization extensions (EL2) only.  KVM/ARM runs split
+  across EL1/EL2 ("non-VHE").  This is the hardware the paper measured on.
+* **ARMv8.1 (VHE)** — Virtualization Host Extensions: EL2 becomes
+  functionally equivalent to EL1, EL1 register access instructions executed
+  at EL2 are redirected to EL2 registers (``HCR_EL2.E2H``), and new
+  ``*_EL12``/``*_EL02`` access instructions reach the real EL1/EL0 registers.
+* **ARMv8.3 (NV)** — nested virtualization: hypervisor instructions executed
+  at EL1 trap to EL2, ``CurrentEL`` reads are disguised to report EL2, and
+  EL1 can use the EL2 page-table format.
+* **ARMv8.4 (NEVE / NV2)** — the paper's proposal: ``VNCR_EL2`` plus
+  transparent rewriting of system register accesses into memory accesses
+  (deferred access page), EL2→EL1 register redirection, and cached copies
+  with trap-on-write.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class ArchVersion(enum.IntEnum):
+    """ARM architecture revision, ordered so comparisons work."""
+
+    V8_0 = 80
+    V8_1 = 81
+    V8_3 = 83
+    V8_4 = 84
+
+
+class GicVersion(enum.IntEnum):
+    """Generic Interrupt Controller version.
+
+    GICv2 exposes the hypervisor control interface as memory-mapped
+    registers (traps via stage-2), GICv3 as ``ICH_*_EL2`` system registers
+    (traps via the NV mechanism).  The paper's hardware had GICv2 but
+    Tables 5 and the NEVE specification are expressed for GICv3; the
+    programming interfaces are almost identical (Section 7).
+    """
+
+    V2 = 2
+    V3 = 3
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Features available on a simulated ARM CPU."""
+
+    version: ArchVersion = ArchVersion.V8_4
+    gic: GicVersion = GicVersion.V3
+
+    @property
+    def has_vhe(self):
+        """FEAT_VHE: Virtualization Host Extensions (ARMv8.1)."""
+        return self.version >= ArchVersion.V8_1
+
+    @property
+    def has_nv(self):
+        """FEAT_NV: nested virtualization trap support (ARMv8.3)."""
+        return self.version >= ArchVersion.V8_3
+
+    @property
+    def has_neve(self):
+        """NEVE (FEAT_NV2-style deferral/redirection, ARMv8.4)."""
+        return self.version >= ArchVersion.V8_4
+
+
+#: The paper's physical testbed: ARMv8.0 with GICv2.
+ARMV8_0 = ArchConfig(version=ArchVersion.V8_0, gic=GicVersion.V2)
+
+#: ARMv8.1 with VHE.
+ARMV8_1 = ArchConfig(version=ArchVersion.V8_1, gic=GicVersion.V3)
+
+#: ARMv8.3: nested virtualization, trap-and-emulate only.
+ARMV8_3 = ArchConfig(version=ArchVersion.V8_3, gic=GicVersion.V3)
+
+#: ARMv8.4: ARMv8.3 plus NEVE.
+ARMV8_4 = ArchConfig(version=ArchVersion.V8_4, gic=GicVersion.V3)

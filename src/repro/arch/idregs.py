@@ -1,0 +1,80 @@
+"""ID registers and feature discovery.
+
+Real software does not get an ``ArchConfig`` object: it reads the ID
+registers.  ARMv8.3's nested virtualization support and NEVE are
+advertised in ``ID_AA64MMFR2_EL1.NV`` (0b0001 = FEAT_NV, 0b0010 =
+FEAT_NV2, i.e. NEVE), and VHE in ``ID_AA64MMFR1_EL1.VH``.  This module
+populates the ID registers from an :class:`~repro.arch.features.ArchConfig`
+and implements the discovery logic a hypervisor runs at boot — which the
+machine model uses so that, like Linux, it never relies on out-of-band
+knowledge of the hardware.
+"""
+
+from dataclasses import dataclass
+
+from repro.arch.features import ArchConfig
+
+# Field positions within the (modelled) ID registers.
+MMFR1_VH_SHIFT = 8  # ID_AA64MMFR1_EL1.VH
+MMFR2_NV_SHIFT = 24  # ID_AA64MMFR2_EL1.NV
+
+NV_NONE = 0b0000
+NV_V1 = 0b0001  # FEAT_NV  (ARMv8.3 trap-based nested virtualization)
+NV_V2 = 0b0010  # FEAT_NV2 (NEVE: deferred access page + redirection)
+
+#: Main ID register: implementer/part for the paper's X-Gene testbed.
+MIDR_APM_XGENE = 0x500F_0000
+
+
+def id_register_values(arch):
+    """The ID register image for an architecture configuration."""
+    if not isinstance(arch, ArchConfig):
+        raise TypeError("arch must be an ArchConfig")
+    mmfr1 = (1 << MMFR1_VH_SHIFT) if arch.has_vhe else 0
+    if arch.has_neve:
+        nv = NV_V2
+    elif arch.has_nv:
+        nv = NV_V1
+    else:
+        nv = NV_NONE
+    mmfr2 = nv << MMFR2_NV_SHIFT
+    return {
+        "MIDR_EL1": MIDR_APM_XGENE,
+        "ID_AA64MMFR1_EL1": mmfr1,
+        "ID_AA64MMFR2_EL1": mmfr2,
+    }
+
+
+@dataclass(frozen=True)
+class DiscoveredFeatures:
+    """What a hypervisor learns from the ID registers at boot."""
+
+    has_vhe: bool
+    has_nv: bool
+    has_neve: bool
+
+    @property
+    def nested_mode(self):
+        """The best nested-virtualization mode the hardware supports."""
+        if self.has_neve:
+            return "neve"
+        if self.has_nv:
+            return "nv"
+        return "none"
+
+
+def discover(id_values):
+    """Parse an ID register image (dict of name -> value)."""
+    mmfr1 = id_values.get("ID_AA64MMFR1_EL1", 0)
+    mmfr2 = id_values.get("ID_AA64MMFR2_EL1", 0)
+    nv = (mmfr2 >> MMFR2_NV_SHIFT) & 0xF
+    return DiscoveredFeatures(
+        has_vhe=bool((mmfr1 >> MMFR1_VH_SHIFT) & 0xF),
+        has_nv=nv >= NV_V1,
+        has_neve=nv >= NV_V2,
+    )
+
+
+def discover_from_arch(arch):
+    """Discovery round trip used by the machine model."""
+    return discover(id_register_values(arch))

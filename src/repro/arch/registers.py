@@ -1,0 +1,410 @@
+"""The ARM system-register registry, encoding the paper's Tables 2-5.
+
+Every system register the modelled hypervisors touch is described by a
+:class:`SysReg` carrying its classification from the paper:
+
+* **VM system registers** (Table 3): 27 registers that "do not affect
+  execution of the hypervisor directly" — with NEVE their accesses are
+  rewritten into loads/stores on the deferred access page.
+* **Hypervisor control registers** (Table 4): 18 enumerated registers that
+  do affect the (guest) hypervisor's execution — handled with register
+  redirection to the EL1 counterpart, or with cached copies that trap on
+  write.  (The table's caption says 17; the rows enumerate 18 — we encode
+  the rows, see DESIGN.md.)
+* **GIC hypervisor control interface registers** (Table 5): all handled as
+  cached copies, trap on write.
+* Performance-monitor, debug and timer registers per the end of Section 6.1:
+  ``PMUSERENR_EL0``/``PMSELR_EL0`` deferred, ``MDSCR_EL1`` cached copy,
+  EL2 hypervisor timers always trap.
+
+The paper omits the classification of the remaining EL0/EL1 context
+registers "due to space constraints"; following the shipped ARMv8.4 NV2
+design we classify those (``PAR_EL1``, ``TPIDR*``, ``CNTKCTL_EL1``, ...) as
+deferred VM registers as well, and note the extension in DESIGN.md.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class RegClass(enum.Enum):
+    """Functional classification, following the paper's tables."""
+
+    VM_TRAP_CONTROL = "vm_trap_control"  # Table 3, first group
+    VM_EXECUTION_CONTROL = "vm_execution_control"  # Table 3, second group
+    THREAD_ID = "thread_id"  # Table 3, third group
+    HYP_REDIRECT = "hyp_redirect"  # Table 4: redirect to *_EL1
+    HYP_REDIRECT_VHE = "hyp_redirect_vhe"  # Table 4: redirect (VHE regs)
+    HYP_TRAP_ON_WRITE = "hyp_trap_on_write"  # Table 4: cached copy
+    HYP_REDIRECT_OR_TRAP = "hyp_redirect_or_trap"  # Table 4: TCR/TTBR0_EL2
+    GIC_HYP = "gic_hyp"  # Table 5: ICH_* hypervisor interface
+    GIC_CPU = "gic_cpu"  # ICC_*/ICV_* VM-side CPU interface
+    TIMER_EL2 = "timer_el2"  # hypervisor timers: always trap
+    TIMER_GUEST = "timer_guest"  # EL0/EL1 timers owned by the guest
+    PMU = "pmu"
+    DEBUG = "debug"
+    EL1_CONTEXT = "el1_context"  # extra EL1/EL0 context (deferred)
+    SPECIAL = "special"  # CurrentEL and friends
+
+
+class NeveBehavior(enum.Enum):
+    """What NEVE does with an access from virtual EL2 (Section 6.1)."""
+
+    DEFER = "defer"  # rewrite to deferred-access-page memory access
+    REDIRECT = "redirect"  # rewrite to the EL1 counterpart register
+    CACHED_COPY = "cached_copy"  # reads from page, writes trap
+    TRAP = "trap"  # always trap (EL2 timers)
+    NONE = "none"  # NEVE does not change this register
+
+
+@dataclass(frozen=True)
+class SysReg:
+    """One system register and its nested-virtualization semantics."""
+
+    name: str
+    el: int  # exception level owning the register (0, 1 or 2)
+    reg_class: RegClass
+    neve: NeveBehavior
+    description: str = ""
+    el1_counterpart: str = None  # for REDIRECT: the *_EL1 register
+    vhe_only: bool = False  # register only exists with FEAT_VHE
+    read_only: bool = False
+    vncr_offset: int = None  # byte offset in the deferred access page
+
+    @property
+    def is_vm_register(self):
+        """True for the paper's Table 3 set (plus the space-constrained
+        EL1-context extension): no immediate effect on hypervisor
+        execution."""
+        return self.reg_class in (
+            RegClass.VM_TRAP_CONTROL,
+            RegClass.VM_EXECUTION_CONTROL,
+            RegClass.THREAD_ID,
+            RegClass.EL1_CONTEXT,
+        )
+
+    @property
+    def is_hyp_control(self):
+        """True for the paper's Table 4/5 hypervisor-control sets."""
+        return self.reg_class in (
+            RegClass.HYP_REDIRECT,
+            RegClass.HYP_REDIRECT_VHE,
+            RegClass.HYP_TRAP_ON_WRITE,
+            RegClass.HYP_REDIRECT_OR_TRAP,
+            RegClass.GIC_HYP,
+        )
+
+
+_REGISTRY = {}
+_NEXT_VNCR_OFFSET = [0]
+
+
+def _define(name, el, reg_class, neve, description="", el1_counterpart=None,
+            vhe_only=False, read_only=False):
+    """Register *name* in the global registry, assigning a deferred-access
+    page offset to every register NEVE stores in memory."""
+    if name in _REGISTRY:
+        raise ValueError("duplicate register definition: %s" % name)
+    vncr_offset = None
+    if neve in (NeveBehavior.DEFER, NeveBehavior.CACHED_COPY):
+        vncr_offset = _NEXT_VNCR_OFFSET[0]
+        _NEXT_VNCR_OFFSET[0] += 8
+    reg = SysReg(
+        name=name,
+        el=el,
+        reg_class=reg_class,
+        neve=neve,
+        description=description,
+        el1_counterpart=el1_counterpart,
+        vhe_only=vhe_only,
+        read_only=read_only,
+        vncr_offset=vncr_offset,
+    )
+    _REGISTRY[name] = reg
+    return reg
+
+
+# --------------------------------------------------------------------------
+# Table 3: VM system registers (27) — NEVE defers them to memory.
+# --------------------------------------------------------------------------
+_define("HACR_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER,
+        "Hypervisor Auxiliary Control")
+_define("HCR_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER,
+        "Hypervisor Configuration")
+_define("HPFAR_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER,
+        "Hypervisor IPA Fault Address")
+_define("HSTR_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER,
+        "Hypervisor System Trap")
+_define("VMPIDR_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER,
+        "Virtualization Multiprocessor ID")
+_define("VNCR_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER,
+        "Virtual Nested Control (recursively deferred, Section 6.2)")
+_define("VPIDR_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER,
+        "Virtualization Processor ID")
+_define("VTCR_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER,
+        "Virtualization Translation Control")
+_define("VTTBR_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER,
+        "Virtualization Translation Table Base")
+
+_define("AFSR0_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Auxiliary Fault Status 0")
+_define("AFSR1_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Auxiliary Fault Status 1")
+_define("AMAIR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Auxiliary Memory Attribute Indirection")
+_define("CONTEXTIDR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Context ID")
+_define("CPACR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Architectural Feature Access Control")
+_define("ELR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Exception Link")
+_define("ESR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Exception Syndrome")
+_define("FAR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Fault Address")
+_define("MAIR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Memory Attribute Indirection")
+_define("SCTLR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "System Control")
+_define("SP_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Stack Pointer")
+_define("SPSR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Saved Program Status")
+_define("TCR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Translation Control")
+_define("TTBR0_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Translation Table Base 0")
+_define("TTBR1_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Translation Table Base 1")
+_define("VBAR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
+        "Vector Base Address")
+
+_define("TPIDR_EL2", 2, RegClass.THREAD_ID, NeveBehavior.DEFER,
+        "EL2 Software Thread ID")
+
+# --------------------------------------------------------------------------
+# Table 4: hypervisor control registers.
+# --------------------------------------------------------------------------
+_define("AFSR0_EL2", 2, RegClass.HYP_REDIRECT, NeveBehavior.REDIRECT,
+        "Auxiliary Fault Status 0", el1_counterpart="AFSR0_EL1")
+_define("AFSR1_EL2", 2, RegClass.HYP_REDIRECT, NeveBehavior.REDIRECT,
+        "Auxiliary Fault Status 1", el1_counterpart="AFSR1_EL1")
+_define("AMAIR_EL2", 2, RegClass.HYP_REDIRECT, NeveBehavior.REDIRECT,
+        "Auxiliary Memory Attribute Indirection",
+        el1_counterpart="AMAIR_EL1")
+_define("ELR_EL2", 2, RegClass.HYP_REDIRECT, NeveBehavior.REDIRECT,
+        "Exception Link", el1_counterpart="ELR_EL1")
+_define("ESR_EL2", 2, RegClass.HYP_REDIRECT, NeveBehavior.REDIRECT,
+        "Exception Syndrome", el1_counterpart="ESR_EL1")
+_define("FAR_EL2", 2, RegClass.HYP_REDIRECT, NeveBehavior.REDIRECT,
+        "Fault Address", el1_counterpart="FAR_EL1")
+_define("SPSR_EL2", 2, RegClass.HYP_REDIRECT, NeveBehavior.REDIRECT,
+        "Saved Program Status", el1_counterpart="SPSR_EL1")
+_define("MAIR_EL2", 2, RegClass.HYP_REDIRECT, NeveBehavior.REDIRECT,
+        "Memory Attribute Indirection", el1_counterpart="MAIR_EL1")
+_define("SCTLR_EL2", 2, RegClass.HYP_REDIRECT, NeveBehavior.REDIRECT,
+        "System Control", el1_counterpart="SCTLR_EL1")
+_define("VBAR_EL2", 2, RegClass.HYP_REDIRECT, NeveBehavior.REDIRECT,
+        "Vector Base Address", el1_counterpart="VBAR_EL1")
+
+_define("CONTEXTIDR_EL2", 2, RegClass.HYP_REDIRECT_VHE, NeveBehavior.REDIRECT,
+        "Context ID", el1_counterpart="CONTEXTIDR_EL1", vhe_only=True)
+_define("TTBR1_EL2", 2, RegClass.HYP_REDIRECT_VHE, NeveBehavior.REDIRECT,
+        "Translation Table Base 1", el1_counterpart="TTBR1_EL1",
+        vhe_only=True)
+
+_define("CNTHCTL_EL2", 2, RegClass.HYP_TRAP_ON_WRITE, NeveBehavior.CACHED_COPY,
+        "Counter-timer Hypervisor Control")
+_define("CNTVOFF_EL2", 2, RegClass.HYP_TRAP_ON_WRITE, NeveBehavior.CACHED_COPY,
+        "Counter-timer Virtual Offset")
+_define("CPTR_EL2", 2, RegClass.HYP_TRAP_ON_WRITE, NeveBehavior.CACHED_COPY,
+        "Architectural Feature Trap")
+_define("MDCR_EL2", 2, RegClass.HYP_TRAP_ON_WRITE, NeveBehavior.CACHED_COPY,
+        "Monitor Debug Configuration")
+
+# "Redirect or trap": format is EL1-compatible only under VHE, so these
+# redirect for VHE guest hypervisors and fall back to cached copies (trap on
+# write) for non-VHE guest hypervisors.  The CPU model makes the choice at
+# access time based on the virtual E2H setting.
+_define("TCR_EL2", 2, RegClass.HYP_REDIRECT_OR_TRAP, NeveBehavior.CACHED_COPY,
+        "Translation Control", el1_counterpart="TCR_EL1")
+_define("TTBR0_EL2", 2, RegClass.HYP_REDIRECT_OR_TRAP, NeveBehavior.CACHED_COPY,
+        "Translation Table Base 0", el1_counterpart="TTBR0_EL1")
+
+# --------------------------------------------------------------------------
+# Table 5: GIC hypervisor control interface — cached copies, trap on write.
+# --------------------------------------------------------------------------
+_define("ICH_HCR_EL2", 2, RegClass.GIC_HYP, NeveBehavior.CACHED_COPY,
+        "GIC Hypervisor Control")
+_define("ICH_VTR_EL2", 2, RegClass.GIC_HYP, NeveBehavior.CACHED_COPY,
+        "VGIC Type", read_only=True)
+_define("ICH_VMCR_EL2", 2, RegClass.GIC_HYP, NeveBehavior.CACHED_COPY,
+        "Virtual Machine Control")
+_define("ICH_MISR_EL2", 2, RegClass.GIC_HYP, NeveBehavior.CACHED_COPY,
+        "Maintenance Interrupt Status", read_only=True)
+_define("ICH_EISR_EL2", 2, RegClass.GIC_HYP, NeveBehavior.CACHED_COPY,
+        "End of Interrupt Status", read_only=True)
+_define("ICH_ELRSR_EL2", 2, RegClass.GIC_HYP, NeveBehavior.CACHED_COPY,
+        "Empty List Register Status", read_only=True)
+for _n in range(4):
+    _define("ICH_AP0R%d_EL2" % _n, 2, RegClass.GIC_HYP,
+            NeveBehavior.CACHED_COPY, "Active Priorities Group 0 #%d" % _n)
+for _n in range(4):
+    _define("ICH_AP1R%d_EL2" % _n, 2, RegClass.GIC_HYP,
+            NeveBehavior.CACHED_COPY, "Active Priorities Group 1 #%d" % _n)
+for _n in range(16):
+    _define("ICH_LR%d_EL2" % _n, 2, RegClass.GIC_HYP,
+            NeveBehavior.CACHED_COPY, "List Register #%d" % _n)
+
+# --------------------------------------------------------------------------
+# Section 6.1, final paragraph: PMU, debug and timer registers.
+# --------------------------------------------------------------------------
+_define("PMUSERENR_EL0", 0, RegClass.PMU, NeveBehavior.DEFER,
+        "Performance Monitors User Enable")
+_define("PMSELR_EL0", 0, RegClass.PMU, NeveBehavior.DEFER,
+        "Performance Monitors Event Counter Selection")
+_define("MDSCR_EL1", 1, RegClass.DEBUG, NeveBehavior.CACHED_COPY,
+        "Monitor Debug System Control")
+
+# EL2 hypervisor timers: "all accesses ... trap as reads must access the
+# registers directly to obtain correct values updated by hardware".
+_define("CNTHP_CTL_EL2", 2, RegClass.TIMER_EL2, NeveBehavior.TRAP,
+        "EL2 Physical Timer Control")
+_define("CNTHP_CVAL_EL2", 2, RegClass.TIMER_EL2, NeveBehavior.TRAP,
+        "EL2 Physical Timer CompareValue")
+_define("CNTHV_CTL_EL2", 2, RegClass.TIMER_EL2, NeveBehavior.TRAP,
+        "EL2 Virtual Timer Control", vhe_only=True)
+_define("CNTHV_CVAL_EL2", 2, RegClass.TIMER_EL2, NeveBehavior.TRAP,
+        "EL2 Virtual Timer CompareValue", vhe_only=True)
+
+# Guest-owned timers (EL0-accessible): deferred like VM registers when the
+# guest hypervisor manipulates the *nested VM's* copies.
+_define("CNTV_CTL_EL0", 0, RegClass.TIMER_GUEST, NeveBehavior.DEFER,
+        "EL1 Virtual Timer Control")
+_define("CNTV_CVAL_EL0", 0, RegClass.TIMER_GUEST, NeveBehavior.DEFER,
+        "EL1 Virtual Timer CompareValue")
+_define("CNTP_CTL_EL0", 0, RegClass.TIMER_GUEST, NeveBehavior.DEFER,
+        "EL1 Physical Timer Control")
+_define("CNTP_CVAL_EL0", 0, RegClass.TIMER_GUEST, NeveBehavior.DEFER,
+        "EL1 Physical Timer CompareValue")
+_define("CNTKCTL_EL1", 1, RegClass.EL1_CONTEXT, NeveBehavior.DEFER,
+        "Kernel Counter-timer Control")
+_define("CNTVCT_EL0", 0, RegClass.TIMER_GUEST, NeveBehavior.NONE,
+        "Virtual Count (reads hardware counter)", read_only=True)
+
+# --------------------------------------------------------------------------
+# Remaining EL0/EL1 context registers ("details omitted" in the paper;
+# classified as deferred VM state, matching the shipped NV2 design).
+# --------------------------------------------------------------------------
+_define("PAR_EL1", 1, RegClass.EL1_CONTEXT, NeveBehavior.DEFER,
+        "Physical Address (AT instruction result)")
+_define("TPIDR_EL1", 1, RegClass.EL1_CONTEXT, NeveBehavior.DEFER,
+        "EL1 Software Thread ID")
+_define("TPIDR_EL0", 0, RegClass.EL1_CONTEXT, NeveBehavior.DEFER,
+        "EL0 Software Thread ID")
+_define("TPIDRRO_EL0", 0, RegClass.EL1_CONTEXT, NeveBehavior.DEFER,
+        "EL0 Read-Only Software Thread ID")
+_define("SP_EL0", 0, RegClass.EL1_CONTEXT, NeveBehavior.DEFER,
+        "EL0 Stack Pointer")
+_define("CSSELR_EL1", 1, RegClass.EL1_CONTEXT, NeveBehavior.DEFER,
+        "Cache Size Selection")
+
+# --------------------------------------------------------------------------
+# GIC CPU interface (VM side).  ICC_* accesses from a VM operate on the
+# virtual interface backed by the list registers; SGI generation always
+# traps to the hypervisor so it can route the IPI.
+# --------------------------------------------------------------------------
+_define("ICC_IAR1_EL1", 1, RegClass.GIC_CPU, NeveBehavior.NONE,
+        "Interrupt Acknowledge (group 1)", read_only=True)
+_define("ICC_EOIR1_EL1", 1, RegClass.GIC_CPU, NeveBehavior.NONE,
+        "End Of Interrupt (group 1)")
+_define("ICC_DIR_EL1", 1, RegClass.GIC_CPU, NeveBehavior.NONE,
+        "Deactivate Interrupt")
+_define("ICC_PMR_EL1", 1, RegClass.GIC_CPU, NeveBehavior.NONE,
+        "Priority Mask")
+_define("ICC_BPR1_EL1", 1, RegClass.GIC_CPU, NeveBehavior.NONE,
+        "Binary Point (group 1)")
+_define("ICC_IGRPEN1_EL1", 1, RegClass.GIC_CPU, NeveBehavior.NONE,
+        "Group 1 Enable")
+_define("ICC_SGI1R_EL1", 1, RegClass.GIC_CPU, NeveBehavior.TRAP,
+        "Software Generated Interrupt (group 1) — always traps")
+
+# --------------------------------------------------------------------------
+# Special registers.
+# --------------------------------------------------------------------------
+_define("CURRENTEL", None, RegClass.SPECIAL, NeveBehavior.NONE,
+        "Current exception level (disguised at virtual EL2)", read_only=True)
+
+
+def lookup_register(name):
+    """Return the :class:`SysReg` for *name*; raise KeyError if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError("unknown system register: %s" % name)
+
+
+def iter_registers(reg_class=None, neve=None):
+    """Iterate registered :class:`SysReg` objects, optionally filtered."""
+    for reg in _REGISTRY.values():
+        if reg_class is not None and reg.reg_class is not reg_class:
+            continue
+        if neve is not None and reg.neve is not neve:
+            continue
+        yield reg
+
+
+def vm_register_names():
+    """The paper's Table 3 set (exactly 27 registers)."""
+    table3_classes = (
+        RegClass.VM_TRAP_CONTROL,
+        RegClass.VM_EXECUTION_CONTROL,
+        RegClass.THREAD_ID,
+    )
+    return [r.name for r in _REGISTRY.values() if r.reg_class in table3_classes]
+
+
+def deferred_page_size():
+    """Bytes of deferred-access page the registry currently uses."""
+    return _NEXT_VNCR_OFFSET[0]
+
+
+class RegisterFile:
+    """A bank of system-register values (one per context).
+
+    Values default to zero, as architectural reset state is irrelevant to
+    the evaluation; unknown register names are rejected so typos in
+    hypervisor flows fail fast.
+    """
+
+    def __init__(self, initial=None):
+        self._values = {}
+        if initial:
+            for name, value in initial.items():
+                self.write(name, value)
+
+    def read(self, name):
+        lookup_register(name)  # validate
+        return self._values.get(name, 0)
+
+    def write(self, name, value):
+        reg = lookup_register(name)
+        if reg.read_only and name in self._values:
+            # Read-only registers may still be *initialized* (hardware
+            # state), but guests cannot rewrite them; the CPU layer
+            # enforces the guest-facing rule.  Here we simply allow it.
+            pass
+        self._values[name] = value & 0xFFFFFFFFFFFFFFFF
+
+    def copy_from(self, other, names):
+        """Bulk copy *names* from another RegisterFile (no cycle cost;
+        callers charge costs through the CPU layer)."""
+        for name in names:
+            self.write(name, other.read(name))
+
+    def as_dict(self):
+        return dict(self._values)
+
+    def __repr__(self):
+        populated = {k: v for k, v in self._values.items() if v}
+        return "RegisterFile(%r)" % (populated,)

@@ -1,0 +1,84 @@
+"""ARM generic timers.
+
+The evaluation's concern with timers is narrow but important: a VHE
+hypervisor has an *extra* EL2 virtual timer (``CNTHV_*``), and when it runs
+as a guest hypervisor it programs its EL1 virtual timer through the
+VHE-specific ``*_EL02`` encodings "which always trap to the host
+hypervisor, resulting in traps for a VHE guest hypervisor that do not
+occur for a non-VHE guest hypervisor" (Section 7.1).  That asymmetry is
+why non-VHE and VHE NEVE guests take the same 15 traps on Hypercall but
+spend different cycle counts.
+
+This module provides the counter/compare machinery plus the register
+lists that the world-switch flows save and restore.
+"""
+
+from dataclasses import dataclass, field
+
+#: EL1 virtual timer state the hypervisor context-switches per VM.
+EL1_TIMER_SAVE_LIST = ("CNTV_CTL_EL0", "CNTV_CVAL_EL0")
+
+#: PPI interrupt IDs of the timers (standard GIC assignment).
+VTIMER_PPI = 27
+HVTIMER_PPI = 28
+PTIMER_PPI = 30
+
+CTL_ENABLE = 1 << 0
+CTL_IMASK = 1 << 1
+CTL_ISTATUS = 1 << 2
+
+
+@dataclass
+class GenericTimer:
+    """A single timer comparator against the shared system counter."""
+
+    name: str
+    ppi: int
+    ctl: int = 0
+    cval: int = 0
+
+    def condition_met(self, count):
+        return bool(self.ctl & CTL_ENABLE) and count >= self.cval
+
+    def should_fire(self, count):
+        return self.condition_met(count) and not (self.ctl & CTL_IMASK)
+
+
+@dataclass
+class TimerBank:
+    """All comparators for one CPU: EL1 virtual/physical plus the EL2
+    hypervisor timers (the EL2 *virtual* timer exists only with VHE)."""
+
+    has_vhe: bool = True
+    vtimer: GenericTimer = field(
+        default_factory=lambda: GenericTimer("cntv", VTIMER_PPI))
+    ptimer: GenericTimer = field(
+        default_factory=lambda: GenericTimer("cntp", PTIMER_PPI))
+    hptimer: GenericTimer = field(
+        default_factory=lambda: GenericTimer("cnthp", PTIMER_PPI))
+    hvtimer: GenericTimer = field(
+        default_factory=lambda: GenericTimer("cnthv", HVTIMER_PPI))
+
+    def firing(self, count):
+        timers = [self.vtimer, self.ptimer, self.hptimer]
+        if self.has_vhe:
+            timers.append(self.hvtimer)
+        return [t for t in timers if t.should_fire(count)]
+
+
+class SystemCounter:
+    """The shared, monotonic system counter (CNTPCT).
+
+    In this simulation virtual time *is* the cycle ledger, so the counter
+    reads the total cycles charged so far; ``CNTVOFF_EL2`` subtraction
+    gives the virtual count a VM sees.
+    """
+
+    def __init__(self, ledger):
+        self._ledger = ledger
+
+    def physical_count(self):
+        return self._ledger.total
+
+    def virtual_count(self, cntvoff):
+        return max(0, self._ledger.total - cntvoff)

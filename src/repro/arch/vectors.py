@@ -1,0 +1,114 @@
+"""Exception vectors and exception routing.
+
+Models the ARMv8 exception routing rules the paper's design discussion
+turns on (Section 2):
+
+* physical IRQ/FIQ route to EL2 when ``HCR_EL2.IMO``/``FMO`` are set (how
+  the hypervisor regains control while a VM runs);
+* *virtual* interrupts can be delivered to EL1 through the GIC virtual
+  interface — but **not to EL0**, which is the first reason running a
+  deprivileged guest hypervisor in EL0 "has to be fully emulated in
+  software";
+* ``HCR_EL2.TGE`` routes all EL0 exceptions to EL2 and, as a side effect,
+  disables the EL1&0 stage-1 translation — the second reason, forcing
+  shadow page tables for an EL0 guest hypervisor.
+
+The vector table layout (four groups of four entries at 0x80 strides from
+``VBAR_ELx``) is modelled so exception-entry emulation picks real offsets.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.exceptions import ExceptionLevel
+
+
+class VectorKind(enum.Enum):
+    SYNCHRONOUS = "sync"
+    IRQ = "irq"
+    FIQ = "fiq"
+    SERROR = "serror"
+
+
+class VectorGroup(enum.Enum):
+    """Which quadrant of the vector table an exception uses."""
+
+    CURRENT_SP0 = 0x000
+    CURRENT_SPX = 0x200
+    LOWER_A64 = 0x400
+    LOWER_A32 = 0x600
+
+
+_KIND_OFFSET = {
+    VectorKind.SYNCHRONOUS: 0x000,
+    VectorKind.IRQ: 0x080,
+    VectorKind.FIQ: 0x100,
+    VectorKind.SERROR: 0x180,
+}
+
+
+def vector_offset(group, kind):
+    """Byte offset of one vector from VBAR_ELx."""
+    return group.value + _KIND_OFFSET[kind]
+
+
+def vector_address(vbar, from_el, to_el, kind, aarch32=False):
+    """The PC an exception entry lands on."""
+    if from_el == to_el:
+        group = VectorGroup.CURRENT_SPX
+    elif aarch32:
+        group = VectorGroup.LOWER_A32
+    else:
+        group = VectorGroup.LOWER_A64
+    return vbar + vector_offset(group, kind)
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """The HCR_EL2 bits that steer exception routing."""
+
+    imo: bool = True  # physical IRQ -> EL2
+    fmo: bool = True  # physical FIQ -> EL2
+    amo: bool = True  # SError -> EL2
+    tge: bool = False  # trap general exceptions (EL0 -> EL2)
+
+
+def route_physical_interrupt(kind, current_el, config):
+    """Where a physical interrupt taken at *current_el* is delivered."""
+    steer = {VectorKind.IRQ: config.imo, VectorKind.FIQ: config.fmo,
+             VectorKind.SERROR: config.amo}.get(kind)
+    if steer is None:
+        raise ValueError("synchronous exceptions are not interrupts")
+    if current_el is ExceptionLevel.EL2:
+        return ExceptionLevel.EL2
+    if steer:
+        return ExceptionLevel.EL2
+    return ExceptionLevel.EL1
+
+
+def route_sync_exception(from_el, config):
+    """Where a synchronous EL0/EL1 exception is delivered."""
+    if from_el is ExceptionLevel.EL0 and config.tge:
+        return ExceptionLevel.EL2
+    if from_el is ExceptionLevel.EL2:
+        return ExceptionLevel.EL2
+    return ExceptionLevel.EL1
+
+
+def virtual_interrupt_deliverable_to(el):
+    """Can the GIC virtual CPU interface deliver a virtual interrupt to
+    this exception level?
+
+    "delivering interrupts to the guest hypervisor has to be fully
+    emulated in software ... because the architecture does not support
+    delivering virtual interrupts to EL0" (Section 2).
+    """
+    return el is ExceptionLevel.EL1
+
+
+def stage1_translation_enabled(el, config):
+    """TGE's "unfortunate side effect of disabling the Stage-1 virtual
+    address translations" for EL0 (Section 2)."""
+    if el is ExceptionLevel.EL0 and config.tge:
+        return False
+    return True

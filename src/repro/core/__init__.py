@@ -1,0 +1,45 @@
+"""NEVE — the paper's primary contribution.
+
+* :mod:`repro.core.vncr` — the ``VNCR_EL2`` register (Table 2) and the
+  deferred access page with its architecturally defined layout.
+* :mod:`repro.core.classification` — the register classification driving
+  NEVE's behaviour (Tables 3, 4 and 5).
+* :mod:`repro.core.redirection` — EL2 -> EL1 register redirection rules.
+* :mod:`repro.core.neve` — the host-hypervisor-side workflow: populate the
+  page, enable NEVE, run the guest hypervisor, sync values back when they
+  are actually needed (Section 6.1).
+* :mod:`repro.core.paravirt` — the Section 3 technique: rewriting a guest
+  hypervisor's instructions so that future-architecture behaviour can be
+  mimicked and measured on current hardware.
+"""
+
+from repro.core.classification import (
+    table2_fields,
+    table3_vm_registers,
+    table4_hyp_control_registers,
+    table5_gic_registers,
+)
+from repro.core.neve import NeveRunner
+from repro.core.paravirt import (
+    HvcEncodingTable,
+    Instr,
+    InstrKind,
+    execute_program,
+    paravirtualize,
+)
+from repro.core.vncr import DeferredAccessPage, VncrEl2
+
+__all__ = [
+    "DeferredAccessPage",
+    "HvcEncodingTable",
+    "Instr",
+    "InstrKind",
+    "NeveRunner",
+    "VncrEl2",
+    "execute_program",
+    "paravirtualize",
+    "table2_fields",
+    "table3_vm_registers",
+    "table4_hyp_control_registers",
+    "table5_gic_registers",
+]

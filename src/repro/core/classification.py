@@ -1,0 +1,93 @@
+"""The NEVE register classification — the paper's Tables 2 through 5.
+
+These functions return the specification tables as data, so tests can
+assert the counts the paper states (27 VM system registers, the Table 4
+hypervisor control rows, 30 GIC hypervisor interface registers) and the
+report harness can print them (experiment E7 in DESIGN.md).
+"""
+
+from repro.arch.registers import NeveBehavior, RegClass, iter_registers
+
+
+def table2_fields():
+    """VNCR_EL2 register fields (Table 2)."""
+    return [
+        {"bits": "52:12", "field": "BADDR",
+         "description": "Deferred Access Page Base Address"},
+        {"bits": "11:1", "field": "Reserved", "description": "Reserved"},
+        {"bits": "0", "field": "Enable", "description": "Enable"},
+    ]
+
+
+def table3_vm_registers():
+    """The VM system registers (Table 3), grouped as in the paper.
+
+    The paper counts "27 VM system registers" because its Table 3 lists
+    ``TPIDR_EL2`` in *both* the VM Trap Control group and the Thread ID
+    group; we reproduce the 27 rows faithfully (26 unique registers).
+    """
+    groups = (
+        ("VM Trap Control", RegClass.VM_TRAP_CONTROL),
+        ("VM Execution Control", RegClass.VM_EXECUTION_CONTROL),
+        ("Thread ID", RegClass.THREAD_ID),
+    )
+    table = []
+    for label, reg_class in groups:
+        for reg in iter_registers(reg_class=reg_class):
+            table.append({"category": label, "register": reg.name,
+                          "description": reg.description})
+        if label == "VM Trap Control":
+            table.append({"category": label, "register": "TPIDR_EL2",
+                          "description": "EL2 Software Thread ID "
+                                         "(duplicated row, as in the "
+                                         "paper's Table 3)"})
+    return table
+
+
+def table4_hyp_control_registers():
+    """Hypervisor control registers and their NEVE technique (Table 4)."""
+    groups = (
+        ("Redirect to *_EL1", RegClass.HYP_REDIRECT),
+        ("Redirect to *_EL1 (VHE)", RegClass.HYP_REDIRECT_VHE),
+        ("Trap on write", RegClass.HYP_TRAP_ON_WRITE),
+        ("Redirect or trap", RegClass.HYP_REDIRECT_OR_TRAP),
+    )
+    table = []
+    for label, reg_class in groups:
+        for reg in iter_registers(reg_class=reg_class):
+            table.append({"technique": label, "register": reg.name,
+                          "description": reg.description,
+                          "el1_counterpart": reg.el1_counterpart})
+    return table
+
+
+def table5_gic_registers():
+    """GIC hypervisor control interface registers (Table 5): all cached
+    copies, trap on write."""
+    return [{"technique": "Trap on write", "register": reg.name,
+             "description": reg.description}
+            for reg in iter_registers(reg_class=RegClass.GIC_HYP)]
+
+
+def extension_registers():
+    """Registers the paper classifies only in prose (Section 6.1 last
+    paragraph) or omits for space; see DESIGN.md fidelity notes."""
+    extra_classes = (RegClass.PMU, RegClass.DEBUG, RegClass.TIMER_EL2,
+                     RegClass.TIMER_GUEST, RegClass.EL1_CONTEXT)
+    table = []
+    for reg_class in extra_classes:
+        for reg in iter_registers(reg_class=reg_class):
+            table.append({"category": reg.reg_class.value,
+                          "register": reg.name,
+                          "neve": reg.neve.value,
+                          "description": reg.description})
+    return table
+
+
+def classification_summary():
+    """Counts per NEVE behaviour, used by the spec report and tests."""
+    summary = {}
+    for behavior in NeveBehavior:
+        summary[behavior.value] = sum(
+            1 for _ in iter_registers(neve=behavior))
+    return summary

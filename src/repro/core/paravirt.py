@@ -1,0 +1,384 @@
+"""Paravirtualization for architecture evaluation (Section 3).
+
+The paper's methodological contribution: use paravirtualization not to
+simplify a hypervisor, but to *mimic architecture features that do not
+exist yet* on current hardware, at native speed.  Concretely (Section 4):
+
+* To mimic **ARMv8.3** on ARMv8.0, every guest-hypervisor instruction that
+  v8.3 would trap to EL2 — EL2 register accesses, VM-interfering EL1
+  accesses by a non-VHE hypervisor, ``eret``, the VHE ``*_EL12``/``*_EL02``
+  aliases — is replaced by an ``hvc`` whose 16-bit immediate encodes the
+  original instruction, and ``CurrentEL`` reads are rewritten to return
+  EL2.
+* To mimic **NEVE** (Section 6.4), accesses to VM registers are replaced
+  with ordinary loads/stores on a page shared with the host hypervisor,
+  and accesses to redirect-class hypervisor control registers are replaced
+  with accesses to the corresponding EL1 registers.  Cached-copy registers
+  keep a load for reads and an ``hvc`` for writes; EL2 timers and the
+  ``*_EL02`` aliases keep their traps.
+
+This module implements the rewriter over a small instruction IR plus an
+interpreter, so the methodology itself can be tested: executing a
+guest-hypervisor program natively on a simulated v8.3/v8.4 CPU must
+produce the same trap count and the same virtual-EL2 state as executing
+the rewritten program on a simulated v8.0 CPU (see
+``tests/core/test_paravirt.py``).
+
+The key validity assumption — that different kinds of traps cost the same
+— is the paper's Section 5 measurement ("trapping from EL1 to EL2 was
+between 68 to 76 cycles ... difference less than 10%"); the
+:class:`TrapCostValidation` experiment reproduces it.
+"""
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.arch.cpu import Encoding
+from repro.arch.exceptions import ExceptionClass, ExceptionLevel
+from repro.arch.registers import NeveBehavior, RegClass, lookup_register
+
+
+class InstrKind(enum.Enum):
+    SYSREG_READ = "mrs"
+    SYSREG_WRITE = "msr"
+    ERET = "eret"
+    HVC = "hvc"
+    READ_CURRENTEL = "currentel"
+    LOAD = "ldr"
+    STORE = "str"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One instruction of a modelled guest-hypervisor code sequence."""
+
+    kind: InstrKind
+    reg: str = None
+    enc: Encoding = Encoding.NORMAL
+    value: int = None
+    imm: int = 0
+    addr: int = 0
+
+    def describe(self):
+        if self.kind in (InstrKind.SYSREG_READ, InstrKind.SYSREG_WRITE):
+            suffix = "" if self.enc is Encoding.NORMAL else "[%s]" % self.enc.value
+            return "%s %s%s" % (self.kind.value, self.reg, suffix)
+        if self.kind is InstrKind.HVC:
+            return "hvc #%d" % self.imm
+        return self.kind.value
+
+
+class HvcEncodingTable:
+    """Bidirectional mapping between replaced instructions and ``hvc``
+    immediates (Section 4: "We encode the hypervisor instructions using
+    the 16-bit operand")."""
+
+    ERET_IMM = 0xFFFF
+
+    def __init__(self):
+        self._by_imm = {}
+        self._by_key = {}
+        self._next = 1  # imm 0 stays a plain hypercall
+
+    def encode(self, instr):
+        if instr.kind is InstrKind.ERET:
+            return self.ERET_IMM
+        key = (instr.kind, instr.reg, instr.enc)
+        imm = self._by_key.get(key)
+        if imm is None:
+            imm = self._next
+            self._next += 1
+            if imm >= 0xFFF0:
+                raise OverflowError("hvc immediate space exhausted")
+            self._by_key[key] = imm
+            self._by_imm[imm] = key
+        return imm
+
+    def decode(self, imm):
+        """Return ``(kind, reg, enc)`` for *imm*, or None for imm 0 /
+        unknown immediates (plain hypercalls)."""
+        if imm == self.ERET_IMM:
+            return (InstrKind.ERET, None, Encoding.NORMAL)
+        return self._by_imm.get(imm)
+
+
+def would_trap_at_virtual_el2(instr, virtual_e2h, neve, arch):
+    """Would ARMv8.3 (or NEVE when *neve*) trap this instruction executed
+    at virtual EL2?
+
+    This is the rewriter's oracle; ``tests/core/test_paravirt.py`` checks
+    it against the CPU model's actual behaviour for the whole registry so
+    the two cannot drift apart.
+    """
+    if instr.kind is InstrKind.ERET:
+        return True
+    if instr.kind in (InstrKind.HVC,):
+        return True
+    if instr.kind not in (InstrKind.SYSREG_READ, InstrKind.SYSREG_WRITE):
+        return False
+
+    reg = lookup_register(instr.reg)
+    is_write = instr.kind is InstrKind.SYSREG_WRITE
+
+    if instr.enc is Encoding.EL02:
+        return True
+    if instr.enc is Encoding.EL12:
+        if neve and reg.neve is NeveBehavior.DEFER:
+            return False
+        if neve and reg.neve is NeveBehavior.CACHED_COPY and not is_write:
+            return False
+        return True
+
+    if reg.reg_class is RegClass.GIC_CPU:
+        return reg.neve is NeveBehavior.TRAP  # only SGI generation traps
+    if reg.el == 0 and reg.neve is not NeveBehavior.TRAP:
+        return False  # EL0 state is not protected by the NV mechanisms
+
+    if reg.el == 2:
+        if not neve:
+            return True
+        behavior = reg.neve
+        if reg.reg_class is RegClass.HYP_REDIRECT_OR_TRAP and virtual_e2h:
+            behavior = NeveBehavior.REDIRECT
+        if behavior is NeveBehavior.DEFER:
+            return False
+        if behavior is NeveBehavior.REDIRECT:
+            return False
+        if behavior is NeveBehavior.CACHED_COPY:
+            return is_write
+        return True  # TRAP / unclassified
+
+    # EL1/EL0 encodings.
+    if virtual_e2h:
+        return False  # hardware E2H redirection, no trap (Section 5)
+    if reg.neve is NeveBehavior.NONE:
+        return False  # e.g. CNTVCT_EL0
+    if neve:
+        if reg.neve is NeveBehavior.DEFER:
+            return False
+        if reg.neve is NeveBehavior.CACHED_COPY:
+            return is_write
+        return reg.neve is NeveBehavior.TRAP
+    return True  # ARMv8.3: non-VHE guest hypervisor EL1 accesses trap
+
+
+def neve_rewrite_action(instr, virtual_e2h):
+    """How the NEVE paravirtualization (Section 6.4) rewrites *instr*.
+
+    Returns one of ``"defer"`` (load/store on the shared page),
+    ``"redirect"`` (EL1 register access), ``"trap"`` (hvc), ``"keep"``.
+    """
+    if instr.kind is InstrKind.ERET:
+        return "trap"
+    if instr.kind not in (InstrKind.SYSREG_READ, InstrKind.SYSREG_WRITE):
+        return "keep"
+    if would_trap_at_virtual_el2(instr, virtual_e2h, neve=True,
+                                 arch=None):
+        return "trap"
+    reg = lookup_register(instr.reg)
+    is_write = instr.kind is InstrKind.SYSREG_WRITE
+    if instr.enc is Encoding.EL12 and reg.neve in (
+            NeveBehavior.DEFER, NeveBehavior.CACHED_COPY):
+        return "defer"
+    if reg.el == 0 and instr.enc is Encoding.NORMAL:
+        return "keep"  # EL0 accesses never trapped in the first place
+    if reg.el == 2:
+        behavior = reg.neve
+        if reg.reg_class is RegClass.HYP_REDIRECT_OR_TRAP and virtual_e2h:
+            behavior = NeveBehavior.REDIRECT
+        if behavior is NeveBehavior.DEFER:
+            return "defer"
+        if behavior is NeveBehavior.REDIRECT:
+            return "redirect"
+        if behavior is NeveBehavior.CACHED_COPY and not is_write:
+            return "defer"
+        return "keep"
+    if not virtual_e2h and reg.neve is NeveBehavior.DEFER:
+        return "defer"
+    if (not virtual_e2h and reg.neve is NeveBehavior.CACHED_COPY
+            and not is_write):
+        return "defer"
+    return "keep"
+
+
+def paravirtualize(program, mode, hvc_table, virtual_e2h=False,
+                   page_base=0x0):
+    """Rewrite *program* (a list of :class:`Instr`) for ARMv8.0 hardware.
+
+    ``mode`` is ``"nv"`` (mimic ARMv8.3 trap behaviour) or ``"neve"``
+    (mimic NEVE behaviour); ``page_base`` locates the shared memory region
+    standing in for the deferred access page in ``"neve"`` mode.
+
+    The transformation mirrors the paper's source-level wrappers: the
+    instruction sequence's *structure* is preserved, only individual
+    instructions are substituted ("we did not change any of the logic or
+    instruction flow of the original KVM/ARM code base").
+    """
+    if mode not in ("nv", "neve"):
+        raise ValueError("mode must be 'nv' or 'neve'")
+    rewritten = []
+    for instr in program:
+        if instr.kind is InstrKind.READ_CURRENTEL:
+            # Mimic the v8.3 disguise: return EL2 without any access.
+            rewritten.append(replace(instr, kind=InstrKind.NOP))
+            continue
+        if mode == "nv":
+            traps = would_trap_at_virtual_el2(instr, virtual_e2h,
+                                              neve=False, arch=None)
+            if instr.kind is InstrKind.HVC:
+                rewritten.append(instr)
+            elif traps:
+                rewritten.append(Instr(kind=InstrKind.HVC,
+                                       imm=hvc_table.encode(instr)))
+            else:
+                rewritten.append(instr)
+            continue
+        # mode == "neve"
+        action = ("keep" if instr.kind is InstrKind.HVC
+                  else neve_rewrite_action(instr, virtual_e2h))
+        if action == "keep":
+            if instr.kind is not InstrKind.HVC and would_trap_at_virtual_el2(
+                    instr, virtual_e2h, neve=True, arch=None):
+                rewritten.append(Instr(kind=InstrKind.HVC,
+                                       imm=hvc_table.encode(instr)))
+            else:
+                rewritten.append(instr)
+        elif action == "trap":
+            rewritten.append(Instr(kind=InstrKind.HVC,
+                                   imm=hvc_table.encode(instr)))
+        elif action == "defer":
+            reg = lookup_register(instr.reg)
+            addr = page_base + reg.vncr_offset
+            kind = (InstrKind.STORE
+                    if instr.kind is InstrKind.SYSREG_WRITE
+                    else InstrKind.LOAD)
+            rewritten.append(Instr(kind=kind, addr=addr, value=instr.value))
+        elif action == "redirect":
+            reg = lookup_register(instr.reg)
+            rewritten.append(replace(instr, reg=reg.el1_counterpart,
+                                     enc=Encoding.NORMAL))
+    return rewritten
+
+
+def execute_program(cpu, program):
+    """Run *program* on *cpu*; returns the list of per-instruction results.
+
+    Works at any exception level; trapping instructions invoke the CPU's
+    installed trap handler exactly like hand-written hypervisor flows.
+    """
+    results = []
+    for instr in program:
+        if instr.kind is InstrKind.SYSREG_READ:
+            results.append(cpu.mrs(instr.reg, instr.enc))
+        elif instr.kind is InstrKind.SYSREG_WRITE:
+            results.append(cpu.msr(instr.reg,
+                                   instr.value if instr.value is not None
+                                   else 0, instr.enc))
+        elif instr.kind is InstrKind.ERET:
+            results.append(cpu.eret())
+        elif instr.kind is InstrKind.HVC:
+            results.append(cpu.hvc(instr.imm))
+        elif instr.kind is InstrKind.READ_CURRENTEL:
+            results.append(cpu.read_currentel())
+        elif instr.kind is InstrKind.LOAD:
+            results.append(cpu.load(instr.addr))
+        elif instr.kind is InstrKind.STORE:
+            results.append(cpu.store(instr.addr,
+                                     instr.value if instr.value is not None
+                                     else 0))
+        elif instr.kind is InstrKind.NOP:
+            cpu.work(1)
+            results.append(ExceptionLevel.EL2)  # rewritten CurrentEL read
+        else:
+            raise ValueError("unknown instruction kind %r" % instr.kind)
+    return results
+
+
+class PvHostEmulator:
+    """A minimal host-hypervisor trap handler for paravirtualized programs.
+
+    Decodes ``hvc`` immediates back to the original instruction and
+    emulates it against a virtual EL2 register file, mirroring "on the
+    trap to EL2, the host hypervisor is informed of the original guest
+    hypervisor instruction that was replaced by an hvc and can emulate the
+    behavior of that instruction" (Section 4).  Also emulates directly
+    trapped accesses (the v8.3/v8.4 native case) so the same handler
+    serves both sides of the equivalence tests.
+    """
+
+    def __init__(self, hvc_table, vel2_regs, handling_cost=0):
+        self.hvc_table = hvc_table
+        self.vel2_regs = vel2_regs
+        self.handling_cost = handling_cost
+        self.handled = []
+
+    def handle_trap(self, cpu, syndrome):
+        if self.handling_cost:
+            cpu.work(self.handling_cost, category="emulation")
+        self.handled.append(syndrome)
+        if syndrome.ec is ExceptionClass.HVC:
+            decoded = self.hvc_table.decode(syndrome.imm)
+            if decoded is None:
+                return 0  # plain hypercall
+            kind, reg, _enc = decoded
+            if kind is InstrKind.ERET:
+                return None
+            if kind is InstrKind.SYSREG_READ:
+                return self.vel2_regs.read(reg)
+            return None  # writes carry no payload in this minimal model
+        if syndrome.ec is ExceptionClass.SYSREG:
+            if syndrome.is_write:
+                self.vel2_regs.write(syndrome.register, syndrome.value or 0)
+                return None
+            return self.vel2_regs.read(syndrome.register)
+        return None
+
+
+class TrapCostValidation:
+    """Reproduces the Section 5 trap-cost interchangeability measurement.
+
+    Measures the round-trip cost of several trap vehicles — ``hvc``, a
+    trapped EL2 system register access, a trapped EL1 access, a trapped
+    ``eret`` — and reports the spread.  The paper found 68-76 cycles in
+    and 65 cycles out with <10% variation; the cost model encodes exactly
+    that, and this experiment demonstrates the property holds end-to-end
+    through the simulator (it is an assumption check, not a prediction).
+    """
+
+    VEHICLES = (
+        ("hvc", Instr(kind=InstrKind.HVC, imm=0)),
+        ("sysreg_el2_read", Instr(kind=InstrKind.SYSREG_READ,
+                                  reg="VTTBR_EL2")),
+        ("sysreg_el2_write", Instr(kind=InstrKind.SYSREG_WRITE,
+                                   reg="VTTBR_EL2", value=1)),
+        ("sysreg_el1_write", Instr(kind=InstrKind.SYSREG_WRITE,
+                                   reg="SCTLR_EL1", value=1)),
+        ("eret", Instr(kind=InstrKind.ERET)),
+    )
+
+    def __init__(self, cpu_factory):
+        self._cpu_factory = cpu_factory
+
+    def run(self, iterations=100):
+        """Return {vehicle: average round-trip cycles}."""
+        results = {}
+        for name, instr in self.VEHICLES:
+            cpu = self._cpu_factory()
+            from repro.arch.registers import RegisterFile
+            handler = PvHostEmulator(HvcEncodingTable(), RegisterFile())
+            cpu.trap_handler = handler
+            cpu.enter_guest_context(ExceptionLevel.EL1, nv=True,
+                                    virtual_e2h=False)
+            start = cpu.ledger.total
+            for _ in range(iterations):
+                execute_program(cpu, [instr])
+            total = cpu.ledger.total - start
+            results[name] = total / iterations
+        return results
+
+    @staticmethod
+    def spread(results):
+        """Max relative difference across vehicles (paper: < 10%)."""
+        values = list(results.values())
+        return (max(values) - min(values)) / max(values)

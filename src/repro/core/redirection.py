@@ -1,0 +1,59 @@
+"""Register redirection rules (Section 6.1).
+
+"Register redirection transparently redirects accesses from an EL2
+register to its corresponding EL1 register if it exists and has the same
+format as the EL2 register."  The CPU layer applies these rules inline;
+this module exposes them as pure functions so the host hypervisor (which
+must know which hardware EL1 registers now carry virtual EL2 state and
+context-switch them accordingly) and the tests share a single source of
+truth with the hardware model.
+"""
+
+from repro.arch.registers import NeveBehavior, RegClass, iter_registers, lookup_register
+
+
+def redirect_target(reg_name, virtual_e2h):
+    """The EL1 register an EL2 access is redirected to, or None.
+
+    ``virtual_e2h`` selects the VHE interpretation of the "redirect or
+    trap" rows (Table 4): TCR_EL2/TTBR0_EL2 only share the EL1 format when
+    the guest hypervisor runs with E2H set.
+    """
+    reg = lookup_register(reg_name)
+    if reg.neve is NeveBehavior.REDIRECT:
+        return reg.el1_counterpart
+    if reg.reg_class is RegClass.HYP_REDIRECT_OR_TRAP and virtual_e2h:
+        return reg.el1_counterpart
+    return None
+
+
+def redirected_el1_registers(virtual_e2h):
+    """All hardware EL1 registers that carry virtual EL2 state under NEVE.
+
+    The host hypervisor must context-switch exactly this set between the
+    guest hypervisor's virtual EL2 state and the EL1 state of whatever
+    runs next (Section 6.1's workflow; also the VHE-guest case in
+    Section 5 where the host "configures the EL1 hardware registers with
+    the guest hypervisor's state").
+    """
+    names = []
+    for reg in iter_registers():
+        if reg.el != 2:
+            continue
+        target = redirect_target(reg.name, virtual_e2h)
+        if target is not None:
+            names.append(target)
+    return names
+
+
+def traps_on_write(reg_name, virtual_e2h=False):
+    """Whether a guest-hypervisor *write* to this register still traps
+    under NEVE (cached-copy registers and EL2 timers)."""
+    reg = lookup_register(reg_name)
+    if reg.neve is NeveBehavior.TRAP:
+        return True
+    if reg.neve is not NeveBehavior.CACHED_COPY:
+        return False
+    if reg.reg_class is RegClass.HYP_REDIRECT_OR_TRAP and virtual_e2h:
+        return False  # redirected instead
+    return True

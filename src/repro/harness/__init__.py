@@ -1,0 +1,16 @@
+"""Experiment harness: the paper's seven platform configurations, table
+and figure generators, and the text report CLI."""
+
+from repro.harness.configs import (
+    ALL_CONFIGS,
+    FIGURE2_CONFIGS,
+    PlatformConfig,
+    make_microbench,
+)
+
+__all__ = [
+    "ALL_CONFIGS",
+    "FIGURE2_CONFIGS",
+    "PlatformConfig",
+    "make_microbench",
+]

@@ -1,0 +1,167 @@
+"""Trap attribution and overhead decomposition.
+
+The paper's argument proceeds from *which* hypervisor activity causes the
+exit multiplication: EL1 context save/restore, trap-control programming,
+vGIC maintenance, timers, and the virtual exception-level transitions.
+This module instruments a nested round trip and attributes every trap to
+the register (and register class) that caused it, yielding the breakdown
+behind Table 7's totals — and showing exactly which classes NEVE removes.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.arch.exceptions import ExceptionClass
+from repro.arch.registers import RegClass, lookup_register
+from repro.harness.configs import ALL_CONFIGS, arm_arch_for
+from repro.hypervisor.kvm import Machine
+from repro.metrics.counters import ExitReason
+
+#: Attribution buckets, in presentation order.
+BUCKETS = (
+    "el1_context",  # VM EL1/EL0 state save/restore (Table 3 traffic)
+    "trap_control",  # HCR/CPTR/MDCR/HSTR/VTTBR/VTCR/IDs
+    "exception_context",  # ESR/ELR/SPSR/FAR/HPFAR reads, return setup
+    "vgic",  # ICH_* hypervisor interface
+    "timer",  # CNTHCTL/CNTVOFF/CNTV/CNTHP/CNTHV
+    "transitions",  # eret, hvc, forwarded exits
+    "other",
+)
+
+_CLASS_BUCKET = {
+    RegClass.VM_EXECUTION_CONTROL: "el1_context",
+    RegClass.EL1_CONTEXT: "el1_context",
+    RegClass.DEBUG: "el1_context",
+    RegClass.PMU: "el1_context",
+    RegClass.VM_TRAP_CONTROL: "trap_control",
+    RegClass.THREAD_ID: "trap_control",
+    RegClass.HYP_TRAP_ON_WRITE: "trap_control",
+    RegClass.HYP_REDIRECT_OR_TRAP: "trap_control",
+    RegClass.GIC_HYP: "vgic",
+    RegClass.GIC_CPU: "vgic",
+    RegClass.TIMER_EL2: "timer",
+    RegClass.TIMER_GUEST: "timer",
+    RegClass.HYP_REDIRECT: "exception_context",
+    RegClass.HYP_REDIRECT_VHE: "exception_context",
+}
+
+_TIMER_TRAP_CONTROL = {"CNTHCTL_EL2", "CNTVOFF_EL2"}
+
+
+def bucket_for(syndrome):
+    """Attribute one trap syndrome to a bucket."""
+    if syndrome.ec in (ExceptionClass.ERET, ExceptionClass.HVC,
+                       ExceptionClass.IRQ, ExceptionClass.WFI):
+        return "transitions"
+    if syndrome.ec is ExceptionClass.DABT_LOWER:
+        return "transitions"
+    if syndrome.ec is ExceptionClass.SYSREG and syndrome.register:
+        reg = lookup_register(syndrome.register)
+        if reg.name in _TIMER_TRAP_CONTROL:
+            return "timer"
+        if reg.name in ("ESR_EL2", "ELR_EL2", "SPSR_EL2", "FAR_EL2",
+                        "HPFAR_EL2"):
+            return "exception_context"
+        return _CLASS_BUCKET.get(reg.reg_class, "other")
+    return "other"
+
+
+@dataclass
+class Attribution:
+    """Trap counts by bucket and by individual register."""
+
+    config: str
+    benchmark: str
+    total: int = 0
+    by_bucket: Counter = field(default_factory=Counter)
+    by_register: Counter = field(default_factory=Counter)
+
+    def top_registers(self, count=10):
+        return self.by_register.most_common(count)
+
+
+class _AttributingHandler:
+    """Wraps the host hypervisor's handler to classify every trap."""
+
+    def __init__(self, kvm, attribution):
+        self.kvm = kvm
+        self.attribution = attribution
+
+    def handle_trap(self, cpu, syndrome):
+        self.attribution.total += 1
+        self.attribution.by_bucket[bucket_for(syndrome)] += 1
+        if syndrome.register:
+            self.attribution.by_register[syndrome.register] += 1
+        elif syndrome.ec is ExceptionClass.ERET:
+            self.attribution.by_register["<eret>"] += 1
+        elif syndrome.ec is ExceptionClass.HVC:
+            self.attribution.by_register["<hvc>"] += 1
+        else:
+            self.attribution.by_register["<%s>" % syndrome.ec.value] += 1
+        return self.kvm.handle_trap(cpu, syndrome)
+
+    def resume_context(self, cpu):
+        return self.kvm.resume_context(cpu)
+
+
+def attribute_traps(config_name, benchmark="hypercall"):
+    """Run one nested microbenchmark iteration with attribution.
+
+    Only ARM nested configurations are meaningful here (x86's five exits
+    need no decomposition).
+    """
+    config = ALL_CONFIGS[config_name]
+    if config.platform != "arm" or not config.is_nested:
+        raise ValueError("attribution targets ARM nested configurations")
+    machine = Machine(arch=arm_arch_for(config))
+    vm = machine.kvm.create_vm(num_vcpus=2, nested=config.nested,
+                               guest_vhe=config.guest_vhe)
+    for vcpu in vm.vcpus:
+        machine.kvm.boot_nested(vcpu)
+    cpu = vm.vcpus[0].cpu
+
+    def once():
+        if benchmark == "hypercall":
+            cpu.hvc(0)
+        elif benchmark == "device_io":
+            from repro.hypervisor.kvm import L1_VIRTIO_BASE
+            cpu.mmio_read(L1_VIRTIO_BASE + 0x100)
+        else:
+            raise ValueError("unsupported benchmark %r" % benchmark)
+
+    once()  # warm up through the real handler
+    attribution = Attribution(config=config_name, benchmark=benchmark)
+    tracer = _AttributingHandler(machine.kvm, attribution)
+    for machine_cpu in machine.cpus:
+        machine_cpu.trap_handler = tracer
+    once()
+    return attribution
+
+
+def compare_attributions(benchmark="hypercall"):
+    """Attribution across the four ARM nested configurations."""
+    return {name: attribute_traps(name, benchmark)
+            for name in ("arm-nested", "arm-nested-vhe", "neve-nested",
+                         "neve-nested-vhe")}
+
+
+def render_attribution(benchmark="hypercall"):
+    data = compare_attributions(benchmark)
+    lines = ["Trap attribution per nested %s (one iteration)" % benchmark,
+             "%-20s %10s %10s %10s %10s" % (
+                 "bucket", "v8.3", "v8.3-vhe", "neve", "neve-vhe")]
+    order = ("arm-nested", "arm-nested-vhe", "neve-nested",
+             "neve-nested-vhe")
+    for bucket in BUCKETS:
+        lines.append("%-20s %10d %10d %10d %10d" % tuple(
+            [bucket] + [data[c].by_bucket.get(bucket, 0) for c in order]))
+    lines.append("%-20s %10d %10d %10d %10d" % tuple(
+        ["total"] + [data[c].total for c in order]))
+    lines.append("")
+    lines.append("Top trapping registers on ARMv8.3 (all removed or "
+                 "reduced by NEVE):")
+    for name, count in data["arm-nested"].top_registers(8):
+        neve_count = data["neve-nested"].by_register.get(name, 0)
+        lines.append("  %4dx %-18s -> %dx under NEVE"
+                     % (count, name, neve_count))
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Machine-readable results export.
+
+Writes every experiment's data — the microbenchmark tables, the trap
+counts, Figure 2, and the ablations — as one JSON document (plus optional
+per-table CSVs), so external tooling can plot or diff runs without
+re-parsing text reports.
+"""
+
+import csv
+import io
+import json
+
+from repro.harness.configs import FIGURE2_CONFIGS, TABLE1_CONFIGS, TABLE6_CONFIGS
+from repro.harness.figures import (
+    figure2,
+    notification_study,
+    vmcs_shadowing_study,
+)
+from repro.harness.tables import table1, table6, table7
+
+
+def collect_results(iterations=6):
+    """Run every experiment and return one JSON-serializable dict."""
+    return {
+        "paper": "NEVE: Nested Virtualization Extensions for ARM "
+                 "(SOSP 2017)",
+        "units": {"cycles": "simulated CPU cycles",
+                  "traps": "transitions into the host hypervisor",
+                  "overhead": "normalized to native (1.0 = native)"},
+        "table1": table1(iterations),
+        "table6": table6(iterations),
+        "table7": table7(iterations),
+        "figure2": figure2(iterations),
+        "vmcs_shadowing": vmcs_shadowing_study(iterations),
+        "virtio_notifications": notification_study(),
+    }
+
+
+def export_json(path, iterations=6, results=None):
+    """Write the full result set to *path*; returns the dict."""
+    if results is None:
+        results = collect_results(iterations)
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    return results
+
+
+def table_to_csv(rows, columns=None):
+    """Render a list-of-dicts table as CSV text."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0])
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns,
+                            extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def figure2_to_csv(data=None, iterations=6):
+    """Figure 2 as CSV: one row per workload, one column per config."""
+    if data is None:
+        data = figure2(iterations)
+    rows = []
+    for workload, row in data.items():
+        entry = {"workload": workload}
+        entry.update({config: round(row[config], 3)
+                      for config in FIGURE2_CONFIGS if config in row})
+        rows.append(entry)
+    return table_to_csv(rows, ["workload"] + list(FIGURE2_CONFIGS))
+
+
+def export_csv_bundle(directory, iterations=6):
+    """Write table1/table6/table7/figure2 CSVs into *directory*."""
+    import os
+    os.makedirs(directory, exist_ok=True)
+    paths = {}
+    for name, rows, cols in (
+        ("table1", table1(iterations),
+         ["benchmark"] + list(TABLE1_CONFIGS)),
+        ("table6", table6(iterations),
+         ["benchmark"] + list(TABLE6_CONFIGS)),
+        ("table7", table7(iterations),
+         ["benchmark"] + list(TABLE6_CONFIGS)),
+    ):
+        path = os.path.join(directory, name + ".csv")
+        with open(path, "w") as handle:
+            handle.write(table_to_csv(rows, cols))
+        paths[name] = path
+    fig_path = os.path.join(directory, "figure2.csv")
+    with open(fig_path, "w") as handle:
+        handle.write(figure2_to_csv(iterations=iterations))
+    paths["figure2"] = fig_path
+    return paths
+
+
+def main(argv=None):
+    import sys
+    argv = argv if argv is not None else sys.argv[1:]
+    target = argv[0] if argv else "results.json"
+    if target.endswith(".json"):
+        export_json(target)
+        print("wrote", target)
+    else:
+        paths = export_csv_bundle(target)
+        for name, path in paths.items():
+            print("wrote", path)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

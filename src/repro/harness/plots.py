@@ -1,0 +1,65 @@
+"""ASCII rendering of the paper's figures.
+
+Terminal-friendly bar charts so the repository's artifacts can be eyeballed
+against the paper's Figure 2 without a plotting stack (the environment is
+offline).  The dual-scale layout mirrors the figure: the paper splits its
+y-axis at 4x because the ARMv8.3 bars dwarf everything else.
+"""
+
+from repro.harness.configs import ALL_CONFIGS, FIGURE2_CONFIGS
+from repro.workloads.profiles import FIGURE2_WORKLOADS
+
+BAR_WIDTH = 46
+
+
+def _bar(value, scale, width=BAR_WIDTH):
+    filled = min(width, max(1, int(round(value / scale * width))))
+    return "█" * filled
+
+
+def render_figure2_chart(data=None, iterations=6):
+    """Horizontal-bar Figure 2.  *data* is {workload: {config: overhead}}
+    (computed if omitted)."""
+    if data is None:
+        from repro.harness.figures import figure2
+        data = figure2(iterations=iterations)
+    peak = max(max(row.values()) for row in data.values())
+    lines = [
+        "Figure 2 — normalized performance overhead (1.0 = native)",
+        "bar scale: full width = %.0fx" % peak,
+        "",
+    ]
+    for workload in FIGURE2_WORKLOADS:
+        if workload not in data:
+            continue
+        lines.append(workload)
+        row = data[workload]
+        for config in FIGURE2_CONFIGS:
+            if config not in row:
+                continue
+            value = row[config]
+            label = ALL_CONFIGS[config].label
+            lines.append("  %-22s %6.2f %s"
+                         % (label, value, _bar(value, peak)))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_trap_chart():
+    """Bar chart of Table 7's hypercall trap counts — the paper's story
+    in one picture."""
+    from repro.harness.configs import make_microbench
+    counts = {}
+    for config in ("arm-nested", "arm-nested-vhe", "neve-nested",
+                   "neve-nested-vhe", "x86-nested"):
+        counts[config] = make_microbench(config).run(
+            "hypercall", iterations=4).traps
+    peak = max(counts.values())
+    lines = ["Traps to the host hypervisor per nested hypercall", ""]
+    for config, value in counts.items():
+        lines.append("  %-22s %5.0f %s"
+                     % (ALL_CONFIGS[config].label, value,
+                        _bar(value, peak)))
+    lines.append("")
+    lines.append("  (a VM takes exactly 1)")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Golden-value regression checking.
+
+EXPERIMENTS.md records what this repository measures; this module makes
+those numbers machine-checkable, so a change that silently shifts a
+calibrated result fails loudly.  Goldens carry a tolerance: trap counts
+are exact-ish structural properties (tight), cycle counts are calibrated
+quantities (looser).
+"""
+
+from dataclasses import dataclass
+
+from repro.harness.configs import make_microbench
+
+
+@dataclass(frozen=True)
+class Golden:
+    config: str
+    benchmark: str
+    metric: str  # "cycles" | "traps"
+    value: float
+    rel_tol: float
+
+    def check(self, measured):
+        if self.value == 0:
+            return measured == 0
+        return abs(measured - self.value) / self.value <= self.rel_tol
+
+
+#: The repository's own measured values (EXPERIMENTS.md), as goldens.
+GOLDENS = (
+    # Trap counts: structural, tight tolerance.
+    Golden("arm-nested", "hypercall", "traps", 126, 0.03),
+    Golden("arm-nested", "device_io", "traps", 128, 0.03),
+    Golden("arm-nested", "virtual_ipi", "traps", 261, 0.05),
+    Golden("arm-nested-vhe", "hypercall", "traps", 76, 0.05),
+    Golden("neve-nested", "hypercall", "traps", 16, 0.08),
+    Golden("neve-nested-vhe", "hypercall", "traps", 14, 0.08),
+    Golden("x86-nested", "hypercall", "traps", 5, 0.0),
+    Golden("x86-nested", "virtual_ipi", "traps", 9, 0.0),
+    Golden("arm-vm", "hypercall", "traps", 1, 0.0),
+    Golden("arm-vm", "virtual_eoi", "traps", 0, 0.0),
+    # Cycle counts: calibrated, looser tolerance.
+    Golden("arm-vm", "hypercall", "cycles", 3_031, 0.10),
+    Golden("arm-nested", "hypercall", "cycles", 413_556, 0.10),
+    Golden("arm-nested-vhe", "hypercall", "cycles", 272_596, 0.10),
+    Golden("neve-nested", "hypercall", "cycles", 79_136, 0.10),
+    Golden("neve-nested-vhe", "hypercall", "cycles", 84_134, 0.10),
+    Golden("x86-vm", "hypercall", "cycles", 1_250, 0.10),
+    Golden("x86-nested", "hypercall", "cycles", 33_216, 0.10),
+    Golden("arm-vm", "virtual_eoi", "cycles", 67, 0.10),
+    Golden("x86-vm", "virtual_eoi", "cycles", 312, 0.10),
+)
+
+
+def check_goldens(iterations=6):
+    """Measure every golden; returns ``(passed, failures)`` where each
+    failure is ``(golden, measured)``."""
+    suites = {}
+    failures = []
+    passed = 0
+    for golden in GOLDENS:
+        if golden.config not in suites:
+            suites[golden.config] = make_microbench(golden.config)
+        result = suites[golden.config].run(golden.benchmark, iterations)
+        measured = getattr(result, golden.metric)
+        if golden.check(measured):
+            passed += 1
+        else:
+            failures.append((golden, measured))
+    return passed, failures
+
+
+def render_regression(iterations=6):
+    passed, failures = check_goldens(iterations)
+    lines = ["Golden regression: %d/%d checks passed"
+             % (passed, passed + len(failures))]
+    for golden, measured in failures:
+        lines.append("  FAIL %s/%s %s: golden %.0f, measured %.0f"
+                     % (golden.config, golden.benchmark, golden.metric,
+                        golden.value, measured))
+    return "\n".join(lines)

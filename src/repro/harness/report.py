@@ -1,0 +1,154 @@
+"""Text report CLI.
+
+Usage::
+
+    python -m repro.harness.report table1
+    python -m repro.harness.report table6
+    python -m repro.harness.report table7
+    python -m repro.harness.report figure2
+    python -m repro.harness.report spec          # Tables 2-5 (E7)
+    python -m repro.harness.report virtio       # E6 notification study
+    python -m repro.harness.report shadowing    # E9 VMCS ablation
+    python -m repro.harness.report designs      # E10 design ablation
+    python -m repro.harness.report all
+"""
+
+import sys
+
+from repro.core.classification import (
+    classification_summary,
+    extension_registers,
+    table2_fields,
+    table3_vm_registers,
+    table4_hyp_control_registers,
+    table5_gic_registers,
+)
+from repro.harness.figures import (
+    render_figure2,
+    render_hypervisor_design_study,
+    render_notification_study,
+    render_vmcs_shadowing_study,
+)
+from repro.harness.tables import (
+    render_table1,
+    render_table6,
+    render_table7,
+)
+
+
+def render_spec():
+    lines = ["Table 2: VNCR_EL2 fields"]
+    for field in table2_fields():
+        lines.append("  %-8s %-10s %s" % (field["bits"], field["field"],
+                                          field["description"]))
+    table3 = table3_vm_registers()
+    lines.append("")
+    lines.append("Table 3: VM system registers (%d)" % len(table3))
+    for row in table3:
+        lines.append("  %-22s %-18s %s" % (row["category"], row["register"],
+                                           row["description"]))
+    table4 = table4_hyp_control_registers()
+    lines.append("")
+    lines.append("Table 4: hypervisor control registers (%d)" % len(table4))
+    for row in table4:
+        lines.append("  %-22s %-18s %s" % (row["technique"],
+                                           row["register"],
+                                           row["description"]))
+    table5 = table5_gic_registers()
+    lines.append("")
+    lines.append("Table 5: GIC hypervisor control registers (%d)"
+                 % len(table5))
+    for row in table5:
+        lines.append("  %-22s %-18s %s" % (row["technique"],
+                                           row["register"],
+                                           row["description"]))
+    lines.append("")
+    lines.append("Prose-classified extensions (Section 6.1, end): %d"
+                 % len(extension_registers()))
+    lines.append("Behaviour summary: %r" % classification_summary())
+    return "\n".join(lines)
+
+
+def _render_attribution():
+    from repro.harness.analysis import render_attribution
+    return render_attribution()
+
+
+def _render_sensitivity():
+    from repro.harness.sensitivity import render_sensitivity
+    return render_sensitivity()
+
+
+def _render_chart():
+    from repro.harness.plots import render_figure2_chart, render_trap_chart
+    return render_trap_chart() + "\n\n" + render_figure2_chart()
+
+
+def _render_el0():
+    from repro.hypervisor.el0_deprivilege import render_el0_study
+    return render_el0_study()
+
+
+def _render_conformance():
+    from repro.core.conformance import render_conformance
+    return render_conformance()
+
+
+def _render_regression():
+    from repro.harness.regression import render_regression
+    return render_regression()
+
+
+def _render_scaling():
+    from repro.workloads.scaling import render_scaling
+    return render_scaling()
+
+
+def _render_riscv():
+    from repro.riscv.hext import render_riscv_study
+    return render_riscv_study()
+
+
+REPORTS = {
+    "table1": render_table1,
+    "table6": render_table6,
+    "table7": render_table7,
+    "figure2": render_figure2,
+    "spec": render_spec,
+    "virtio": render_notification_study,
+    "shadowing": render_vmcs_shadowing_study,
+    "designs": render_hypervisor_design_study,
+    "attribution": _render_attribution,
+    "sensitivity": _render_sensitivity,
+    "chart": _render_chart,
+    "el0": _render_el0,
+    "conformance": _render_conformance,
+    "regression": _render_regression,
+    "scaling": _render_scaling,
+    "riscv": _render_riscv,
+}
+
+
+def main(argv=None):
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    name = argv[0]
+    if name == "all":
+        for key, renderer in REPORTS.items():
+            print("=" * 72)
+            print(renderer())
+            print()
+        return 0
+    renderer = REPORTS.get(name)
+    if renderer is None:
+        print("unknown report %r; available: %s, all"
+              % (name, ", ".join(REPORTS)))
+        return 2
+    print(renderer())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""One-shot reproduction verdict (the artifact-evaluation entry point).
+
+Runs the repository's verification layers in order of strength and prints
+a PASS/FAIL verdict per claim:
+
+1. **Conformance** — the CPU model obeys the NEVE specification tables.
+2. **Goldens** — the measured numbers in EXPERIMENTS.md still hold.
+3. **Paper claims** — the headline quantitative claims of the paper.
+
+``python -m repro`` runs this.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Check:
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+def _claim_checks():
+    from repro.harness.configs import make_microbench
+    from repro.workloads.appbench import AppBenchmark
+
+    suites = {name: make_microbench(name)
+              for name in ("arm-vm", "arm-nested", "arm-nested-vhe",
+                           "neve-nested", "x86-vm", "x86-nested")}
+    hypercall = {name: suite.run("hypercall", iterations=6)
+                 for name, suite in suites.items()}
+    checks = []
+
+    traps = hypercall["arm-nested"].traps
+    checks.append(Check(
+        "exit multiplication: ~126 traps per nested hypercall (v8.3)",
+        118 <= traps <= 134, "measured %.0f" % traps))
+
+    reduction = traps / hypercall["neve-nested"].traps
+    checks.append(Check(
+        "NEVE cuts traps by more than 6x", reduction >= 6,
+        "measured %.1fx" % reduction))
+
+    speedup = (hypercall["arm-nested"].cycles
+               / hypercall["neve-nested"].cycles)
+    checks.append(Check(
+        "NEVE up to 5x faster than ARMv8.3 (hypercall)",
+        3.5 <= speedup <= 6.5, "measured %.1fx" % speedup))
+
+    arm_rel = hypercall["neve-nested"].cycles / hypercall[
+        "arm-vm"].cycles
+    x86_rel = hypercall["x86-nested"].cycles / hypercall[
+        "x86-vm"].cycles
+    checks.append(Check(
+        "NEVE's relative overhead comparable to x86's",
+        0.5 <= arm_rel / x86_rel <= 2.0,
+        "NEVE %.0fx vs x86 %.0fx" % (arm_rel, x86_rel)))
+
+    app = AppBenchmark(iterations=5)
+    wins = [w for w in ("netperf_tcp_maerts", "nginx", "memcached",
+                        "mysql")
+            if app.run(w, "neve-nested").overhead
+            < app.run(w, "x86-nested").overhead]
+    checks.append(Check(
+        "NEVE beats x86 on MAERTS/Nginx/Memcached/MySQL (Figure 2)",
+        len(wins) == 4, "wins: %s" % ", ".join(wins)))
+
+    memcached = app.run("memcached", "arm-nested").overhead
+    checks.append(Check(
+        "ARMv8.3 network workloads collapse (memcached >20x)",
+        memcached > 20, "measured %.1fx" % memcached))
+    return checks
+
+
+def run_summary(iterations=6):
+    """Run all verification layers; returns ``[Check]``."""
+    checks = []
+
+    from repro.core.conformance import run_conformance
+    conformance = run_conformance()
+    checks.append(Check(
+        "architecture conformance (%d-check matrix)" % conformance.checks,
+        conformance.passed,
+        "%d violations" % len(conformance.violations)))
+
+    from repro.harness.regression import check_goldens
+    passed, failures = check_goldens(iterations=iterations)
+    checks.append(Check(
+        "EXPERIMENTS.md goldens (%d values)" % (passed + len(failures)),
+        not failures, "%d failed" % len(failures)))
+
+    checks.extend(_claim_checks())
+    return checks
+
+
+def render_summary(iterations=6):
+    checks = run_summary(iterations)
+    width = max(len(check.name) for check in checks)
+    lines = ["NEVE reproduction verdict", "=" * (width + 18)]
+    for check in checks:
+        verdict = "PASS" if check.passed else "FAIL"
+        lines.append("[%s] %-*s %s" % (verdict, width, check.name,
+                                       check.detail))
+    total = sum(1 for check in checks if check.passed)
+    lines.append("=" * (width + 18))
+    lines.append("%d/%d claims reproduced" % (total, len(checks)))
+    return "\n".join(lines), all(check.passed for check in checks)
+
+
+def main():
+    text, ok = render_summary()
+    print(text)
+    return 0 if ok else 1

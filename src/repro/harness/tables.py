@@ -1,0 +1,147 @@
+"""Generators for the paper's tables.
+
+Each function returns structured data (list of row dicts) and has a
+``render_*`` companion producing the text table, so benchmarks, tests and
+the report CLI share one implementation.
+"""
+
+from repro.harness.configs import (
+    TABLE1_CONFIGS,
+    TABLE6_CONFIGS,
+    make_microbench,
+)
+from repro.workloads.microbench import MICROBENCHMARKS
+
+#: The paper's measurements, for side-by-side comparison in reports.
+PAPER_TABLE1 = {
+    # benchmark: {config: cycles}
+    "hypercall": {"arm-vm": 2_729, "arm-nested": 422_720,
+                  "arm-nested-vhe": 307_363, "x86-vm": 1_188,
+                  "x86-nested": 36_345},
+    "device_io": {"arm-vm": 3_534, "arm-nested": 436_924,
+                  "arm-nested-vhe": 312_148, "x86-vm": 2_307,
+                  "x86-nested": 39_108},
+    "virtual_ipi": {"arm-vm": 8_364, "arm-nested": 611_686,
+                    "arm-nested-vhe": 494_765, "x86-vm": 2_751,
+                    "x86-nested": 45_360},
+    "virtual_eoi": {"arm-vm": 71, "arm-nested": 71,
+                    "arm-nested-vhe": 71, "x86-vm": 316, "x86-nested": 316},
+}
+
+PAPER_TABLE6 = {
+    "hypercall": {"arm-nested": 422_720, "arm-nested-vhe": 307_363,
+                  "neve-nested": 92_385, "neve-nested-vhe": 100_895,
+                  "x86-nested": 36_345},
+    "device_io": {"arm-nested": 436_924, "arm-nested-vhe": 312_148,
+                  "neve-nested": 96_002, "neve-nested-vhe": 105_071,
+                  "x86-nested": 39_108},
+    "virtual_ipi": {"arm-nested": 611_686, "arm-nested-vhe": 494_765,
+                    "neve-nested": 184_657, "neve-nested-vhe": 213_256,
+                    "x86-nested": 45_360},
+    "virtual_eoi": {"arm-nested": 71, "arm-nested-vhe": 71,
+                    "neve-nested": 71, "neve-nested-vhe": 71,
+                    "x86-nested": 316},
+}
+
+PAPER_TABLE7 = {
+    "hypercall": {"arm-nested": 126, "arm-nested-vhe": 82,
+                  "neve-nested": 15, "neve-nested-vhe": 15,
+                  "x86-nested": 5},
+    "device_io": {"arm-nested": 128, "arm-nested-vhe": 82,
+                  "neve-nested": 15, "neve-nested-vhe": 15,
+                  "x86-nested": 5},
+    "virtual_ipi": {"arm-nested": 261, "arm-nested-vhe": 172,
+                    "neve-nested": 37, "neve-nested-vhe": 38,
+                    "x86-nested": 9},
+    "virtual_eoi": {"arm-nested": 0, "arm-nested-vhe": 0,
+                    "neve-nested": 0, "neve-nested-vhe": 0,
+                    "x86-nested": 0},
+}
+
+
+def _measure(config_names, iterations):
+    suites = {name: make_microbench(name) for name in config_names}
+    results = {}
+    for name, suite in suites.items():
+        results[name] = suite.run_all(iterations=iterations)
+    return results
+
+
+def table1(iterations=10):
+    """Table 1: microbenchmark cycle counts, ARMv8.3 and x86."""
+    measured = _measure(TABLE1_CONFIGS, iterations)
+    rows = []
+    for bench in MICROBENCHMARKS:
+        row = {"benchmark": bench}
+        for config in TABLE1_CONFIGS:
+            row[config] = measured[config][bench].cycles
+            row[config + "/paper"] = PAPER_TABLE1[bench][config]
+        rows.append(row)
+    return rows
+
+
+def table6(iterations=10):
+    """Table 6: microbenchmark cycle counts with NEVE."""
+    measured = _measure(TABLE6_CONFIGS, iterations)
+    baseline = _measure(("arm-vm", "x86-vm"), iterations)
+    rows = []
+    for bench in MICROBENCHMARKS:
+        row = {"benchmark": bench}
+        for config in TABLE6_CONFIGS:
+            cycles = measured[config][bench].cycles
+            vm = (baseline["x86-vm"] if config.startswith("x86")
+                  else baseline["arm-vm"])[bench].cycles
+            row[config] = cycles
+            row[config + "/slowdown"] = cycles / vm if vm else 0.0
+            row[config + "/paper"] = PAPER_TABLE6[bench][config]
+        rows.append(row)
+    return rows
+
+
+def table7(iterations=10):
+    """Table 7: average traps to the host hypervisor per iteration."""
+    measured = _measure(TABLE6_CONFIGS, iterations)
+    rows = []
+    for bench in MICROBENCHMARKS:
+        row = {"benchmark": bench}
+        for config in TABLE6_CONFIGS:
+            row[config] = measured[config][bench].traps
+            row[config + "/paper"] = PAPER_TABLE7[bench][config]
+        rows.append(row)
+    return rows
+
+
+def _render(rows, configs, value_key_suffix="", fmt="%10.0f", title=""):
+    lines = []
+    if title:
+        lines.append(title)
+    header = "%-14s" % "benchmark"
+    for config in configs:
+        header += " %16s" % config.replace("nested", "n")
+    lines.append(header)
+    for row in rows:
+        line = "%-14s" % row["benchmark"]
+        for config in configs:
+            measured = fmt % row[config + value_key_suffix]
+            paper = row.get(config + "/paper")
+            line += " %16s" % ("%s(%s)" % (measured.strip(), paper))
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_table1(iterations=10):
+    return _render(table1(iterations), TABLE1_CONFIGS,
+                   title="Table 1: microbenchmark cycle counts "
+                         "(measured(paper))")
+
+
+def render_table6(iterations=10):
+    return _render(table6(iterations), TABLE6_CONFIGS,
+                   title="Table 6: NEVE microbenchmark cycle counts "
+                         "(measured(paper))")
+
+
+def render_table7(iterations=10):
+    return _render(table7(iterations), TABLE6_CONFIGS, fmt="%10.1f",
+                   title="Table 7: traps to the host hypervisor "
+                         "(measured(paper))")

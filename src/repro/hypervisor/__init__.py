@@ -1,0 +1,32 @@
+"""The KVM/ARM hypervisor model.
+
+The same world-switch code (:mod:`repro.hypervisor.world_switch`) runs as
+the L0 host hypervisor — natively at EL2, where its register accesses are
+free of traps — and as the L1 guest hypervisor at virtual EL2, where every
+access obeys the ARMv8.3/NEVE rules in :mod:`repro.arch.cpu`.  That is
+exactly the paper's experimental setup (Section 4), and it is what makes
+the exit-multiplication numbers *emerge* from the model instead of being
+asserted.
+"""
+
+from repro.hypervisor.kvm import KvmHypervisor, Machine
+from repro.hypervisor.nested import GuestHypervisor
+from repro.hypervisor.psci import PsciEmulator
+from repro.hypervisor.recursive import RecursiveHost
+from repro.hypervisor.scheduler import VcpuScheduler
+from repro.hypervisor.vcpu import VcpuMode, VcpuState, VcpuStruct
+from repro.hypervisor.virtio import VirtioDevice, VirtioQueue
+
+__all__ = [
+    "GuestHypervisor",
+    "KvmHypervisor",
+    "Machine",
+    "PsciEmulator",
+    "RecursiveHost",
+    "VcpuMode",
+    "VcpuScheduler",
+    "VcpuState",
+    "VcpuStruct",
+    "VirtioDevice",
+    "VirtioQueue",
+]

@@ -1,0 +1,81 @@
+"""PSCI (Power State Coordination Interface) emulation.
+
+ARM guests bring secondary CPUs online, idle them and power them off
+through PSCI calls (SMC conduit on the paper's testbed).  KVM emulates
+PSCI for its guests; a nested VM's PSCI calls are forwarded to the guest
+hypervisor like any other trap, which is how the L1 hypervisor controls
+which of its vcpus run.
+"""
+
+# PSCI 0.2 function IDs (SMC64 where applicable).
+PSCI_VERSION = 0x8400_0000
+PSCI_CPU_SUSPEND = 0xC400_0001
+PSCI_CPU_OFF = 0x8400_0002
+PSCI_CPU_ON = 0xC400_0003
+PSCI_AFFINITY_INFO = 0xC400_0004
+PSCI_SYSTEM_OFF = 0x8400_0008
+PSCI_SYSTEM_RESET = 0x8400_0009
+
+# Return codes.
+PSCI_SUCCESS = 0
+PSCI_NOT_SUPPORTED = -1
+PSCI_INVALID_PARAMS = -2
+PSCI_ALREADY_ON = -4
+
+#: Version reported to guests: PSCI 0.2.
+REPORTED_VERSION = 0x0000_0002
+
+AFFINITY_ON = 0
+AFFINITY_OFF = 1
+
+
+class PsciEmulator:
+    """KVM's PSCI backend for one hypervisor instance."""
+
+    def __init__(self, kvm):
+        self.kvm = kvm
+        self.calls = []
+
+    def handle(self, cpu, vcpu, function, args):
+        """Emulate one PSCI call from *vcpu*; returns the PSCI result."""
+        self.calls.append((function, args))
+        cpu.work(240, category="l0_psci")
+        if function == PSCI_VERSION:
+            return REPORTED_VERSION
+        if function == PSCI_CPU_ON:
+            return self._cpu_on(cpu, vcpu, args)
+        if function == PSCI_CPU_OFF:
+            vcpu.online = False
+            return PSCI_SUCCESS
+        if function == PSCI_AFFINITY_INFO:
+            return self._affinity_info(vcpu, args)
+        if function == PSCI_CPU_SUSPEND:
+            cpu.work(150, category="l0_psci")  # park until wakeup
+            return PSCI_SUCCESS
+        if function in (PSCI_SYSTEM_OFF, PSCI_SYSTEM_RESET):
+            for other in vcpu.vm.vcpus:
+                other.online = False
+            return PSCI_SUCCESS
+        return PSCI_NOT_SUPPORTED
+
+    def _cpu_on(self, cpu, vcpu, args):
+        target_id = args[0] if args else 0
+        vm = vcpu.vm
+        if target_id >= len(vm.vcpus):
+            return PSCI_INVALID_PARAMS
+        target = vm.vcpus[target_id]
+        if target.online and target.loaded:
+            return PSCI_ALREADY_ON
+        target.online = True
+        cpu.work(900, category="l0_psci")  # vcpu reset + first entry cost
+        if not target.loaded:
+            self.kvm.run_vcpu(target)
+            target.loaded = True
+        return PSCI_SUCCESS
+
+    def _affinity_info(self, vcpu, args):
+        target_id = args[0] if args else 0
+        vm = vcpu.vm
+        if target_id >= len(vm.vcpus):
+            return PSCI_INVALID_PARAMS
+        return AFFINITY_ON if vm.vcpus[target_id].online else AFFINITY_OFF

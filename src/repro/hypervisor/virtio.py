@@ -1,0 +1,113 @@
+"""Virtio paravirtualized I/O with notification suppression.
+
+Section 7.2 explains an apparent anomaly — x86 Memcached in a nested VM
+shows *more* virtualization overhead than NEVE despite similar per-exit
+costs — through virtio's notification dynamics:
+
+    "While the backend driver is busy, it tells the frontend driver that
+    it can continue to send packets without further notification.  Only
+    once the backend driver has nothing left to do does it tell the
+    frontend driver to notify it again ... the quicker the backend driver
+    handles packets, the more the frontend driver needs to notify."
+
+:class:`VirtioQueue` implements exactly that feedback loop as a
+deterministic discrete-event simulation in virtual time (cycles): a
+faster backend drains the queue sooner, re-enables notifications sooner,
+and therefore receives more kicks — each of which is a full VM exit.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueueStats:
+    packets: int = 0
+    kicks: int = 0
+    suppressed: int = 0
+    backend_wakeups: int = 0
+    finish_time: int = 0
+
+    @property
+    def kick_ratio(self):
+        """Kicks per packet — the quantity Section 7.2 reasons about."""
+        return self.kicks / self.packets if self.packets else 0.0
+
+
+class VirtioQueue:
+    """One virtqueue between a frontend (guest) and a backend (host).
+
+    ``backend_service_cycles`` is the time the backend takes per buffer;
+    ``wakeup_latency_cycles`` is the delay between a kick and the backend
+    starting to drain (the exit and scheduling cost, which depends on the
+    virtualization configuration).
+    """
+
+    def __init__(self, backend_service_cycles, wakeup_latency_cycles=0,
+                 capacity=256):
+        if backend_service_cycles <= 0:
+            raise ValueError("backend service time must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.backend_service_cycles = backend_service_cycles
+        self.wakeup_latency_cycles = wakeup_latency_cycles
+        self.capacity = capacity
+
+    def simulate(self, packet_times):
+        """Run the queue over ascending enqueue timestamps (cycles).
+
+        Returns :class:`QueueStats`.  The backend drains the whole queue
+        once woken, then re-enables notifications; enqueues that land
+        while it is draining are suppressed.
+        """
+        stats = QueueStats()
+        backend_busy_until = 0  # backend is draining until this time
+        queue_depth = 0
+        last_time = None
+        for t in packet_times:
+            if last_time is not None and t < last_time:
+                raise ValueError("packet times must be ascending")
+            last_time = t
+            stats.packets += 1
+            if t >= backend_busy_until:
+                # Queue idle and notifications enabled: kick required.
+                stats.kicks += 1
+                stats.backend_wakeups += 1
+                queue_depth = 1
+                backend_busy_until = (t + self.wakeup_latency_cycles
+                                      + self.backend_service_cycles)
+            else:
+                # Backend still draining: no notification needed, but the
+                # backend now has one more buffer to chew through.
+                stats.suppressed += 1
+                queue_depth = min(queue_depth + 1, self.capacity)
+                backend_busy_until += self.backend_service_cycles
+        stats.finish_time = backend_busy_until
+        return stats
+
+    def kick_ratio(self, arrival_interval, packets=2000):
+        """Steady-state kicks-per-packet for a uniform arrival process."""
+        times = [i * arrival_interval for i in range(packets)]
+        return self.simulate(times).kick_ratio
+
+
+@dataclass
+class VirtioDevice:
+    """A virtio-net/blk device as seen by a guest: a notify register in
+    the device MMIO window plus the queue dynamics above."""
+
+    name: str
+    mmio_base: int
+    queue: VirtioQueue = None
+    stats: QueueStats = field(default_factory=QueueStats)
+
+    NOTIFY_OFFSET = 0x50
+
+    @property
+    def notify_addr(self):
+        return self.mmio_base + self.NOTIFY_OFFSET
+
+    def kick(self, cpu):
+        """Frontend notifies the backend: an MMIO write, hence a VM exit
+        (and, in a nested VM, a forwarded exit with full multiplication)."""
+        self.stats.kicks += 1
+        return cpu.mmio_write(self.notify_addr, 1)

@@ -1,0 +1,320 @@
+"""KVM/ARM world-switch flows.
+
+These functions model the register-access sequences mainline KVM/ARM
+executes when switching between a VM and the hypervisor.  They are the
+load-bearing part of the reproduction: run natively at EL2 they only cost
+cycles, but run at virtual EL2 every access obeys the ARMv8.3/NEVE rules
+and the paper's exit multiplication (Table 7) *emerges* from them.
+
+The flows are written once and parameterized by a
+:class:`repro.arch.cpu.CpuOps` adapter, mirroring how the one KVM/ARM
+source tree builds for non-VHE (split EL1/EL2) and VHE (all-EL2)
+configurations (Section 6.5 discusses exactly these design variants).
+"""
+
+from repro.arch.cpu import CpuOps
+
+# HCR_EL2 bits (the subset the model uses; values follow the ARM ARM).
+HCR_VM = 1 << 0
+HCR_FMO = 1 << 3
+HCR_IMO = 1 << 4
+HCR_VI = 1 << 7
+HCR_TWI = 1 << 13
+HCR_TWE = 1 << 14
+HCR_TGE = 1 << 27
+HCR_E2H = 1 << 34
+HCR_NV = 1 << 42
+
+#: KVM's guest HCR value (trap WFI/WFE, route IRQs to EL2, stage 2 on).
+HCR_GUEST_FLAGS = HCR_VM | HCR_IMO | HCR_FMO | HCR_TWI | HCR_TWE
+#: Host value restored on exit (non-VHE hosts run with TGE clear but no VM).
+HCR_HOST_FLAGS = 0
+
+#: The EL1 context KVM saves and restores per world switch
+#: (__sysreg_save_el1_state plus exception state; 20 registers).
+EL1_STATE = (
+    "SCTLR_EL1",
+    "TTBR0_EL1",
+    "TTBR1_EL1",
+    "TCR_EL1",
+    "ESR_EL1",
+    "AFSR0_EL1",
+    "AFSR1_EL1",
+    "FAR_EL1",
+    "MAIR_EL1",
+    "VBAR_EL1",
+    "CONTEXTIDR_EL1",
+    "AMAIR_EL1",
+    "CNTKCTL_EL1",
+    "PAR_EL1",
+    "CSSELR_EL1",
+    "CPACR_EL1",
+    "TPIDR_EL1",
+    "SP_EL1",
+    "ELR_EL1",
+    "SPSR_EL1",
+)
+
+#: EL0 (user) context, saved on every switch by a non-VHE hypervisor.
+EL0_STATE = ("TPIDR_EL0", "TPIDRRO_EL0", "SP_EL0")
+
+#: Debug state: MDSCR_EL1 travels with the guest context.
+DEBUG_STATE = ("MDSCR_EL1",)
+
+#: Number of general-purpose registers stacked on hyp entry/exit.
+NR_GPRS = 31
+
+#: GIC maintenance/control state beyond the list registers.
+ICH_AP_REGS = ("ICH_AP0R0_EL2", "ICH_AP1R0_EL2")
+
+
+def full_el1_context():
+    return EL1_STATE + EL0_STATE + DEBUG_STATE
+
+
+# ---------------------------------------------------------------------------
+# EL1/EL0 context
+# ---------------------------------------------------------------------------
+
+def save_el1_state(ops, ctx):
+    """Read the loaded VM EL1/EL0 context into a vcpu struct.
+
+    For a VHE hypervisor these reads use the ``*_EL12``/``*_EL02``
+    aliases; for a non-VHE hypervisor they are plain EL1 accesses.  At
+    virtual EL2 both variants trap on ARMv8.3 and are deferred to memory
+    by NEVE (Table 3).
+    """
+    for name in EL1_STATE + DEBUG_STATE:
+        ctx.save(name, ops.read_vm(name))
+    for name in EL0_STATE:
+        # EL0 user state has no *_EL02 aliases (only the timers are
+        # E2H-redirected); both hypervisor flavours use the plain EL0
+        # encodings, which never trap from virtual EL2.
+        ctx.save(name, ops.cpu.mrs(name))
+
+
+def restore_el1_state(ops, ctx):
+    for name in EL1_STATE + DEBUG_STATE:
+        ops.write_vm(name, ctx.load(name))
+    for name in EL0_STATE:
+        ops.cpu.msr(name, ctx.load(name))
+
+
+# ---------------------------------------------------------------------------
+# Exception context and returns
+# ---------------------------------------------------------------------------
+
+def read_exit_context(ops, is_abort=False):
+    """Read the exception syndrome on hypervisor entry.
+
+    ESR/ELR/SPSR always; FAR and HPFAR additionally for aborts
+    (the Device I/O benchmark's two extra traps relative to Hypercall).
+    The per-cpu pointer (TPIDR_EL2) and the HCR (pending-vSError check)
+    are also read on every entry; under NEVE both are deferred.
+    """
+    exit_ctx = {
+        "esr": ops.read_hyp("ESR_EL2"),
+        "elr": ops.read_hyp("ELR_EL2"),
+        "spsr": ops.read_hyp("SPSR_EL2"),
+        "percpu": ops.cpu.mrs("TPIDR_EL2"),
+        "hcr": ops.cpu.mrs("HCR_EL2"),
+    }
+    if is_abort:
+        exit_ctx["far"] = ops.read_hyp("FAR_EL2")
+        exit_ctx["hpfar"] = ops.read_hyp("HPFAR_EL2")
+    return exit_ctx
+
+
+def prepare_exception_return(ops, elr, spsr):
+    """Program the return state and issue ``eret``."""
+    ops.write_hyp("ELR_EL2", elr)
+    ops.write_hyp("SPSR_EL2", spsr)
+    ops.cpu.barrier()
+    ops.cpu.eret()
+
+
+# ---------------------------------------------------------------------------
+# Trap configuration
+# ---------------------------------------------------------------------------
+
+def activate_traps(ops, vhe, vttbr, guest_hcr=HCR_GUEST_FLAGS):
+    """Configure the hardware to run a VM (KVM's __activate_traps +
+    __activate_vm): trap controls, stage-2 base, virtual CPU identity and
+    the per-vcpu pointer."""
+    ops.cpu.mrs("HCR_EL2")  # read-modify-write of the VSE/VI bits
+    ops.write_hyp("HCR_EL2", guest_hcr)
+    ops.write_hyp("CPTR_EL2", 1)  # trap FP/SIMD until first use
+    ops.write_hyp("MDCR_EL2", 1)  # trap debug
+    ops.write_hyp("HSTR_EL2", 0)
+    ops.write_hyp("VTTBR_EL2", vttbr)
+    ops.write_hyp("VTCR_EL2", 1)
+    ops.cpu.msr("VMPIDR_EL2", 0x8000_0000)  # virtual MPIDR for the vcpu
+    ops.cpu.msr("VPIDR_EL2", 0x410F_D070)
+    ops.cpu.msr("TPIDR_EL2", 0x1000)  # per-vcpu context pointer
+    ops.cpu.barrier()
+
+
+def deactivate_traps(ops, vhe, host_hcr=HCR_HOST_FLAGS):
+    """Undo trap configuration on the way back to the host."""
+    ops.cpu.mrs("HCR_EL2")
+    ops.cpu.mrs("VTTBR_EL2")  # record which VM was loaded (vmid bookkeeping)
+    hcr = host_hcr | (HCR_E2H if vhe else 0)
+    ops.write_hyp("HCR_EL2", hcr)
+    ops.write_hyp("CPTR_EL2", 0)
+    ops.write_hyp("MDCR_EL2", 0)
+    ops.write_hyp("VTTBR_EL2", 0)
+    ops.cpu.barrier()
+
+
+# ---------------------------------------------------------------------------
+# vGIC (GICv3 system-register interface)
+# ---------------------------------------------------------------------------
+
+def vgic_save(ops, ctx, used_lrs):
+    """Save the GIC virtual interface state (vgic-v3-sr.c save path)."""
+    ops.cpu.mrs("ICH_VTR_EL2")  # implementation query (cached copy: free)
+    ops.cpu.mrs("ICH_HCR_EL2")  # current enable/maintenance bits
+    ctx.save("ICH_VMCR_EL2", ops.read_hyp("ICH_VMCR_EL2"))
+    if used_lrs:
+        ctx.save("ICH_ELRSR_EL2", ops.read_hyp("ICH_ELRSR_EL2"))
+        for index in range(used_lrs):
+            name = "ICH_LR%d_EL2" % index
+            ctx.save(name, ops.read_hyp(name))
+            ops.write_hyp(name, 0)
+        for name in ICH_AP_REGS:
+            ctx.save(name, ops.read_hyp(name))
+    ops.write_hyp("ICH_HCR_EL2", 0)
+
+
+def vgic_restore(ops, ctx, used_lrs):
+    """Restore the GIC virtual interface state before entering a VM."""
+    ops.cpu.mrs("ICH_HCR_EL2")
+    ops.write_hyp("ICH_VMCR_EL2", ctx.load("ICH_VMCR_EL2"))
+    ops.write_hyp("ICH_HCR_EL2", 1)  # En
+    for index in range(used_lrs):
+        name = "ICH_LR%d_EL2" % index
+        ops.write_hyp(name, ctx.load(name))
+    if used_lrs:
+        for name in ICH_AP_REGS:
+            ops.write_hyp(name, ctx.load(name))
+
+
+def vgic_save_v2(cpu, ctx, used_lrs, gich_base):
+    """GICv2 guest-hypervisor variant: the hypervisor control interface
+    is a memory-mapped GICH frame, so every access is an ordinary load or
+    store that stage-2 aborts to the host hypervisor when the frame is
+    left unmapped (Section 4) — no paravirtualization required, and NEVE
+    does not change the trap count for this path."""
+    from repro.arch.gic import gich_reg_to_offset
+
+    def off(name):
+        return gich_base + gich_reg_to_offset(name)
+
+    cpu.mmio_read(off("ICH_VTR_EL2"))
+    cpu.mmio_read(off("ICH_HCR_EL2"))
+    ctx.save("ICH_VMCR_EL2", cpu.mmio_read(off("ICH_VMCR_EL2")))
+    if used_lrs:
+        cpu.mmio_read(off("ICH_ELRSR_EL2"))
+        for index in range(used_lrs):
+            name = "ICH_LR%d_EL2" % index
+            ctx.save(name, cpu.mmio_read(off(name)))
+            cpu.mmio_write(off(name), 0)
+        ctx.save("ICH_AP0R0_EL2", cpu.mmio_read(off("ICH_AP0R0_EL2")))
+    cpu.mmio_write(off("ICH_HCR_EL2"), 0)
+
+
+def vgic_restore_v2(cpu, ctx, used_lrs, gich_base):
+    from repro.arch.gic import gich_reg_to_offset
+
+    def off(name):
+        return gich_base + gich_reg_to_offset(name)
+
+    cpu.mmio_read(off("ICH_HCR_EL2"))
+    cpu.mmio_write(off("ICH_VMCR_EL2"), ctx.load("ICH_VMCR_EL2"))
+    cpu.mmio_write(off("ICH_HCR_EL2"), 1)
+    for index in range(used_lrs):
+        name = "ICH_LR%d_EL2" % index
+        cpu.mmio_write(off(name), ctx.load(name))
+    if used_lrs:
+        cpu.mmio_write(off("ICH_AP0R0_EL2"), ctx.load("ICH_AP0R0_EL2"))
+
+
+def vgic_save_mmio(cpu, ctx, used_lrs):
+    """GICv2 variant: the hypervisor interface is memory mapped, so every
+    access pays a device-memory round trip instead of an MSR/MRS.  Used by
+    the L0 host hypervisor on the paper's GICv2 testbed; the extra cost is
+    a large part of why ARM exits cost ~2,700 cycles."""
+    accesses = 2 + (1 + used_lrs + len(ICH_AP_REGS) if used_lrs else 0)
+    cpu.ledger.charge(accesses * cpu.costs.vgic_mmio_access, "vgic_mmio")
+    ctx.save("ICH_VMCR_EL2", cpu.el2_regs.read("ICH_VMCR_EL2"))
+    for index in range(used_lrs):
+        name = "ICH_LR%d_EL2" % index
+        ctx.save(name, cpu.el2_regs.read(name))
+        cpu.el2_regs.write(name, 0)
+    cpu.el2_regs.write("ICH_HCR_EL2", 0)
+    if cpu.gic is not None:
+        cpu.gic.sync_status(cpu)
+
+
+def vgic_restore_mmio(cpu, ctx, used_lrs):
+    accesses = 2 + used_lrs + (len(ICH_AP_REGS) if used_lrs else 0)
+    cpu.ledger.charge(accesses * cpu.costs.vgic_mmio_access, "vgic_mmio")
+    cpu.el2_regs.write("ICH_VMCR_EL2", ctx.load("ICH_VMCR_EL2"))
+    cpu.el2_regs.write("ICH_HCR_EL2", 1)
+    for index in range(used_lrs):
+        name = "ICH_LR%d_EL2" % index
+        cpu.el2_regs.write(name, ctx.load(name))
+    if cpu.gic is not None:
+        cpu.gic.sync_status(cpu)
+
+
+# ---------------------------------------------------------------------------
+# Timers
+# ---------------------------------------------------------------------------
+
+def timer_save(ops, ctx, vhe):
+    """Save the VM's EL1 virtual timer and give the host the hardware.
+
+    The VM timer accesses are EL0-encoded for a non-VHE hypervisor and
+    EL02-encoded for a VHE hypervisor — the latter *always* trap at
+    virtual EL2, even with NEVE (Section 7.1).
+    """
+    ctx.save("CNTV_CTL_EL0", ops.read_vm_el0("CNTV_CTL_EL0"))
+    ctx.save("CNTV_CVAL_EL0", ops.read_vm_el0("CNTV_CVAL_EL0"))
+    ops.write_vm_el0("CNTV_CTL_EL0", 0)  # mask while the VM is out
+    ops.cpu.mrs("CNTHCTL_EL2")  # read-modify-write (cached copy: free)
+    ops.write_hyp("CNTHCTL_EL2", 3)  # host: EL1 counter/timer access on
+    if vhe:
+        # The VHE hypervisor also runs its own EL2 virtual timer, reached
+        # through the EL0 encodings thanks to E2H redirection: no trap.
+        ops.cpu.mrs("CNTV_CTL_EL0")
+
+
+def timer_restore(ops, ctx, vhe):
+    ops.cpu.mrs("CNTVOFF_EL2")  # compare against the VM's offset
+    ops.write_hyp("CNTVOFF_EL2", 0x1000)
+    ops.cpu.mrs("CNTHCTL_EL2")
+    ops.write_hyp("CNTHCTL_EL2", 0)  # guest: trap EL1 physical timer
+    ops.write_vm_el0("CNTV_CVAL_EL0", ctx.load("CNTV_CVAL_EL0"))
+    ops.write_vm_el0("CNTV_CTL_EL0", ctx.load("CNTV_CTL_EL0"))
+    if vhe:
+        ops.cpu.msr("CNTV_CTL_EL0", 1)
+
+
+# ---------------------------------------------------------------------------
+# Hyp entry/exit bookkeeping
+# ---------------------------------------------------------------------------
+
+def hyp_entry(cpu):
+    """Stack the GPRs and set up the hypervisor execution environment."""
+    cpu.gpr_block(NR_GPRS)
+    cpu.work(12, category="world_switch")  # vectors, sp switch, sanity
+
+
+def hyp_exit(cpu):
+    cpu.gpr_block(NR_GPRS)
+    cpu.work(6, category="world_switch")
+
+
+def make_ops(cpu, vhe):
+    return CpuOps(cpu, vhe)

@@ -1,0 +1,25 @@
+"""Memory virtualization substrate.
+
+Implements the pieces Section 4 ("Memory virtualization") depends on:
+physical memory, stage-1 and stage-2 page tables, translation walks, the
+shadow stage-2 tables the host hypervisor builds by collapsing the guest
+and host stage-2 tables, and a VMID-tagged TLB model.
+"""
+
+from repro.memory.pagetable import PageTable, Permission, TranslationFault
+from repro.memory.phys import MemoryRegion, PhysicalMemory
+from repro.memory.shadow import ShadowStage2
+from repro.memory.tlb import Tlb
+from repro.memory.translation import TranslationRegime, translate
+
+__all__ = [
+    "MemoryRegion",
+    "PageTable",
+    "Permission",
+    "PhysicalMemory",
+    "ShadowStage2",
+    "Tlb",
+    "TranslationFault",
+    "TranslationRegime",
+    "translate",
+]

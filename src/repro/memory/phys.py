@@ -1,0 +1,135 @@
+"""Physical memory and the machine memory map.
+
+Memory is sparse: only words that were ever written occupy space, so a
+simulated machine can expose many gigabytes of address space (the paper's
+VMs use 12-20 GB) without allocating it.
+"""
+
+from dataclasses import dataclass
+
+PAGE_SIZE = 4096
+PAGE_MASK = PAGE_SIZE - 1
+WORD_SIZE = 8
+
+
+def page_align(addr):
+    return addr & ~PAGE_MASK
+
+
+def is_page_aligned(addr):
+    return (addr & PAGE_MASK) == 0
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A named region of the physical or intermediate-physical map."""
+
+    name: str
+    base: int
+    size: int
+    is_mmio: bool = False
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError("region %s has non-positive size" % self.name)
+        if self.base < 0:
+            raise ValueError("region %s has negative base" % self.name)
+
+    @property
+    def end(self):
+        return self.base + self.size
+
+    def contains(self, addr):
+        return self.base <= addr < self.end
+
+    def overlaps(self, other):
+        return self.base < other.end and other.base < self.end
+
+
+class PhysicalMemory:
+    """Sparse word-addressed physical memory with named regions.
+
+    Regions are optional metadata; reads and writes outside any region are
+    allowed (the machine model decides what is a fault) unless
+    ``strict=True``.
+    """
+
+    def __init__(self, strict=False):
+        self._words = {}
+        self._regions = []
+        self.strict = strict
+
+    # -- regions ---------------------------------------------------------
+
+    def add_region(self, region):
+        for existing in self._regions:
+            if existing.overlaps(region):
+                raise ValueError(
+                    "region %s overlaps %s" % (region.name, existing.name))
+        self._regions.append(region)
+        return region
+
+    def region_at(self, addr):
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def is_mmio(self, addr):
+        region = self.region_at(addr)
+        return region is not None and region.is_mmio
+
+    # -- access ----------------------------------------------------------
+
+    def _check(self, addr):
+        if addr % WORD_SIZE:
+            raise ValueError("unaligned word access at %#x" % addr)
+        if self.strict and self.region_at(addr) is None:
+            raise ValueError("access outside any region at %#x" % addr)
+
+    def read_word(self, addr):
+        self._check(addr)
+        return self._words.get(addr, 0)
+
+    def write_word(self, addr, value):
+        self._check(addr)
+        self._words[addr] = value & 0xFFFFFFFFFFFFFFFF
+
+    def read_page(self, base):
+        if not is_page_aligned(base):
+            raise ValueError("page base %#x not aligned" % base)
+        return [self.read_word(base + off) for off in range(0, PAGE_SIZE,
+                                                            WORD_SIZE)]
+
+    def zero_page(self, base):
+        if not is_page_aligned(base):
+            raise ValueError("page base %#x not aligned" % base)
+        for off in range(0, PAGE_SIZE, WORD_SIZE):
+            self._words.pop(base + off, None)
+
+    @property
+    def footprint_words(self):
+        """Number of words actually stored (sparseness check)."""
+        return len(self._words)
+
+
+class FrameAllocator:
+    """Hands out page-aligned physical frames from a region."""
+
+    def __init__(self, base, size):
+        if not is_page_aligned(base):
+            raise ValueError("allocator base must be page aligned")
+        self._base = base
+        self._next = base
+        self._end = base + size
+
+    def alloc(self, pages=1):
+        frame = self._next
+        self._next += pages * PAGE_SIZE
+        if self._next > self._end:
+            raise MemoryError("frame allocator exhausted")
+        return frame
+
+    @property
+    def allocated_bytes(self):
+        return self._next - self._base

@@ -1,0 +1,101 @@
+"""Shadow stage-2 page tables for nested virtualization.
+
+Section 4: "the host hypervisor creates shadow Stage-2 page tables to map
+from L2 VM PAs to L0 PAs by collapsing Stage-2 page tables from the guest
+and host hypervisors".  :class:`ShadowStage2` maintains that collapsed
+table lazily, the way a real hypervisor does: entries are faulted in on
+first access (stage-2 abort), and invalidated when either input table
+changes.
+"""
+
+from repro.memory.pagetable import PageTable, Permission, TranslationFault
+from repro.memory.phys import PAGE_SIZE, page_align
+
+
+class ShadowStage2:
+    """Collapsed L2PA -> L0PA table derived from guest and host stage-2.
+
+    ``guest_stage2`` translates L2 PA -> L1 PA (maintained by the L1 guest
+    hypervisor); ``host_stage2`` translates L1 PA -> L0 PA (maintained by
+    the L0 host hypervisor).  The shadow table is what the hardware
+    actually walks while the L2 VM runs.
+    """
+
+    def __init__(self, guest_stage2, host_stage2, name="shadow-s2"):
+        self.guest_stage2 = guest_stage2
+        self.host_stage2 = host_stage2
+        self.table = PageTable(stage=2, fmt="el2", name=name)
+        self.faults_handled = 0
+
+    def translate(self, l2_pa, perm=Permission.R):
+        """Translate through the shadow table, faulting entries in."""
+        mapping = self.table.lookup(l2_pa)
+        if mapping is None:
+            self.handle_fault(l2_pa, perm)
+        return self.table.translate(l2_pa, perm)
+
+    def handle_fault(self, l2_pa, perm=Permission.R):
+        """Populate the shadow entry for *l2_pa* (stage-2 abort path).
+
+        Raises TranslationFault(stage=2) against the *guest* table if the
+        guest hypervisor has no mapping — that fault must be forwarded to
+        the guest hypervisor, exactly as in Section 4 — and against the
+        host table if the host has none (host allocates memory then).
+        """
+        self.faults_handled += 1
+        l1_pa = self.guest_stage2.translate(l2_pa, perm)  # may raise
+        l0_pa = self.host_stage2.translate(l1_pa, perm)  # may raise
+        combined = self._combined_permissions(l2_pa, l1_pa)
+        guest_mapping = self.guest_stage2.lookup(l2_pa)
+        host_mapping = self.host_stage2.lookup(l1_pa)
+        is_device = guest_mapping.is_device or host_mapping.is_device
+        self.table.map_page(l2_pa, l0_pa, combined, is_device)
+
+    def _combined_permissions(self, l2_pa, l1_pa):
+        """Shadow permissions are the intersection of both stages'."""
+        guest_mapping = self.guest_stage2.lookup(l2_pa)
+        host_mapping = self.host_stage2.lookup(l1_pa)
+        return guest_mapping.perm & host_mapping.perm
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_l2_range(self, l2_base, size):
+        """The guest hypervisor changed its stage-2 (e.g. a TLBI trap)."""
+        offset = 0
+        while offset < size:
+            self.table.unmap_page(l2_base + offset)
+            offset += PAGE_SIZE
+
+    def invalidate_for_l1_page(self, l1_pa):
+        """The host changed a mapping for an L1 page: drop every shadow
+        entry whose intermediate address lands in that page."""
+        target = page_align(l1_pa)
+        stale = []
+        for l2_page, _mapping in self.table.mapped_pages():
+            try:
+                mid = self.guest_stage2.translate(l2_page, Permission.NONE)
+            except TranslationFault:
+                stale.append(l2_page)
+                continue
+            if page_align(mid) == target:
+                stale.append(l2_page)
+        for l2_page in stale:
+            self.table.unmap_page(l2_page)
+
+    def invalidate_all(self):
+        self.table.unmap_all()
+
+    def verify_against_chain(self):
+        """Every populated shadow entry must equal the two-step walk.
+
+        Used by property-based tests: the collapsed table is only correct
+        if it is extensionally equal to guest∘host translation.
+        """
+        for l2_page, mapping in self.table.mapped_pages():
+            l1_pa = self.guest_stage2.translate(l2_page, Permission.NONE)
+            l0_pa = self.host_stage2.translate(l1_pa, Permission.NONE)
+            if page_align(l0_pa) != mapping.output_page:
+                raise AssertionError(
+                    "shadow entry %#x -> %#x, chain gives %#x"
+                    % (l2_page, mapping.output_page, page_align(l0_pa)))
+        return True

@@ -1,0 +1,64 @@
+"""A VMID-tagged TLB model.
+
+Stage-2 translations are tagged with the VMID in ``VTTBR_EL2`` so the
+hypervisor can switch VMs without flushing.  Nested virtualization makes
+VMID management interesting: the L1 guest hypervisor's VMID allocations
+are virtual and must be mapped onto L0 VMIDs (the hypervisor layer does
+that; the TLB just honours tags).
+"""
+
+from collections import OrderedDict
+
+from repro.memory.phys import page_align
+
+
+class Tlb:
+    """A finite, LRU, VMID-tagged translation cache."""
+
+    def __init__(self, capacity=512):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries = OrderedDict()  # (vmid, va_page) -> pa_page
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vmid, va):
+        key = (vmid, page_align(va))
+        pa_page = self._entries.get(key)
+        if pa_page is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return pa_page
+
+    def fill(self, vmid, va, pa_page):
+        key = (vmid, page_align(va))
+        self._entries[key] = page_align(pa_page)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # -- invalidation (TLBI instructions) ---------------------------------
+
+    def invalidate_all(self):
+        """TLBI VMALLS12E1-for-everyone."""
+        self._entries.clear()
+
+    def invalidate_vmid(self, vmid):
+        """TLBI VMALLS12E1: drop everything for one VMID."""
+        stale = [key for key in self._entries if key[0] == vmid]
+        for key in stale:
+            del self._entries[key]
+
+    def invalidate_page(self, vmid, va):
+        self._entries.pop((vmid, page_align(va)), None)
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

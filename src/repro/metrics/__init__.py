@@ -1,0 +1,20 @@
+"""Cycle accounting and trap/exit counters.
+
+Everything the simulated hardware and hypervisors do is charged to a
+:class:`~repro.metrics.cycles.CycleLedger` using the named constants in
+:class:`~repro.metrics.cycles.CostModel`, and every transition into a host
+hypervisor is recorded in a :class:`~repro.metrics.counters.TrapCounter`.
+The paper's Tables 1, 6 and 7 are read directly off these two objects.
+"""
+
+from repro.metrics.counters import ExitReason, TrapCounter
+from repro.metrics.cycles import ARM_COSTS, X86_COSTS, CostModel, CycleLedger
+
+__all__ = [
+    "ARM_COSTS",
+    "X86_COSTS",
+    "CostModel",
+    "CycleLedger",
+    "ExitReason",
+    "TrapCounter",
+]

@@ -1,0 +1,25 @@
+"""RISC-V hypervisor-extension counterpoint (the paper's Section 8).
+
+"RISC-V is an emerging architecture for which virtualization support is
+being explored.  NEVE provides an important counterpoint to x86 practices
+and shows how acceptable nested virtualization performance can be
+achieved on RISC-style architectures."
+
+This package models the ratified RISC-V H-extension at the same altitude
+as the ARM model: HS/VS privilege modes, the ``h*`` and ``vs*`` CSR
+files, the virtual-instruction exception that deprivileged hypervisors
+take on hypervisor CSRs, and a KVM-style world switch — then applies the
+NEVE recipe (defer the swap-class CSRs to memory) to show that the
+paper's mechanism transfers off ARM.
+"""
+
+from repro.riscv.csrs import HS_CSRS, SWAP_CSRS, VS_CSRS
+from repro.riscv.hext import RiscvMicrobench, RiscvNestedModel
+
+__all__ = [
+    "HS_CSRS",
+    "RiscvMicrobench",
+    "RiscvNestedModel",
+    "SWAP_CSRS",
+    "VS_CSRS",
+]

@@ -1,0 +1,73 @@
+"""RISC-V H-extension CSR files.
+
+Two groups matter for the nested-virtualization cost structure:
+
+* **hypervisor CSRs** (``h*``): trap configuration, guest address
+  translation (``hgatp``), interrupt delegation — the RISC-V analogue of
+  ARM's Table 3 "VM Trap Control" group;
+* **virtual-supervisor CSRs** (``vs*``): the hardware-banked shadow of
+  the supervisor state a guest runs on — the analogue of ARM's "VM
+  Execution Control" group.  RISC-V bakes the banking into hardware (a
+  hypervisor never saves/restores the *active* supervisor CSRs for its
+  guest; it writes the ``vs*`` bank), but a *deprivileged* hypervisor's
+  accesses to either group take virtual-instruction exceptions — the
+  same exit multiplication ARM suffers, slightly smaller because the
+  ``vs*`` bank is leaner than ARM's EL1 context.
+"""
+
+#: Hypervisor CSRs a KVM-style world switch touches (trap config group).
+HS_CSRS = (
+    "hstatus",
+    "hedeleg",
+    "hideleg",
+    "hgatp",  # guest address translation (the VTTBR analogue)
+    "hcounteren",
+    "htimedelta",  # the CNTVOFF analogue
+    "hvip",  # virtual interrupt pending (injection)
+    "hgeie",
+)
+
+#: Virtual-supervisor CSRs context-switched per guest (banked state).
+VS_CSRS = (
+    "vsstatus",
+    "vsie",
+    "vstvec",
+    "vsscratch",
+    "vsepc",
+    "vscause",
+    "vstval",
+    "vsip",
+    "vsatp",
+)
+
+#: Exception context read on every trap into the hypervisor.
+TRAP_CONTEXT_CSRS = ("scause", "sepc", "stval", "htval", "htinst")
+
+#: The NEVE-style proposal for RISC-V: CSRs whose guest-hypervisor
+#: accesses can be deferred to a swap page in memory — everything that
+#: only takes effect when the next world runs.  ``hvip`` writes keep
+#: trapping (interrupt injection has immediate effect), as do reads of
+#: the hardware-updated ``vsip``.
+SWAP_CSRS = frozenset(HS_CSRS + VS_CSRS + TRAP_CONTEXT_CSRS) - frozenset(
+    {"hvip", "vsip"})
+
+
+class CsrFile:
+    """A flat CSR bank."""
+
+    def __init__(self):
+        self._values = {}
+
+    def read(self, name):
+        self._check(name)
+        return self._values.get(name, 0)
+
+    def write(self, name, value):
+        self._check(name)
+        self._values[name] = value & 0xFFFFFFFFFFFFFFFF
+
+    @staticmethod
+    def _check(name):
+        if name not in HS_CSRS and name not in VS_CSRS \
+                and name not in TRAP_CONTEXT_CSRS:
+            raise KeyError("unknown CSR %r" % name)

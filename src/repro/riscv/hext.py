@@ -1,0 +1,153 @@
+"""Nested virtualization on the RISC-V H-extension, with and without a
+NEVE-style deferral mechanism.
+
+The structure mirrors the ARM finding exactly: a guest hypervisor
+deprivileged to VS-mode takes a *virtual instruction exception* on every
+``h*``/``vs*`` CSR access and on ``sret``, so one nested exit multiplies
+into the world-switch's whole CSR footprint.  Applying the paper's recipe
+— defer the swap-class CSRs to a memory page, trap only on
+immediate-effect registers — collapses the count, demonstrating Section
+8's claim that the mechanism is about RISC-style state handling, not
+about ARM specifically.
+"""
+
+from dataclasses import dataclass
+
+from repro.metrics.counters import ExitReason, TrapCounter
+from repro.metrics.cycles import ARM_COSTS, CycleLedger
+from repro.riscv.csrs import (
+    HS_CSRS,
+    SWAP_CSRS,
+    TRAP_CONTEXT_CSRS,
+    VS_CSRS,
+    CsrFile,
+)
+
+
+@dataclass
+class RiscvCosts:
+    """RISC-V per-operation costs (same 2.4 GHz-class calibration basis
+    as the ARM model; trap costs follow the paper's interchangeability
+    argument)."""
+
+    csr_access: int = 8
+    trap_entry: int = 70
+    trap_return: int = 64
+    mem_access: int = 4
+    instr: int = 1
+
+
+class RiscvNestedModel:
+    """A VS-mode guest hypervisor running one exit round trip."""
+
+    def __init__(self, neve_like=False):
+        self.neve_like = neve_like
+        self.costs = RiscvCosts()
+        self.ledger = CycleLedger()
+        self.traps = TrapCounter()
+        self.vs_bank = CsrFile()  # emulated banked state (host-held)
+        self.swap_page = {}
+        # Host-side handling cost per virtual-instruction exception:
+        # calibrated like the ARM L0 (full switch to the host kernel).
+        self.host_handling_cycles = 2_600
+
+    # -- primitive: one CSR access by the deprivileged hypervisor ---------
+
+    def csr_access(self, name, is_write, value=0):
+        self.ledger.charge(self.costs.csr_access, "csr")
+        if self.neve_like and name in SWAP_CSRS:
+            # Deferred to the swap page: an ordinary memory access.
+            self.ledger.charge(self.costs.mem_access, "swap_page")
+            if is_write:
+                self.swap_page[name] = value
+                return None
+            return self.swap_page.get(name, 0)
+        return self._virtual_instruction_trap(name, is_write, value)
+
+    def _virtual_instruction_trap(self, name, is_write, value):
+        self.traps.record(ExitReason.SYSREG_TRAP)
+        self.ledger.charge(self.costs.trap_entry, "trap")
+        self.ledger.charge(self.host_handling_cycles, "host")
+        self.ledger.charge(self.costs.trap_return, "trap")
+        if is_write:
+            self.vs_bank.write(name, value)
+            return None
+        return self.vs_bank.read(name)
+
+    def sret(self):
+        """The guest hypervisor's return to its guest: always traps (the
+        eret analogue), NEVE-like deferral or not."""
+        self.traps.record(ExitReason.ERET_TRAP)
+        self.ledger.charge(self.costs.trap_entry, "trap")
+        self.ledger.charge(self.host_handling_cycles + 1_800, "host")
+        self.ledger.charge(self.costs.trap_return, "trap")
+
+    # -- the KVM RISC-V world switch --------------------------------------
+
+    def exit_round_trip(self):
+        """One nested-VM exit handled by the deprivileged hypervisor."""
+        # Initial exit from the nested VM reaches the host first.
+        self.traps.record(ExitReason.HVC)
+        self.ledger.charge(self.costs.trap_entry
+                           + self.host_handling_cycles
+                           + self.costs.trap_return, "trap")
+        # Read the trap context.
+        for name in TRAP_CONTEXT_CSRS:
+            self.csr_access(name, is_write=False)
+        # Save the guest's vs* bank, restore its own host expectations.
+        for name in VS_CSRS:
+            self.csr_access(name, is_write=False)
+        # Handle (kernel work, native speed).
+        self.ledger.charge(300 * self.costs.instr, "kernel")
+        # Reprogram trap configuration and guest translation.
+        for name in HS_CSRS:
+            self.csr_access(name, is_write=True, value=1)
+        # Restore the guest's vs* bank and return.
+        for name in VS_CSRS:
+            self.csr_access(name, is_write=True, value=1)
+        self.sret()
+
+    def measure(self, iterations=10):
+        self.exit_round_trip()  # warm up
+        cycles, traps = self.ledger.total, self.traps.total
+        for _ in range(iterations):
+            self.exit_round_trip()
+        return ((self.ledger.total - cycles) / iterations,
+                (self.traps.total - traps) / iterations)
+
+
+class RiscvMicrobench:
+    """Hypercall-style comparison: trap-and-emulate vs NEVE-like."""
+
+    def run(self, iterations=10):
+        base_cycles, base_traps = RiscvNestedModel(
+            neve_like=False).measure(iterations)
+        neve_cycles, neve_traps = RiscvNestedModel(
+            neve_like=True).measure(iterations)
+        return {
+            "trap_and_emulate": {"cycles": base_cycles,
+                                 "traps": base_traps},
+            "neve_like": {"cycles": neve_cycles, "traps": neve_traps},
+            "trap_reduction": base_traps / neve_traps,
+            "speedup": base_cycles / neve_cycles,
+        }
+
+
+def render_riscv_study(iterations=10):
+    results = RiscvMicrobench().run(iterations)
+    lines = ["RISC-V H-extension counterpoint (Section 8):",
+             "",
+             "%-20s %12s %8s" % ("scheme", "cycles", "traps")]
+    for key in ("trap_and_emulate", "neve_like"):
+        row = results[key]
+        lines.append("%-20s %12.0f %8.1f" % (key, row["cycles"],
+                                             row["traps"]))
+    lines.append("")
+    lines.append("Deferring the swap-class CSRs cuts traps %.1fx and "
+                 "cycles %.1fx —" % (results["trap_reduction"],
+                                     results["speedup"]))
+    lines.append("the same mechanism, smaller absolute win: RISC-V's "
+                 "vs* bank is leaner")
+    lines.append("than ARM's EL1 context, so its exit multiplication "
+                 "starts lower.")
+    return "\n".join(lines)

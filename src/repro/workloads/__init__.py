@@ -1,0 +1,16 @@
+"""Workloads: the kvm-unit-tests microbenchmarks (Tables 1, 6, 7) and the
+application-level workload models (Figure 2, Table 8)."""
+
+from repro.workloads.microbench import (
+    MICROBENCHMARKS,
+    ArmMicrobench,
+    MicrobenchResult,
+    X86Microbench,
+)
+
+__all__ = [
+    "MICROBENCHMARKS",
+    "ArmMicrobench",
+    "MicrobenchResult",
+    "X86Microbench",
+]

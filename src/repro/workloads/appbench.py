@@ -1,0 +1,175 @@
+"""The Figure 2 application-benchmark model.
+
+The paper's application results are the composition of two things this
+repository measures directly:
+
+1. **per-event costs** — what one hypercall, device I/O access, interrupt
+   injection or virtual IPI costs in each configuration (the
+   microbenchmarks of Tables 1 and 6, plus the injection path); and
+2. **event rates** — how often each application generates those events
+   (the profiles in :mod:`repro.workloads.profiles`).
+
+For throughput-bound workloads the normalized overhead is the CPU-demand
+ratio: one second of native work plus all the virtualization events it
+drags in, divided by one second.  For strictly serialized request/response
+workloads (netperf TCP_RR) it is the per-transaction latency ratio.
+
+Virtio notifications are *not* charged at their nominal rate: the
+suppression dynamics of :class:`repro.hypervisor.virtio.VirtioQueue`
+determine, per configuration, what fraction of sends actually kick — the
+mechanism behind the paper's x86 Memcached anomaly (Section 7.2), where
+the 3x-faster x86 backend re-enables notifications sooner and therefore
+takes ~4x more I/O exits than NEVE.
+"""
+
+from dataclasses import dataclass
+
+from repro.harness.configs import ALL_CONFIGS, make_microbench
+from repro.hypervisor.virtio import VirtioQueue
+from repro.workloads.profiles import (
+    NATIVE_CYCLES_PER_SEC,
+    PROFILES,
+)
+
+#: Microbenchmarks that feed the model, by event type.
+EVENT_BENCHES = {
+    "injection": "interrupt_injection",
+    "kick": "device_io",
+    "ipi": "virtual_ipi",
+    "hypercall": "hypercall",
+    "eoi": "virtual_eoi",
+}
+
+
+@dataclass
+class CostTable:
+    """Measured per-event cycle costs for one configuration."""
+
+    config: str
+    injection: float
+    kick: float
+    ipi: float
+    hypercall: float
+    eoi: float
+
+    @classmethod
+    def measure(cls, config_name, iterations=8):
+        suite = make_microbench(config_name)
+        costs = {}
+        for event, bench in EVENT_BENCHES.items():
+            costs[event] = suite.run(bench, iterations=iterations).cycles
+        return cls(config=config_name, **costs)
+
+
+_COST_CACHE = {}
+
+
+def cost_table(config_name, iterations=8):
+    """Measure (and cache) the per-event cost table for a configuration."""
+    if config_name not in _COST_CACHE:
+        _COST_CACHE[config_name] = CostTable.measure(config_name,
+                                                     iterations)
+    return _COST_CACHE[config_name]
+
+
+def clear_cost_cache():
+    _COST_CACHE.clear()
+
+
+@dataclass
+class AppResult:
+    workload: str
+    config: str
+    overhead: float  # normalized to native on the same platform (>= 1)
+    kick_ratio: float  # delivered kicks / nominal sends
+    demand_breakdown: dict
+
+
+class AppBenchmark:
+    """Computes Figure 2's normalized performance overheads."""
+
+    def __init__(self, iterations=8):
+        self.iterations = iterations
+
+    # -- helpers -----------------------------------------------------------
+
+    def _platform_params(self, profile, config):
+        """Native cycle budget and event-rate scale for the platform."""
+        if config.platform == "x86":
+            native_cycles = NATIVE_CYCLES_PER_SEC / profile.x86_speedup
+            backend_service = (profile.backend_service_cycles
+                               / profile.x86_speedup)
+        else:
+            native_cycles = NATIVE_CYCLES_PER_SEC
+            backend_service = profile.backend_service_cycles
+        return native_cycles, backend_service
+
+    def _kick_ratio(self, profile, config, costs, native_cycles,
+                    backend_service):
+        """Fraction of nominal sends that become actual notifications."""
+        if not profile.kicks_per_sec and not profile.txn_kicks:
+            return 0.0
+        rate = profile.kicks_per_sec or 1.0 / max(
+            profile.native_cycles_per_txn / native_cycles, 1e-12)
+        interval = max(native_cycles / rate, 1.0)
+        queue = VirtioQueue(
+            backend_service_cycles=max(int(backend_service), 1),
+            wakeup_latency_cycles=int(costs.kick))
+        return queue.kick_ratio(int(interval))
+
+    def _layers(self, config):
+        return 2 if config.is_nested else 1
+
+    # -- the model ----------------------------------------------------------
+
+    def run(self, workload, config_name):
+        profile = PROFILES[workload]
+        config = ALL_CONFIGS[config_name]
+        costs = cost_table(config_name, self.iterations)
+        native_cycles, backend_service = self._platform_params(profile,
+                                                               config)
+        kick_ratio = self._kick_ratio(profile, config, costs, native_cycles,
+                                      backend_service)
+        base = profile.vm_base_overhead * self._layers(config)
+
+        if profile.kind == "latency":
+            txn_native = profile.native_cycles_per_txn
+            if config.platform == "x86":
+                txn_native = txn_native / profile.x86_speedup
+            added = (profile.txn_injections * costs.injection
+                     + profile.txn_kicks * costs.kick)
+            overhead = (txn_native + added) / txn_native + base
+            breakdown = {"injection": profile.txn_injections
+                         * costs.injection / txn_native,
+                         "kick": profile.txn_kicks * costs.kick / txn_native}
+            return AppResult(workload, config_name, overhead, 1.0, breakdown)
+
+        breakdown = {
+            "injection": profile.injections_per_sec * costs.injection,
+            "kick": profile.kicks_per_sec * kick_ratio * costs.kick,
+            "ipi": profile.ipis_per_sec * costs.ipi,
+            "hypercall": profile.hypercalls_per_sec * costs.hypercall,
+            "eoi": profile.eois_per_sec * costs.eoi,
+        }
+        if config.platform == "x86":
+            breakdown["injection"] *= profile.x86_io_exit_multiplier
+            breakdown["kick"] *= profile.x86_io_exit_multiplier
+            breakdown["x86_extra"] = (profile.x86_extra_exits_per_sec
+                                      * costs.hypercall)
+        demand = sum(breakdown.values()) / native_cycles
+        overhead = 1.0 + base + demand
+        normalized = {k: v / native_cycles for k, v in breakdown.items()}
+        return AppResult(workload, config_name, overhead, kick_ratio,
+                         normalized)
+
+    def run_workload(self, workload, config_names):
+        return {name: self.run(workload, name) for name in config_names}
+
+    def figure2(self, config_names=None, workloads=None):
+        """All Figure 2 bars: {workload: {config: AppResult}}."""
+        from repro.harness.configs import FIGURE2_CONFIGS
+        if config_names is None:
+            config_names = FIGURE2_CONFIGS
+        if workloads is None:
+            workloads = tuple(PROFILES)
+        return {w: self.run_workload(w, config_names) for w in workloads}

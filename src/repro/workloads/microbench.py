@@ -1,0 +1,241 @@
+"""The kvm-unit-tests microbenchmarks (Section 5 / Section 7.1).
+
+Four benchmarks, each "quantifying important micro-level interactions
+between the hypervisor and its VM":
+
+* **Hypercall** — switch from the VM to the hypervisor and back, no work.
+* **Device I/O** — access a device emulated in the hypervisor's userspace.
+* **Virtual IPI** — one vcpu IPIs another actively-running vcpu: exits on
+  both the sending and receiving side.
+* **Virtual EOI** — complete a virtual interrupt; hardware support (GIC
+  list registers / APICv) makes this trap-free at every nesting level.
+
+Each runs against a VM or a nested VM on either machine model, measuring
+cycles and traps-to-L0 per iteration — the raw material of Tables 1/6/7.
+"""
+
+from dataclasses import dataclass
+
+from repro.hypervisor.kvm import (
+    L0_VIRTIO_BASE,
+    L1_VIRTIO_BASE,
+    Machine,
+)
+from repro.hypervisor.nested import GUEST_IPI_SGI
+from repro.x86.kvm_x86 import MSR_ICR, X86Machine
+from repro.x86.vmx import X86ExitReason
+
+MICROBENCHMARKS = ("hypercall", "device_io", "virtual_ipi", "virtual_eoi")
+
+#: Virtual interrupt id used by the Virtual EOI benchmark.
+EOI_TEST_INTID = 5
+
+
+@dataclass
+class MicrobenchResult:
+    name: str
+    cycles: float
+    traps: float
+    iterations: int
+
+    def __str__(self):
+        return ("%-12s %10.0f cycles  %6.1f traps"
+                % (self.name, self.cycles, self.traps))
+
+
+class ArmMicrobench:
+    """Runs the microbenchmark suite on the ARM machine model.
+
+    ``nested``: "none" (run in a VM), "nv" (nested VM on ARMv8.3
+    trap-and-emulate) or "neve" (nested VM with NEVE).
+    """
+
+    def __init__(self, machine=None, nested="none", guest_vhe=False,
+                 arch=None, num_vcpus=2):
+        if machine is None:
+            machine = (Machine(arch=arch, num_cpus=num_vcpus)
+                       if arch is not None
+                       else Machine(num_cpus=num_vcpus))
+        self.machine = machine
+        self.nested = nested
+        self.vm = machine.kvm.create_vm(num_vcpus=num_vcpus,
+                                        nested=nested,
+                                        guest_vhe=guest_vhe)
+        for vcpu in self.vm.vcpus:
+            if nested == "none":
+                machine.kvm.run_vcpu(vcpu)
+            else:
+                machine.kvm.boot_nested(vcpu)
+
+    # -- individual benchmarks ---------------------------------------------
+
+    def hypercall_once(self):
+        self.vm.vcpus[0].cpu.hvc(0)
+
+    def device_io_once(self):
+        base = L0_VIRTIO_BASE if self.nested == "none" else L1_VIRTIO_BASE
+        return self.vm.vcpus[0].cpu.mmio_read(base + 0x100)
+
+    def virtual_ipi_once(self):
+        sender = self.vm.vcpus[0]
+        receiver = self.vm.vcpus[1]
+        # Send: write ICC_SGI1R targeting vcpu 1 (traps to the hypervisor).
+        sender.cpu.msr("ICC_SGI1R_EL1", (GUEST_IPI_SGI << 24) | 1)
+        # Receive: the physical kick arrives at the other core.
+        receiver.cpu.deliver_interrupt()
+        # The receiving guest acknowledges and completes the interrupt.
+        intid = receiver.cpu.mrs("ICC_IAR1_EL1")
+        receiver.cpu.msr("ICC_EOIR1_EL1", intid)
+
+    def virtual_eoi_once(self):
+        cpu = self.vm.vcpus[0].cpu
+        cpu.msr("ICC_EOIR1_EL1", EOI_TEST_INTID)
+
+    def interrupt_injection_once(self):
+        """Receiver half of an interrupt delivery: a physical interrupt
+        while the guest runs, routed and injected by the hypervisor(s),
+        acknowledged and completed by the guest.  Not a paper table row,
+        but the per-event cost the Figure 2 model needs for incoming
+        network traffic."""
+        vcpu = self.vm.vcpus[1]
+        vcpu.queue_virq(GUEST_IPI_SGI)
+        self.machine.gic.raise_physical(vcpu.cpu.cpu_id, 0)
+        vcpu.cpu.deliver_interrupt()
+        intid = vcpu.cpu.mrs("ICC_IAR1_EL1")
+        vcpu.cpu.msr("ICC_EOIR1_EL1", intid)
+
+    def _prime_eoi(self):
+        """Place an active interrupt in a list register, hardware-side."""
+        cpu = self.vm.vcpus[0].cpu
+        self.machine.gic.inject_virtual_interrupt(cpu, EOI_TEST_INTID)
+        cpu.mrs("ICC_IAR1_EL1")  # acknowledge: pending -> active
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self, name, iterations=20):
+        once = {
+            "hypercall": self.hypercall_once,
+            "device_io": self.device_io_once,
+            "virtual_ipi": self.virtual_ipi_once,
+            "virtual_eoi": self.virtual_eoi_once,
+            "interrupt_injection": self.interrupt_injection_once,
+        }[name]
+        prime = self._prime_eoi if name == "virtual_eoi" else None
+
+        # Warm up once (populates contexts, shadow structures).
+        if prime:
+            prime()
+        once()
+
+        ledger = self.machine.ledger
+        traps = self.machine.traps
+        total_cycles = 0
+        total_traps = 0
+        for _ in range(iterations):
+            if prime:
+                prime()
+            cycle_mark = ledger.total
+            trap_mark = traps.total
+            once()
+            total_cycles += ledger.total - cycle_mark
+            total_traps += traps.total - trap_mark
+        return MicrobenchResult(name, total_cycles / iterations,
+                                total_traps / iterations, iterations)
+
+    def run_all(self, iterations=20):
+        return {name: self.run(name, iterations)
+                for name in MICROBENCHMARKS}
+
+    def measure_ipi_latency(self, iterations=10):
+        """Wall-clock IPI latency, as the paper's benchmark measures it.
+
+        The sender's post-kick return path runs on its own core in
+        parallel with the receiver, so latency is the sender's cycles
+        *up to the kick* plus the receiver's full path — not the sum of
+        both sides.  See EXPERIMENTS.md's Virtual IPI note.
+        """
+        sender = self.vm.vcpus[0]
+        receiver = self.vm.vcpus[1]
+        ledger = self.machine.ledger
+        self.virtual_ipi_once()  # warm up
+        total = 0
+        for _ in range(iterations):
+            start = ledger.total
+            sender.cpu.msr("ICC_SGI1R_EL1", (GUEST_IPI_SGI << 24) | 1)
+            to_kick = self.machine.last_kick_mark - start
+            receiver_start = ledger.total
+            receiver.cpu.deliver_interrupt()
+            intid = receiver.cpu.mrs("ICC_IAR1_EL1")
+            receiver.cpu.msr("ICC_EOIR1_EL1", intid)
+            total += to_kick + (ledger.total - receiver_start)
+        return total / iterations
+
+
+class X86Microbench:
+    """Runs the microbenchmark suite on the x86 machine model."""
+
+    def __init__(self, machine=None, nested=False, shadowing=True):
+        if machine is None:
+            machine = X86Machine()
+        self.machine = machine
+        self.nested = nested
+        self.vm = machine.kvm.create_vm(num_vcpus=2, nested=nested,
+                                        shadowing=shadowing)
+        for vcpu in self.vm.vcpus:
+            if nested:
+                machine.kvm.boot_nested(vcpu)
+            else:
+                machine.kvm.run_vcpu(vcpu)
+
+    def hypercall_once(self):
+        self.vm.vcpus[0].cpu.vmcall()
+
+    def device_io_once(self):
+        return self.vm.vcpus[0].cpu.mmio_read(0xFEB0_0100)
+
+    def virtual_ipi_once(self):
+        sender = self.vm.vcpus[0]
+        receiver = self.vm.vcpus[1]
+        sender.cpu.wrmsr(MSR_ICR, (0x31 << 8) | 1)
+        receiver.cpu.vm_exit(X86ExitReason.EXTERNAL_INTERRUPT, {})
+        # Guest acknowledges through the virtual APIC (no exit with APICv).
+        receiver.cpu.charge(receiver.cpu.costs.apic_reg_virt, "apicv")
+        vector = receiver.apic.acknowledge()
+        assert vector == 0x31
+        receiver.cpu.apic_virtual_eoi()
+        receiver.apic.eoi()
+
+    def virtual_eoi_once(self):
+        self.vm.vcpus[0].cpu.apic_virtual_eoi()
+
+    def interrupt_injection_once(self):
+        vcpu = self.vm.vcpus[1]
+        vcpu.queue_virq(0x31)
+        vcpu.cpu.vm_exit(X86ExitReason.EXTERNAL_INTERRUPT, {})
+        vcpu.cpu.apic_virtual_eoi()
+
+    def run(self, name, iterations=20):
+        once = {
+            "hypercall": self.hypercall_once,
+            "device_io": self.device_io_once,
+            "virtual_ipi": self.virtual_ipi_once,
+            "virtual_eoi": self.virtual_eoi_once,
+            "interrupt_injection": self.interrupt_injection_once,
+        }[name]
+        once()  # warm up
+        ledger = self.machine.ledger
+        traps = self.machine.traps
+        total_cycles = 0
+        total_traps = 0
+        for _ in range(iterations):
+            cycle_mark = ledger.total
+            trap_mark = traps.total
+            once()
+            total_cycles += ledger.total - cycle_mark
+            total_traps += traps.total - trap_mark
+        return MicrobenchResult(name, total_cycles / iterations,
+                                total_traps / iterations, iterations)
+
+    def run_all(self, iterations=20):
+        return {name: self.run(name, iterations)
+                for name in MICROBENCHMARKS}

@@ -1,0 +1,134 @@
+"""Application workload profiles (Table 8).
+
+The paper runs ten real applications; we cannot run memcached on a
+simulated CPU, so each workload becomes an *event-rate profile*: how many
+hypervisor-visible events (interrupt injections, virtio kicks, virtual
+IPIs, hypercalls, EOIs) one second of native execution generates, plus
+the knobs the analysis in Section 7.2 turns on (relative native speed of
+the x86 testbed, virtio backend service time for the notification
+dynamics, latency- vs throughput-bound behaviour).
+
+Rates are calibrated so that the *ARMv8.3 nested* and *VM* bars land near
+Figure 2 where the paper states values (hackbench 15x/11x, kernbench
+1.33/1.26, SPECjvm 1.24/1.14, memcached/Apache/MAERTS "more than 40
+times", NEVE memcached "less than 3 times", x86 memcached 8x); every
+other bar is then *predicted* from the measured per-event costs.
+EXPERIMENTS.md records where the prediction deviates.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Event-rate description of one application benchmark.
+
+    Rates are events per second of native ARM execution.  ``kind`` is
+    ``"throughput"`` (overhead = CPU-demand ratio) or ``"latency"``
+    (overhead = per-transaction latency ratio, for strictly serialized
+    request/response benchmarks like netperf TCP_RR).
+    """
+
+    name: str
+    description: str
+    injections_per_sec: float = 0.0  # virtual interrupt deliveries
+    kicks_per_sec: float = 0.0  # virtio notifications before suppression
+    ipis_per_sec: float = 0.0  # cross-vcpu IPIs
+    hypercalls_per_sec: float = 0.0
+    eois_per_sec: float = 0.0
+    kind: str = "throughput"
+    native_cycles_per_txn: float = 0.0  # latency workloads only
+    txn_injections: float = 0.0  # events per transaction (latency kind)
+    txn_kicks: float = 0.0
+    x86_speedup: float = 1.5  # paper: x86 hardware is faster (3x memcached)
+    backend_service_cycles: int = 18_000  # virtio backend per-buffer work
+    vm_base_overhead: float = 0.02  # residual per-layer virtualization cost
+    x86_extra_exits_per_sec: float = 0.0  # x86-specific exits (e.g. MySQL)
+    #: Section 7.2's measured anomaly: the faster x86 backend re-enables
+    #: virtio notifications sooner, so x86 takes "more than four times as
+    #: many exits from the nested VM for processing I/O ... versus NEVE"
+    #: for Memcached, with "similar behavior" on TCP_MAERTS and Nginx.
+    #: The *mechanism* is reproduced by the VirtioQueue study (experiment
+    #: E6); the magnitude is carried here as a per-workload multiplier on
+    #: x86 I/O event rates because it depends on absolute backend speed,
+    #: which the cycle model does not predict.
+    x86_io_exit_multiplier: float = 1.0
+
+
+#: Figure 2's workloads, in the paper's order (Table 8).
+PROFILES = {
+    "kernbench": WorkloadProfile(
+        name="kernbench",
+        description="Linux kernel compile: CPU bound, light I/O and IPIs",
+        injections_per_sec=400, kicks_per_sec=250, ipis_per_sec=550,
+        hypercalls_per_sec=80, eois_per_sec=1_200,
+        x86_speedup=1.5, vm_base_overhead=0.02),
+    "hackbench": WorkloadProfile(
+        name="hackbench",
+        description="scheduler stress: highly parallel, IPI dominated",
+        injections_per_sec=2_500, kicks_per_sec=800, ipis_per_sec=30_000,
+        hypercalls_per_sec=400, eois_per_sec=35_000,
+        x86_speedup=1.5, vm_base_overhead=0.05),
+    "specjvm2008": WorkloadProfile(
+        name="specjvm2008",
+        description="JVM workloads: CPU bound, few exits",
+        injections_per_sec=250, kicks_per_sec=120, ipis_per_sec=280,
+        hypercalls_per_sec=40, eois_per_sec=600,
+        x86_speedup=1.4, vm_base_overhead=0.02),
+    "netperf_tcp_rr": WorkloadProfile(
+        name="netperf_tcp_rr",
+        description="strictly serialized request/response: latency bound",
+        kind="latency",
+        native_cycles_per_txn=62_000,  # ~26 us round trip at 2.4 GHz
+        txn_injections=1.0, txn_kicks=1.0,
+        eois_per_sec=0, x86_speedup=1.3, vm_base_overhead=0.04),
+    "netperf_tcp_stream": WorkloadProfile(
+        name="netperf_tcp_stream",
+        description="bulk receive: NAPI batches interrupts well",
+        injections_per_sec=16_000, kicks_per_sec=9_000, ipis_per_sec=800,
+        eois_per_sec=16_000, x86_speedup=1.6,
+        backend_service_cycles=9_000, vm_base_overhead=0.06),
+    "netperf_tcp_maerts": WorkloadProfile(
+        name="netperf_tcp_maerts",
+        description="bulk transmit: TX completions + ACK interrupts",
+        injections_per_sec=135_000, kicks_per_sec=60_000, ipis_per_sec=800,
+        eois_per_sec=135_000, x86_speedup=1.6,
+        backend_service_cycles=9_000, vm_base_overhead=0.08,
+        x86_io_exit_multiplier=2.2),
+    "apache": WorkloadProfile(
+        name="apache",
+        description="web serving, 10 concurrent requests, 41 KB file",
+        injections_per_sec=110_000, kicks_per_sec=55_000, ipis_per_sec=4_000,
+        eois_per_sec=110_000, x86_speedup=1.8,
+        backend_service_cycles=12_000, vm_base_overhead=0.10),
+    "nginx": WorkloadProfile(
+        name="nginx",
+        description="web serving (siege, 8 concurrent)",
+        injections_per_sec=90_000, kicks_per_sec=48_000, ipis_per_sec=3_000,
+        eois_per_sec=90_000, x86_speedup=1.6,
+        backend_service_cycles=12_000, vm_base_overhead=0.09,
+        x86_io_exit_multiplier=2.4),
+    "memcached": WorkloadProfile(
+        name="memcached",
+        description="key-value store under memtier: interrupt dominated",
+        injections_per_sec=150_000, kicks_per_sec=70_000, ipis_per_sec=6_000,
+        eois_per_sec=150_000, x86_speedup=3.0,
+        backend_service_cycles=8_000, vm_base_overhead=0.12,
+        x86_io_exit_multiplier=1.25),
+    "mysql": WorkloadProfile(
+        name="mysql",
+        description="SysBench OLTP, 200 parallel transactions",
+        injections_per_sec=28_000, kicks_per_sec=16_000, ipis_per_sec=7_000,
+        hypercalls_per_sec=2_000, eois_per_sec=30_000,
+        x86_speedup=1.2, vm_base_overhead=0.06,
+        # Paper Section 7.2: "MySQL runs better with NEVE because of the
+        # high cost of x86 non-nested virtualization" — the x86 port takes
+        # many more exits for this workload.
+        x86_extra_exits_per_sec=95_000,
+        x86_io_exit_multiplier=1.3),
+}
+
+FIGURE2_WORKLOADS = tuple(PROFILES)
+
+#: Native cycle budget per second of execution (2.4 GHz on both testbeds).
+NATIVE_CYCLES_PER_SEC = 2.4e9

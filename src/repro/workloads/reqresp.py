@@ -1,0 +1,94 @@
+"""Closed-loop request/response simulation (netperf TCP_RR).
+
+TCP_RR is strictly serialized: one transaction in flight, the client
+waits for each reply.  Nothing batches, so every transaction pays the
+full virtualization toll — one interrupt delivery for the request, one
+virtio kick for the reply — on top of the wire and compute time.  This
+executes that loop against the machine model, transaction by transaction,
+as the execution-level counterpart of the analytic latency model in
+:mod:`repro.workloads.appbench`.
+"""
+
+from dataclasses import dataclass
+
+from repro.harness.configs import ALL_CONFIGS, arm_arch_for
+from repro.hypervisor.kvm import L0_VIRTIO_BASE, L1_VIRTIO_BASE, Machine
+from repro.hypervisor.nested import GUEST_IPI_SGI
+
+#: Native transaction breakdown (cycles at 2.4 GHz): ~26 us round trip.
+WIRE_CYCLES = 40_000  # network propagation + switch latency
+SERVER_COMPUTE_CYCLES = 14_000  # request parsing, reply construction
+CLIENT_COMPUTE_CYCLES = 8_000
+
+NATIVE_TXN_CYCLES = WIRE_CYCLES + SERVER_COMPUTE_CYCLES \
+    + CLIENT_COMPUTE_CYCLES
+
+
+@dataclass
+class RrResult:
+    config: str
+    transactions: int
+    cycles_per_txn: float
+    traps_per_txn: float
+
+    @property
+    def overhead(self):
+        """Latency ratio vs the native transaction."""
+        return self.cycles_per_txn / NATIVE_TXN_CYCLES
+
+
+class RequestResponseSim:
+    """Runs serialized transactions against the ARM machine model."""
+
+    def __init__(self, config_name):
+        config = ALL_CONFIGS[config_name]
+        if config.platform != "arm":
+            raise ValueError("the RR simulation drives the ARM model")
+        self.config = config
+        self.machine = Machine(arch=arm_arch_for(config))
+        self.vm = self.machine.kvm.create_vm(
+            num_vcpus=2, nested=config.nested, guest_vhe=config.guest_vhe)
+        for vcpu in self.vm.vcpus:
+            if config.is_nested:
+                self.machine.kvm.boot_nested(vcpu)
+            else:
+                self.machine.kvm.run_vcpu(vcpu)
+        self.device_base = (L1_VIRTIO_BASE if config.is_nested
+                            else L0_VIRTIO_BASE)
+
+    def _transaction(self):
+        server = self.vm.vcpus[0]
+        # Request arrives: RX interrupt delivered into the (nested) VM.
+        server.queue_virq(GUEST_IPI_SGI)
+        self.machine.gic.raise_physical(server.cpu.cpu_id, 0)
+        server.cpu.deliver_interrupt()
+        intid = server.cpu.mrs("ICC_IAR1_EL1")
+        server.cpu.msr("ICC_EOIR1_EL1", intid)
+        # Server handles the request.
+        server.cpu.work(SERVER_COMPUTE_CYCLES, category="guest")
+        # Reply goes out: virtio kick (never suppressed — the queue is
+        # always empty in a serialized ping-pong).
+        server.cpu.mmio_write(self.device_base + 0x50, 1)
+        # Wire time + the client's share, common to every configuration.
+        self.machine.ledger.charge(WIRE_CYCLES, "network")
+        self.machine.ledger.charge(CLIENT_COMPUTE_CYCLES, "guest")
+
+    def run(self, transactions=8):
+        self._transaction()  # warm up
+        ledger = self.machine.ledger
+        traps = self.machine.traps
+        cycles, trap_count = ledger.total, traps.total
+        for _ in range(transactions):
+            self._transaction()
+        return RrResult(
+            config=self.config.name,
+            transactions=transactions,
+            cycles_per_txn=(ledger.total - cycles) / transactions,
+            traps_per_txn=(traps.total - trap_count) / transactions,
+        )
+
+
+def compare_rr(config_names=("arm-vm", "arm-nested", "neve-nested"),
+               transactions=8):
+    return {name: RequestResponseSim(name).run(transactions)
+            for name in config_names}

@@ -1,0 +1,152 @@
+"""Trace-driven application benchmarking.
+
+The analytic Figure 2 model (:mod:`repro.workloads.appbench`) multiplies
+event rates by measured per-event costs.  This module cross-validates it
+by *executing* the workload: it expands a profile into a deterministic,
+time-ordered trace of guest events (compute slices, hypercalls, device
+I/O, IPIs, interrupt deliveries) and drives the trace through the real
+machine model, so every event takes its actual path through the
+hypervisor stack — forwarding, world switches, deferred pages and all.
+
+Overhead is then measured exactly as the paper normalizes Figure 2:
+cycles consumed divided by the native cycles the same trace represents.
+"""
+
+from dataclasses import dataclass
+
+from repro.harness.configs import ALL_CONFIGS, arm_arch_for
+from repro.hypervisor.kvm import L0_VIRTIO_BASE, L1_VIRTIO_BASE, Machine
+from repro.hypervisor.nested import GUEST_IPI_SGI
+from repro.workloads.profiles import NATIVE_CYCLES_PER_SEC, PROFILES
+
+#: Event kinds a trace may contain.
+COMPUTE = "compute"
+HYPERCALL = "hypercall"
+DEVICE_IO = "device_io"
+IPI = "ipi"
+INJECTION = "injection"
+
+
+class _Lcg:
+    """Deterministic linear congruential generator (reproducible traces
+    without global random state)."""
+
+    def __init__(self, seed):
+        self.state = (seed or 1) & 0xFFFFFFFF
+
+    def next(self):
+        self.state = (1103515245 * self.state + 12345) & 0x7FFFFFFF
+        return self.state
+
+    def below(self, bound):
+        return self.next() % bound
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    kind: str
+    arg: int = 0
+
+
+def generate_trace(workload, window_us=2_000, seed=7):
+    """Expand a workload profile into a deterministic event trace.
+
+    ``window_us`` microseconds of native execution are represented; event
+    counts follow the profile's per-second rates, interleaved with
+    compute slices that carry the remaining native cycles.  Events are
+    shuffled deterministically so bursts and mixes vary along the trace.
+    """
+    profile = PROFILES[workload]
+    if profile.kind != "throughput":
+        raise ValueError("trace generation targets throughput workloads")
+    window_s = window_us / 1e6
+    events = []
+    rates = (
+        (HYPERCALL, profile.hypercalls_per_sec),
+        (DEVICE_IO, profile.kicks_per_sec),
+        (IPI, profile.ipis_per_sec),
+        (INJECTION, profile.injections_per_sec),
+    )
+    for kind, rate in rates:
+        events.extend(TraceEvent(kind) for _ in range(round(rate
+                                                            * window_s)))
+    rng = _Lcg(seed)
+    for index in range(len(events) - 1, 0, -1):  # Fisher-Yates
+        other = rng.below(index + 1)
+        events[index], events[other] = events[other], events[index]
+
+    native_cycles = NATIVE_CYCLES_PER_SEC * window_s
+    slices = max(len(events), 1)
+    compute_per_slice = int(native_cycles / slices)
+    trace = []
+    for event in events:
+        trace.append(TraceEvent(COMPUTE, compute_per_slice))
+        trace.append(event)
+    if not events:
+        trace.append(TraceEvent(COMPUTE, int(native_cycles)))
+    return trace
+
+
+def native_cycles_of(trace):
+    return sum(e.arg for e in trace if e.kind == COMPUTE)
+
+
+class TraceRunner:
+    """Executes traces against the ARM machine model."""
+
+    def __init__(self, config_name):
+        config = ALL_CONFIGS[config_name]
+        if config.platform != "arm":
+            raise ValueError("the trace runner drives the ARM model")
+        self.config = config
+        self.machine = Machine(arch=arm_arch_for(config))
+        self.vm = self.machine.kvm.create_vm(
+            num_vcpus=2, nested=config.nested, guest_vhe=config.guest_vhe)
+        for vcpu in self.vm.vcpus:
+            if config.is_nested:
+                self.machine.kvm.boot_nested(vcpu)
+            else:
+                self.machine.kvm.run_vcpu(vcpu)
+        self.device_base = (L1_VIRTIO_BASE if config.is_nested
+                            else L0_VIRTIO_BASE)
+
+    def run(self, trace):
+        """Execute *trace*; returns ``(overhead, cycles, traps)``."""
+        main = self.vm.vcpus[0]
+        peer = self.vm.vcpus[1]
+        ledger = self.machine.ledger
+        start_cycles = ledger.total
+        start_traps = self.machine.traps.total
+        for event in trace:
+            if event.kind == COMPUTE:
+                main.cpu.work(event.arg, category="guest")
+            elif event.kind == HYPERCALL:
+                main.cpu.hvc(0)
+            elif event.kind == DEVICE_IO:
+                main.cpu.mmio_read(self.device_base + 0x100)
+            elif event.kind == IPI:
+                main.cpu.msr("ICC_SGI1R_EL1", (GUEST_IPI_SGI << 24) | 1)
+                peer.cpu.deliver_interrupt()
+                intid = peer.cpu.mrs("ICC_IAR1_EL1")
+                peer.cpu.msr("ICC_EOIR1_EL1", intid)
+            elif event.kind == INJECTION:
+                main.queue_virq(GUEST_IPI_SGI)
+                self.machine.gic.raise_physical(main.cpu.cpu_id, 0)
+                main.cpu.deliver_interrupt()
+                intid = main.cpu.mrs("ICC_IAR1_EL1")
+                main.cpu.msr("ICC_EOIR1_EL1", intid)
+            else:
+                raise ValueError("unknown trace event %r" % (event,))
+        cycles = ledger.total - start_cycles
+        traps = self.machine.traps.total - start_traps
+        native = native_cycles_of(trace)
+        overhead = cycles / native if native else float("inf")
+        return overhead, cycles, traps
+
+
+def trace_overhead(workload, config_name, window_us=2_000, seed=7):
+    """End-to-end: generate the trace and execute it."""
+    trace = generate_trace(workload, window_us=window_us, seed=seed)
+    runner = TraceRunner(config_name)
+    overhead, _cycles, _traps = runner.run(trace)
+    return overhead

@@ -1,0 +1,24 @@
+"""The x86 (Intel VT-x) comparator.
+
+The paper's Sections 2, 5 and 8 contrast ARM's split-EL2 design with
+VT-x's root/non-root modes and the VMCS: hardware saves and restores VM
+state in a single coalesced operation, so a nested exit on x86 is few
+traps but each is individually heavy (the vmcs02 rebuild), while ARM
+multiplies traps.  This package models VT-x, KVM x86 and Turtles-style
+nested VMX (vmcs01/vmcs02/vmcs12, VMCS shadowing, APICv) to reproduce the
+x86 columns of Tables 1, 6 and 7 and the x86 series of Figure 2.
+"""
+
+from repro.x86.kvm_x86 import KvmX86, X86Machine, X86Vm
+from repro.x86.vmcs import Vmcs, VmcsFields
+from repro.x86.vmx import X86Cpu, X86ExitReason
+
+__all__ = [
+    "KvmX86",
+    "Vmcs",
+    "VmcsFields",
+    "X86Cpu",
+    "X86ExitReason",
+    "X86Machine",
+    "X86Vm",
+]

@@ -1,0 +1,75 @@
+"""Nested EPT (multi-dimensional paging) for x86.
+
+Turtles' memory virtualization mirrors the ARM shadow stage-2 of
+Section 4: the L1 hypervisor maintains ept12 (L2 GPA -> L1 GPA), L0
+maintains ept01 (L1 GPA -> host PA), and L0 collapses the two into the
+ept02 table the hardware actually walks while L2 runs.  An EPT violation
+from L2 is either a shadow miss L0 fixes itself (when ept12 maps the
+address) or a genuine L1-owned fault that must be reflected to the guest
+hypervisor — the same routing decision the ARM host makes for stage-2
+aborts.
+"""
+
+from repro.memory.pagetable import PageTable, Permission, TranslationFault
+from repro.memory.shadow import ShadowStage2
+
+#: Guest-physical addresses at or above this are MMIO (device) space.
+MMIO_BASE = 0xFEB0_0000
+
+
+class NestedEpt:
+    """The ept01/ept12/ept02 trio for one nested x86 VM."""
+
+    def __init__(self):
+        self.ept01 = PageTable(stage=2, name="ept01")  # L1 GPA -> host PA
+        self.ept12 = PageTable(stage=2, name="ept12")  # L2 GPA -> L1 GPA
+        self.shadow = ShadowStage2(self.ept12, self.ept01, name="ept02")
+        self.violations_fixed = 0
+        self.violations_reflected = 0
+
+    @property
+    def ept02(self):
+        return self.shadow.table
+
+    def map_l1_memory(self, l1_gpa, host_pa, size):
+        self.ept01.map_range(l1_gpa, host_pa, size)
+
+    def map_l2_memory(self, l2_gpa, l1_gpa, size):
+        """What the L1 hypervisor does when building ept12."""
+        self.ept12.map_range(l2_gpa, l1_gpa, size)
+        # Real hardware requires L0 to shoot down stale shadow entries
+        # when ept12 changes (the vmcs12 EPTP invalidation path).
+        self.shadow.invalidate_l2_range(l2_gpa, size)
+
+    def is_mmio(self, l2_gpa):
+        return l2_gpa >= MMIO_BASE
+
+    def classify_violation(self, l2_gpa):
+        """Route an EPT violation: ``"mmio"`` (reflect: the device lives
+        in L1's userspace), ``"shadow"`` (L0 fixes the collapsed entry),
+        or ``"l1_fault"`` (reflect: ept12 has no mapping, the guest
+        hypervisor must handle its own fault)."""
+        if self.is_mmio(l2_gpa):
+            return "mmio"
+        if self.ept12.lookup(l2_gpa) is not None:
+            return "shadow"
+        return "l1_fault"
+
+    def fix_shadow(self, l2_gpa, perm=Permission.RWX):
+        """Populate the ept02 entry by walking ept12 then ept01."""
+        try:
+            self.shadow.handle_fault(l2_gpa, perm)
+        except TranslationFault:
+            # ept01 miss: L0 allocates backing on demand.
+            l1_gpa = self.ept12.translate(l2_gpa, Permission.NONE)
+            self.ept01.map_page(l1_gpa, 0x1_0000_0000 + l1_gpa)
+            self.shadow.handle_fault(l2_gpa, perm)
+        self.violations_fixed += 1
+
+    def translate(self, l2_gpa):
+        """Translate through ept02, faulting the entry in if needed."""
+        try:
+            return self.ept02.translate(l2_gpa)
+        except TranslationFault:
+            self.fix_shadow(l2_gpa)
+            return self.ept02.translate(l2_gpa)

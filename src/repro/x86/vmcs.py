@@ -1,0 +1,78 @@
+"""The VM Control Structure (VMCS).
+
+"Transitions between root and non-root mode on Intel are implemented with
+a VM Control Structure (VMCS) residing in normal memory, to and from which
+hardware state is automatically saved and restored when switching to and
+from root mode" (Section 2).  The model keeps the field taxonomy at the
+granularity the cost analysis needs: how many fields each operation
+touches, and which fields VMCS shadowing lets a guest hypervisor access
+without exiting.
+"""
+
+from dataclasses import dataclass, field
+
+
+class VmcsFields:
+    """Field-group sizes of a VMCS (counts follow the SDM's orders of
+    magnitude; exact identities don't matter to the model)."""
+
+    GUEST_STATE = 84  # guest register/segment/descriptor state
+    HOST_STATE = 22
+    CONTROL = 44  # pin/proc-based controls, EPT pointer, exception bitmap
+    EXIT_INFO = 18  # exit reason, qualification, interruption info...
+
+    #: Fields touched when the hardware performs a VM exit (automatic
+    #: save of guest state + load of host state): this is what makes a
+    #: single x86 exit heavy but software-cheap.
+    HW_EXIT_FIELDS = GUEST_STATE + HOST_STATE
+
+    #: Fields KVM copies from vmcs02 to vmcs12 when reflecting an exit to
+    #: the guest hypervisor (exit info + clobbered guest state).
+    SYNC_ON_EXIT = EXIT_INFO + GUEST_STATE + 24
+
+    #: Fields KVM merges from vmcs12 (+ vmcs01 host parts) into vmcs02 on
+    #: a nested VM entry — the dominant cost of nested VMX (Turtles).
+    MERGE_ON_ENTRY = GUEST_STATE + CONTROL + HOST_STATE + 46
+
+    #: Exit-handling fields the L1 hypervisor reads/writes per exit.
+    L1_READS_PER_EXIT = 12
+    L1_WRITES_PER_EXIT = 8
+
+    #: With VMCS shadowing, reads/writes of most fields are satisfied from
+    #: the shadow VMCS without an exit; a handful of fields remain
+    #: unshadowable (Intel's shadowing bitmap doesn't cover everything).
+    UNSHADOWED_ACCESSES_PER_EXIT = 2
+
+
+@dataclass
+class Vmcs:
+    """One VMCS instance (vmcs01, vmcs02 or vmcs12)."""
+
+    name: str
+    fields: dict = field(default_factory=dict)
+    launched: bool = False
+
+    def read(self, field_name):
+        return self.fields.get(field_name, 0)
+
+    def write(self, field_name, value):
+        self.fields[field_name] = value
+
+    def clear(self):
+        self.fields.clear()
+        self.launched = False
+
+
+@dataclass
+class VmcsSet:
+    """The Turtles trio for one nested vcpu (Section 8 / Turtles):
+
+    * ``vmcs01`` — L0's VMCS for running L1 directly;
+    * ``vmcs12`` — the VMCS the L1 guest hypervisor builds for L2
+      (ordinary guest memory, possibly shadowed);
+    * ``vmcs02`` — the real VMCS L0 builds from vmcs12 to run L2.
+    """
+
+    vmcs01: Vmcs = field(default_factory=lambda: Vmcs("vmcs01"))
+    vmcs12: Vmcs = field(default_factory=lambda: Vmcs("vmcs12"))
+    vmcs02: Vmcs = field(default_factory=lambda: Vmcs("vmcs02"))

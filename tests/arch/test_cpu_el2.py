@@ -1,0 +1,179 @@
+"""CPU semantics at real EL2 (host hypervisor) and plain guest EL1."""
+
+import pytest
+
+from repro.arch.cpu import Encoding
+from repro.arch.exceptions import (
+    ExceptionClass,
+    ExceptionLevel,
+    TrapToEl2,
+    UndefinedInstruction,
+)
+from repro.arch.features import ARMV8_0, ARMV8_4
+
+from tests.conftest import make_cpu
+
+
+class TestHostEl2:
+    def test_el2_access_direct(self, cpu_v84):
+        cpu_v84.msr("VTTBR_EL2", 0x42)
+        assert cpu_v84.el2_regs.read("VTTBR_EL2") == 0x42
+        assert cpu_v84.traps.total == 0
+
+    def test_el1_access_direct_without_e2h(self, cpu_v84):
+        cpu_v84.msr("SCTLR_EL1", 0x5)
+        assert cpu_v84.el1_regs.read("SCTLR_EL1") == 0x5
+
+    def test_e2h_redirects_el1_encoding_to_el2(self, cpu_v84):
+        """A VHE host's EL1-encoded accesses reach EL2 registers."""
+        cpu_v84.host_e2h = True
+        cpu_v84.msr("SCTLR_EL1", 0x9)
+        assert cpu_v84.el2_regs.read("SCTLR_EL2") == 0x9
+        assert cpu_v84.el1_regs.read("SCTLR_EL1") == 0
+
+    def test_e2h_cross_name_redirection(self, cpu_v84):
+        """CPACR_EL1 redirects to CPTR_EL2, CNTKCTL_EL1 to CNTHCTL_EL2."""
+        cpu_v84.host_e2h = True
+        cpu_v84.msr("CPACR_EL1", 0x3)
+        assert cpu_v84.el2_regs.read("CPTR_EL2") == 0x3
+        cpu_v84.msr("CNTKCTL_EL1", 0x1)
+        assert cpu_v84.el2_regs.read("CNTHCTL_EL2") == 0x1
+
+    def test_el12_reaches_el1_with_e2h(self, cpu_v84):
+        cpu_v84.host_e2h = True
+        cpu_v84.msr("SCTLR_EL1", 0x7, Encoding.EL12)
+        assert cpu_v84.el1_regs.read("SCTLR_EL1") == 0x7
+
+    def test_el12_undefined_without_e2h(self, cpu_v84):
+        with pytest.raises(UndefinedInstruction):
+            cpu_v84.mrs("SCTLR_EL1", Encoding.EL12)
+
+    def test_currentel_reports_el2(self, cpu_v84):
+        assert cpu_v84.read_currentel() is ExceptionLevel.EL2
+
+    def test_hvc_at_el2_is_an_error(self, cpu_v84):
+        with pytest.raises(RuntimeError):
+            cpu_v84.hvc(0)
+
+    def test_eret_at_el2_charges_return_cost(self, cpu_v84):
+        before = cpu_v84.ledger.total
+        cpu_v84.eret()
+        assert cpu_v84.ledger.total - before == cpu_v84.costs.trap_return
+
+    def test_vhe_only_register_rejected_on_v80(self):
+        cpu = make_cpu(ARMV8_0)
+        with pytest.raises(UndefinedInstruction):
+            cpu.mrs("CNTHV_CTL_EL2")
+
+    def test_write_to_read_only_register_rejected(self, cpu_v84):
+        with pytest.raises(UndefinedInstruction):
+            cpu_v84.msr("ICH_ELRSR_EL2", 1)
+
+
+class TestPlainGuest:
+    def setup_guest(self, cpu):
+        cpu.enter_guest_context(ExceptionLevel.EL1)
+        return cpu
+
+    def test_el1_access_direct(self, cpu_v84):
+        cpu = self.setup_guest(cpu_v84)
+        cpu.msr("TTBR0_EL1", 0x1000)
+        assert cpu.el1_regs.read("TTBR0_EL1") == 0x1000
+        assert cpu.traps.total == 0
+
+    def test_el2_access_undefined(self, cpu_v84):
+        cpu = self.setup_guest(cpu_v84)
+        with pytest.raises(UndefinedInstruction):
+            cpu.mrs("HCR_EL2")
+
+    def test_hvc_traps(self, cpu_v84):
+        cpu = self.setup_guest(cpu_v84)
+        cpu.hvc(0)
+        assert cpu.trap_handler.last().ec is ExceptionClass.HVC
+
+    def test_currentel_reports_el1(self, cpu_v84):
+        cpu = self.setup_guest(cpu_v84)
+        assert cpu.read_currentel() is ExceptionLevel.EL1
+
+    def test_wfi_traps_when_configured(self, cpu_v84):
+        cpu = self.setup_guest(cpu_v84)
+        cpu.wfi()
+        assert cpu.trap_handler.last().ec is ExceptionClass.WFI
+
+    def test_wfi_local_when_not_trapped(self, cpu_v84):
+        cpu = self.setup_guest(cpu_v84)
+        cpu.trap_wfi = False
+        cpu.wfi()
+        assert cpu.traps.total == 0
+
+    def test_mmio_access_takes_stage2_abort(self, cpu_v84):
+        cpu = self.setup_guest(cpu_v84)
+        cpu.mmio_read(0x0900_0100)
+        syndrome = cpu.trap_handler.last()
+        assert syndrome.ec is ExceptionClass.DABT_LOWER
+        assert syndrome.fault_ipa == 0x0900_0100
+
+    def test_sgi_write_traps(self, cpu_v84):
+        cpu = self.setup_guest(cpu_v84)
+        cpu.msr("ICC_SGI1R_EL1", (2 << 24) | 1)
+        assert cpu.traps.total == 1
+
+    def test_eret_inside_guest_is_local(self, cpu_v84):
+        cpu = self.setup_guest(cpu_v84)
+        cpu.eret()
+        assert cpu.traps.total == 0
+
+
+class TestTrapPlumbing:
+    def test_trap_without_handler_raises(self):
+        cpu = make_cpu(ARMV8_4, handler=False)
+        cpu.enter_guest_context(ExceptionLevel.EL1)
+        with pytest.raises(TrapToEl2):
+            cpu.hvc(0)
+
+    def test_recursive_trap_is_rejected(self, cpu_v84):
+        class BadHandler:
+            def handle_trap(self, cpu, syndrome):
+                cpu.enter_guest_context(ExceptionLevel.EL1)
+                cpu._in_host_handler = True
+                return cpu.hvc(0)  # trap while handling a trap
+
+        cpu_v84.trap_handler = BadHandler()
+        cpu_v84.enter_guest_context(ExceptionLevel.EL1)
+        with pytest.raises(RuntimeError):
+            cpu_v84.hvc(0)
+
+    def test_host_mode_restores_context(self, cpu_v84):
+        cpu_v84.enter_guest_context(ExceptionLevel.EL1, nv=True,
+                                    virtual_e2h=True)
+        with cpu_v84.host_mode():
+            assert cpu_v84.current_el is ExceptionLevel.EL2
+            assert not cpu_v84.nv_enabled
+        assert cpu_v84.current_el is ExceptionLevel.EL1
+        assert cpu_v84.nv_enabled
+        assert cpu_v84.virtual_e2h
+
+    def test_guest_call_restores_handler_mode(self, cpu_v84):
+        cpu_v84.enter_host_context()
+        cpu_v84._in_host_handler = True
+        with cpu_v84.guest_call(nv=True, virtual_e2h=False):
+            assert cpu_v84.at_virtual_el2
+            assert not cpu_v84._in_host_handler
+        assert cpu_v84.current_el is ExceptionLevel.EL2
+        assert cpu_v84._in_host_handler
+
+    def test_trap_counts_by_reason(self, cpu_v84):
+        from repro.metrics.counters import ExitReason
+        cpu_v84.enter_guest_context(ExceptionLevel.EL1)
+        cpu_v84.hvc(0)
+        cpu_v84.hvc(0)
+        cpu_v84.mmio_read(0x0900_0000)
+        assert cpu_v84.traps.count(ExitReason.HVC) == 2
+        assert cpu_v84.traps.count(ExitReason.MEM_ABORT) == 1
+
+    def test_trap_charges_entry_and_return(self, cpu_v84):
+        cpu_v84.enter_guest_context(ExceptionLevel.EL1)
+        before = cpu_v84.ledger.by_category.get("trap", 0)
+        cpu_v84.hvc(0)
+        charged = cpu_v84.ledger.by_category["trap"] - before
+        assert charged == cpu_v84.costs.trap_entry + cpu_v84.costs.trap_return

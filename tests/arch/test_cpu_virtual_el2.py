@@ -1,0 +1,285 @@
+"""The heart of the reproduction: access semantics at virtual EL2.
+
+Each test pins one cell of the semantics matrix in the
+:mod:`repro.arch.cpu` docstring — v8.0 crashes, ARMv8.3 traps, NEVE
+defers/redirects/caches — because the paper's entire evaluation follows
+from these rules.
+"""
+
+import pytest
+
+from repro.arch.cpu import AccessKind, Encoding
+from repro.arch.exceptions import (
+    ExceptionClass,
+    ExceptionLevel,
+    UndefinedInstruction,
+)
+from repro.arch.features import ARMV8_0, ARMV8_3, ARMV8_4
+from repro.core.vncr import deferred_offset
+
+from tests.conftest import at_virtual_el2, enable_neve, make_cpu
+
+
+# ---------------------------------------------------------------------------
+# Pre-v8.3: hypervisor instructions at EL1 are undefined (Section 2)
+# ---------------------------------------------------------------------------
+
+class TestArmV80:
+    def test_el2_register_access_is_undefined(self):
+        cpu = at_virtual_el2(make_cpu(ARMV8_0))
+        with pytest.raises(UndefinedInstruction):
+            cpu.mrs("VTTBR_EL2")
+
+    def test_el2_write_is_undefined(self):
+        cpu = at_virtual_el2(make_cpu(ARMV8_0))
+        with pytest.raises(UndefinedInstruction):
+            cpu.msr("HCR_EL2", 1)
+
+    def test_vhe_aliases_are_undefined(self):
+        cpu = at_virtual_el2(make_cpu(ARMV8_0))
+        with pytest.raises(UndefinedInstruction):
+            cpu.mrs("SCTLR_EL1", Encoding.EL12)
+
+    def test_el1_access_hits_hardware_directly(self):
+        """The reason an unmodified hypervisor 'unknowingly overwrites
+        its own EL1 register state' before v8.3 (Section 4)."""
+        cpu = at_virtual_el2(make_cpu(ARMV8_0))
+        cpu.msr("SCTLR_EL1", 0x1234)
+        assert cpu.el1_regs.read("SCTLR_EL1") == 0x1234
+        assert cpu.traps.total == 0
+
+    def test_no_traps_recorded_for_undefined_instructions(self):
+        cpu = at_virtual_el2(make_cpu(ARMV8_0))
+        with pytest.raises(UndefinedInstruction):
+            cpu.mrs("VTTBR_EL2")
+        assert cpu.traps.total == 0
+
+
+# ---------------------------------------------------------------------------
+# ARMv8.3: trap-and-emulate
+# ---------------------------------------------------------------------------
+
+class TestArmV83:
+    def test_el2_access_traps(self, cpu_v83):
+        cpu = at_virtual_el2(cpu_v83)
+        cpu.mrs("VTTBR_EL2")
+        assert cpu.traps.total == 1
+        assert cpu.trap_handler.last().register == "VTTBR_EL2"
+
+    def test_el2_write_traps_with_payload(self, cpu_v83):
+        cpu = at_virtual_el2(cpu_v83)
+        cpu.msr("HCR_EL2", 0x80000001)
+        syndrome = cpu.trap_handler.last()
+        assert syndrome.is_write
+        assert syndrome.value == 0x80000001
+
+    def test_el2_write_emulated_not_applied_to_hardware(self, cpu_v83):
+        cpu = at_virtual_el2(cpu_v83)
+        cpu.msr("VTTBR_EL2", 0x1000)
+        assert cpu.el2_regs.read("VTTBR_EL2") == 0
+
+    def test_el1_access_traps_for_non_vhe_guest(self, cpu_v83):
+        """Section 4: EL1 accesses must trap so the host can emulate them
+        on the nested VM's virtual EL1 state."""
+        cpu = at_virtual_el2(cpu_v83, vhe=False)
+        cpu.mrs("SCTLR_EL1")
+        assert cpu.traps.total == 1
+
+    def test_el1_access_direct_for_vhe_guest(self, cpu_v83):
+        """Section 5: a VHE guest hypervisor 'simply accesses EL1
+        registers directly without trapping'."""
+        cpu = at_virtual_el2(cpu_v83, vhe=True)
+        cpu.el1_regs.write("SCTLR_EL1", 0x77)
+        assert cpu.mrs("SCTLR_EL1") == 0x77
+        assert cpu.traps.total == 0
+
+    def test_el12_alias_traps(self, cpu_v83):
+        cpu = at_virtual_el2(cpu_v83, vhe=True)
+        cpu.mrs("SCTLR_EL1", Encoding.EL12)
+        assert cpu.traps.total == 1
+
+    def test_el02_alias_traps(self, cpu_v83):
+        cpu = at_virtual_el2(cpu_v83, vhe=True)
+        cpu.mrs("CNTV_CTL_EL0", Encoding.EL02)
+        assert cpu.traps.total == 1
+
+    def test_el0_register_access_is_direct(self, cpu_v83):
+        """EL0 state is not protected by the NV mechanisms."""
+        cpu = at_virtual_el2(cpu_v83, vhe=False)
+        cpu.msr("TPIDR_EL0", 42)
+        assert cpu.el1_regs.read("TPIDR_EL0") == 42
+        assert cpu.traps.total == 0
+
+    def test_eret_traps(self, cpu_v83):
+        cpu = at_virtual_el2(cpu_v83)
+        cpu.eret()
+        assert cpu.trap_handler.last().ec is ExceptionClass.ERET
+
+    def test_currentel_disguised_as_el2(self, cpu_v83):
+        """Section 2: v8.3 'disguises the deprivileged execution'."""
+        cpu = at_virtual_el2(cpu_v83)
+        assert cpu.read_currentel() is ExceptionLevel.EL2
+        assert cpu.traps.total == 0
+
+    def test_hvc_traps_to_host(self, cpu_v83):
+        cpu = at_virtual_el2(cpu_v83)
+        cpu.hvc(7)
+        assert cpu.trap_handler.last().imm == 7
+
+    def test_sgi_generation_traps(self, cpu_v83):
+        cpu = at_virtual_el2(cpu_v83)
+        cpu.msr("ICC_SGI1R_EL1", 1)
+        assert cpu.traps.total == 1
+
+
+# ---------------------------------------------------------------------------
+# NEVE (ARMv8.4)
+# ---------------------------------------------------------------------------
+
+class TestNeve:
+    def make(self, vhe=False):
+        cpu = make_cpu(ARMV8_4)
+        baddr = enable_neve(cpu)
+        at_virtual_el2(cpu, vhe=vhe)
+        return cpu, baddr
+
+    def test_vm_register_write_goes_to_page(self):
+        """Table 3: VM register accesses become stores on the deferred
+        access page — no trap."""
+        cpu, baddr = self.make()
+        cpu.msr("VTTBR_EL2", 0xABC000)
+        assert cpu.traps.total == 0
+        addr = baddr + deferred_offset("VTTBR_EL2")
+        assert cpu.memory.read_word(addr) == 0xABC000
+
+    def test_vm_register_read_comes_from_page(self):
+        cpu, baddr = self.make()
+        addr = baddr + deferred_offset("HCR_EL2")
+        cpu.memory.write_word(addr, 0x80000001)
+        assert cpu.mrs("HCR_EL2") == 0x80000001
+        assert cpu.traps.total == 0
+
+    def test_el1_vm_state_deferred_for_non_vhe(self):
+        cpu, baddr = self.make(vhe=False)
+        cpu.msr("SCTLR_EL1", 0x30D0198)
+        assert cpu.traps.total == 0
+        addr = baddr + deferred_offset("SCTLR_EL1")
+        assert cpu.memory.read_word(addr) == 0x30D0198
+
+    def test_el12_alias_deferred_for_vhe(self):
+        cpu, baddr = self.make(vhe=True)
+        cpu.msr("TCR_EL1", 0x99, Encoding.EL12)
+        assert cpu.traps.total == 0
+        assert cpu.memory.read_word(baddr + deferred_offset("TCR_EL1")) \
+            == 0x99
+
+    def test_redirect_class_goes_to_el1_register(self):
+        """Table 4: VBAR_EL2 access lands on hardware VBAR_EL1."""
+        cpu, _ = self.make()
+        cpu.msr("VBAR_EL2", 0xFFFF0000)
+        assert cpu.traps.total == 0
+        assert cpu.el1_regs.read("VBAR_EL1") == 0xFFFF0000
+
+    def test_redirect_class_read(self):
+        cpu, _ = self.make()
+        cpu.el1_regs.write("ESR_EL1", 0x5612)
+        assert cpu.mrs("ESR_EL2") == 0x5612
+        assert cpu.traps.total == 0
+
+    def test_cached_copy_read_from_page(self):
+        cpu, baddr = self.make()
+        addr = baddr + deferred_offset("CNTHCTL_EL2")
+        cpu.memory.write_word(addr, 0x3)
+        assert cpu.mrs("CNTHCTL_EL2") == 0x3
+        assert cpu.traps.total == 0
+
+    def test_cached_copy_write_traps(self):
+        """Table 4 'Trap on write'."""
+        cpu, _ = self.make()
+        cpu.msr("CNTHCTL_EL2", 0x3)
+        assert cpu.traps.total == 1
+
+    def test_gic_list_register_read_cached(self):
+        cpu, baddr = self.make()
+        addr = baddr + deferred_offset("ICH_LR0_EL2")
+        cpu.memory.write_word(addr, 0x1234)
+        assert cpu.mrs("ICH_LR0_EL2") == 0x1234
+        assert cpu.traps.total == 0
+
+    def test_gic_list_register_write_traps(self):
+        """Table 5: all GIC hypervisor interface writes trap."""
+        cpu, _ = self.make()
+        cpu.msr("ICH_LR0_EL2", 0x1)
+        assert cpu.traps.total == 1
+
+    def test_redirect_or_trap_redirects_for_vhe(self):
+        """Table 4: TCR_EL2's format matches EL1 only under VHE."""
+        cpu, _ = self.make(vhe=True)
+        cpu.msr("TCR_EL2", 0x55)
+        assert cpu.traps.total == 0
+        assert cpu.el1_regs.read("TCR_EL1") == 0x55
+
+    def test_redirect_or_trap_write_traps_for_non_vhe(self):
+        cpu, _ = self.make(vhe=False)
+        cpu.msr("TCR_EL2", 0x55)
+        assert cpu.traps.total == 1
+
+    def test_redirect_or_trap_read_cached_for_non_vhe(self):
+        cpu, baddr = self.make(vhe=False)
+        cpu.memory.write_word(baddr + deferred_offset("TCR_EL2"), 0x66)
+        assert cpu.mrs("TCR_EL2") == 0x66
+        assert cpu.traps.total == 0
+
+    def test_el2_timer_still_traps(self):
+        """Section 6.1: hypervisor timer reads must reach hardware."""
+        cpu, _ = self.make()
+        cpu.mrs("CNTHP_CTL_EL2")
+        assert cpu.traps.total == 1
+
+    def test_el02_alias_still_traps(self):
+        """Section 7.1: EL02 accesses always trap, even with NEVE."""
+        cpu, _ = self.make(vhe=True)
+        cpu.msr("CNTV_CVAL_EL0", 100, Encoding.EL02)
+        assert cpu.traps.total == 1
+
+    def test_eret_still_traps(self):
+        cpu, _ = self.make()
+        cpu.eret()
+        assert cpu.traps.total == 1
+        assert cpu.trap_handler.last().ec is ExceptionClass.ERET
+
+    def test_mdscr_read_cached_write_traps(self):
+        cpu, baddr = self.make()
+        cpu.memory.write_word(baddr + deferred_offset("MDSCR_EL1"), 0x11)
+        assert cpu.mrs("MDSCR_EL1") == 0x11
+        assert cpu.traps.total == 0
+        cpu.msr("MDSCR_EL1", 0x22)
+        assert cpu.traps.total == 1
+
+    def test_neve_disabled_reverts_to_v83_traps(self):
+        cpu = make_cpu(ARMV8_4)  # VNCR_EL2.Enable == 0
+        at_virtual_el2(cpu)
+        cpu.mrs("VTTBR_EL2")
+        assert cpu.traps.total == 1
+
+    def test_currentel_still_disguised(self):
+        cpu, _ = self.make()
+        assert cpu.read_currentel() is ExceptionLevel.EL2
+
+    def test_deferred_access_charges_memory_cost_not_sysreg_trap(self):
+        cpu, _ = self.make()
+        before = cpu.ledger.total
+        cpu.msr("VTTBR_EL2", 1)
+        delta = cpu.ledger.total - before
+        # One sysreg-issue cost plus one memory store; far below a trap.
+        assert delta < cpu.costs.trap_entry
+
+    def test_access_kinds_reported(self):
+        cpu, _ = self.make()
+        _value, kind = cpu.sysreg_access("VTTBR_EL2", is_write=True,
+                                         value=1)
+        assert kind is AccessKind.DEFERRED_MEMORY
+        _value, kind = cpu.sysreg_access("VBAR_EL2", is_write=False)
+        assert kind is AccessKind.REDIRECTED_EL1
+        _value, kind = cpu.sysreg_access("CNTHP_CTL_EL2", is_write=False)
+        assert kind is AccessKind.TRAPPED

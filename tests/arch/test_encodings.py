@@ -1,0 +1,72 @@
+"""System-register encoding tests, pinned against ARM ARM values."""
+
+import pytest
+
+from repro.arch.cpu import Encoding
+from repro.arch.encodings import (
+    SYSREG_ENCODINGS,
+    encoding_of,
+    lookup_encoding,
+    verify_registry_coverage,
+)
+from repro.core.binary import assemble
+from repro.core.paravirt import Instr, InstrKind
+
+
+def test_every_registry_register_has_an_encoding():
+    assert verify_registry_coverage() == []
+
+
+def test_encodings_are_unique():
+    values = list(SYSREG_ENCODINGS.values())
+    assert len(values) == len(set(values))
+
+
+@pytest.mark.parametrize("name,fields", [
+    ("SCTLR_EL1", (3, 0, 1, 0, 0)),
+    ("HCR_EL2", (3, 4, 1, 1, 0)),
+    ("VTTBR_EL2", (3, 4, 2, 1, 0)),
+    ("VNCR_EL2", (3, 4, 2, 2, 0)),
+    ("ICH_LR0_EL2", (3, 4, 12, 12, 0)),
+    ("ICH_LR8_EL2", (3, 4, 12, 13, 0)),
+    ("CNTV_CTL_EL0", (3, 3, 14, 3, 1)),
+    ("MDSCR_EL1", (2, 0, 0, 2, 2)),
+    ("CURRENTEL", (3, 0, 4, 2, 2)),
+])
+def test_arm_arm_reference_encodings(name, fields):
+    assert SYSREG_ENCODINGS[name] == fields
+
+
+def test_el12_alias_uses_op1_5():
+    assert encoding_of("SCTLR_EL1", Encoding.EL12) == (3, 5, 1, 0, 0)
+    assert encoding_of("CNTV_CTL_EL0", Encoding.EL02) == (3, 5, 14, 3, 1)
+
+
+def test_lookup_round_trips_normal_and_alias():
+    name, enc = lookup_encoding((3, 4, 1, 1, 0))
+    assert (name, enc) == ("HCR_EL2", Encoding.NORMAL)
+    name, enc = lookup_encoding((3, 5, 1, 0, 0))
+    assert (name, enc) == ("SCTLR_EL1", Encoding.EL12)
+
+
+def test_lookup_unknown_encoding_raises():
+    with pytest.raises(KeyError):
+        lookup_encoding((3, 7, 15, 15, 7))
+
+
+# ---------------------------------------------------------------------------
+# Golden machine-code words (cross-checked against an assembler)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("instr,word", [
+    (Instr(InstrKind.SYSREG_READ, reg="SCTLR_EL1"), 0xD5381000),
+    (Instr(InstrKind.SYSREG_WRITE, reg="VTTBR_EL2", value=0),
+     0xD51C2100),
+    (Instr(InstrKind.SYSREG_READ, reg="HCR_EL2"), 0xD53C1100),
+    (Instr(InstrKind.HVC, imm=0), 0xD4000002),
+    (Instr(InstrKind.HVC, imm=1), 0xD4000022),
+    (Instr(InstrKind.ERET), 0xD69F03E0),
+    (Instr(InstrKind.READ_CURRENTEL), 0xD5384240),
+])
+def test_golden_a64_words(instr, word):
+    assert assemble(instr) == word

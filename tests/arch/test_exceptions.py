@@ -1,0 +1,85 @@
+"""Exception/syndrome model tests."""
+
+import pytest
+
+from repro.arch.exceptions import (
+    ExceptionClass,
+    ExceptionLevel,
+    ExceptionToEl1,
+    GuestCrash,
+    Syndrome,
+    TrapToEl2,
+    UndefinedInstruction,
+)
+
+
+def test_syndrome_describe_sysreg():
+    syndrome = Syndrome(ec=ExceptionClass.SYSREG, register="HCR_EL2",
+                        is_write=True, value=1)
+    assert "write" in syndrome.describe()
+    assert "HCR_EL2" in syndrome.describe()
+
+
+def test_syndrome_describe_read():
+    syndrome = Syndrome(ec=ExceptionClass.SYSREG, register="VTTBR_EL2")
+    assert "read" in syndrome.describe()
+
+
+def test_syndrome_describe_hvc():
+    assert "hvc #7" in Syndrome(ec=ExceptionClass.HVC, imm=7).describe()
+
+
+def test_syndrome_describe_abort_carries_ipa():
+    syndrome = Syndrome(ec=ExceptionClass.DABT_LOWER,
+                        fault_ipa=0x0900_0100)
+    assert "0x9000100" in syndrome.describe()
+
+
+def test_syndrome_describe_other():
+    assert Syndrome(ec=ExceptionClass.ERET).describe() == "eret"
+
+
+def test_trap_to_el2_carries_syndrome():
+    syndrome = Syndrome(ec=ExceptionClass.WFI)
+    trap = TrapToEl2(syndrome)
+    assert trap.syndrome is syndrome
+    assert "wfi" in str(trap)
+
+
+def test_undefined_instruction_is_el1_exception():
+    exc = UndefinedInstruction("HCR_EL2", is_write=True)
+    assert isinstance(exc, ExceptionToEl1)
+    assert exc.syndrome.register == "HCR_EL2"
+    assert exc.syndrome.is_write
+
+
+def test_guest_crash_exists():
+    """Section 2: pre-v8.3, an unmodified hypervisor at EL1 'likely
+    leads to a software crash' — the failure mode has a type."""
+    with pytest.raises(GuestCrash):
+        raise GuestCrash("unmodified hypervisor took an unexpected "
+                         "EL1 exception")
+
+
+def test_unmodified_hypervisor_crashes_on_v80():
+    """End-to-end: the guest hypervisor's first world-switch access on
+    ARMv8.0 is an undefined instruction — nesting is impossible without
+    paravirtualization or FEAT_NV."""
+    from repro.arch.features import ARMV8_0
+    from repro.hypervisor import world_switch as ws
+    from repro.hypervisor.vcpu import VcpuStruct
+    from tests.conftest import at_virtual_el2, make_cpu
+    cpu = at_virtual_el2(make_cpu(ARMV8_0))
+    ops = ws.make_ops(cpu, vhe=False)
+    with pytest.raises(ExceptionToEl1):
+        ws.read_exit_context(ops)
+    with pytest.raises(ExceptionToEl1):
+        ws.activate_traps(ops, False, vttbr=1)
+    # The EL1 state save, however, silently corrupts its own registers
+    # instead of faulting — the nastier failure Section 4 describes.
+    ws.save_el1_state(ops, VcpuStruct(cpu))  # no exception!
+    assert cpu.traps.total == 0
+
+
+def test_exception_levels_ordered():
+    assert ExceptionLevel.EL0 < ExceptionLevel.EL1 < ExceptionLevel.EL2

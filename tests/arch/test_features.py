@@ -1,0 +1,68 @@
+"""Architecture feature-level tests."""
+
+import pytest
+
+from repro.arch.features import (
+    ARMV8_0,
+    ARMV8_1,
+    ARMV8_3,
+    ARMV8_4,
+    ArchConfig,
+    ArchVersion,
+    GicVersion,
+)
+
+
+def test_v80_has_no_virtualization_extras():
+    assert not ARMV8_0.has_vhe
+    assert not ARMV8_0.has_nv
+    assert not ARMV8_0.has_neve
+
+
+def test_v81_adds_vhe_only():
+    assert ARMV8_1.has_vhe
+    assert not ARMV8_1.has_nv
+    assert not ARMV8_1.has_neve
+
+
+def test_v83_adds_nested_virtualization():
+    assert ARMV8_3.has_vhe
+    assert ARMV8_3.has_nv
+    assert not ARMV8_3.has_neve
+
+
+def test_v84_adds_neve():
+    assert ARMV8_4.has_vhe
+    assert ARMV8_4.has_nv
+    assert ARMV8_4.has_neve
+
+
+def test_versions_are_ordered():
+    assert (ArchVersion.V8_0 < ArchVersion.V8_1 < ArchVersion.V8_3
+            < ArchVersion.V8_4)
+
+
+def test_paper_testbed_is_v80_gicv2():
+    assert ARMV8_0.version is ArchVersion.V8_0
+    assert ARMV8_0.gic is GicVersion.V2
+
+
+def test_default_config_is_latest():
+    config = ArchConfig()
+    assert config.has_neve
+    assert config.gic is GicVersion.V3
+
+
+def test_feature_implication_chain():
+    """NEVE implies NV implies VHE — newer revisions are supersets."""
+    for version in ArchVersion:
+        config = ArchConfig(version=version)
+        if config.has_neve:
+            assert config.has_nv
+        if config.has_nv:
+            assert config.has_vhe
+
+
+def test_config_is_immutable():
+    with pytest.raises(Exception):
+        ARMV8_4.version = ArchVersion.V8_0

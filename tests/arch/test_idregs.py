@@ -1,0 +1,78 @@
+"""ID register / feature discovery tests."""
+
+import pytest
+
+from repro.arch.features import ARMV8_0, ARMV8_1, ARMV8_3, ARMV8_4
+from repro.arch.idregs import (
+    NV_NONE,
+    NV_V1,
+    NV_V2,
+    MMFR2_NV_SHIFT,
+    discover,
+    discover_from_arch,
+    id_register_values,
+)
+
+
+def test_v80_advertises_nothing():
+    features = discover_from_arch(ARMV8_0)
+    assert not features.has_vhe
+    assert not features.has_nv
+    assert features.nested_mode == "none"
+
+
+def test_v81_advertises_vhe_only():
+    features = discover_from_arch(ARMV8_1)
+    assert features.has_vhe
+    assert not features.has_nv
+
+
+def test_v83_advertises_feat_nv():
+    values = id_register_values(ARMV8_3)
+    assert (values["ID_AA64MMFR2_EL1"] >> MMFR2_NV_SHIFT) & 0xF == NV_V1
+    assert discover(values).nested_mode == "nv"
+
+
+def test_v84_advertises_feat_nv2():
+    values = id_register_values(ARMV8_4)
+    assert (values["ID_AA64MMFR2_EL1"] >> MMFR2_NV_SHIFT) & 0xF == NV_V2
+    features = discover(values)
+    assert features.has_neve and features.has_nv
+    assert features.nested_mode == "neve"
+
+
+def test_nv2_implies_nv():
+    """FEAT_NV2 is a superset: discovery must report both."""
+    for raw in (NV_V1, NV_V2):
+        features = discover({"ID_AA64MMFR2_EL1": raw << MMFR2_NV_SHIFT})
+        assert features.has_nv
+    assert not discover(
+        {"ID_AA64MMFR2_EL1": NV_NONE}).has_nv
+
+
+def test_discovery_round_trips_every_revision():
+    for arch in (ARMV8_0, ARMV8_1, ARMV8_3, ARMV8_4):
+        features = discover_from_arch(arch)
+        assert features.has_vhe == arch.has_vhe
+        assert features.has_nv == arch.has_nv
+        assert features.has_neve == arch.has_neve
+
+
+def test_midr_is_the_papers_testbed():
+    assert id_register_values(ARMV8_0)["MIDR_EL1"] == 0x500F_0000
+
+
+def test_type_checked():
+    with pytest.raises(TypeError):
+        id_register_values("v8.4")
+
+
+def test_create_vm_respects_id_registers():
+    """The hypervisor's capability checks go through discovery."""
+    from repro.hypervisor.kvm import Machine
+    machine = Machine(arch=ARMV8_1)
+    with pytest.raises(ValueError, match="FEAT_NV"):
+        machine.kvm.create_vm(nested="nv")
+    machine = Machine(arch=ARMV8_3)
+    with pytest.raises(ValueError, match="FEAT_NV2"):
+        machine.kvm.create_vm(nested="neve")

@@ -1,0 +1,223 @@
+"""System-register registry tests: the paper's tables, encoded exactly."""
+
+import pytest
+
+from repro.arch.registers import (
+    NeveBehavior,
+    RegClass,
+    RegisterFile,
+    deferred_page_size,
+    iter_registers,
+    lookup_register,
+    vm_register_names,
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 3: the 27 VM system registers
+# ---------------------------------------------------------------------------
+
+def test_table3_has_26_unique_vm_registers():
+    """The paper says 27, but its Table 3 lists TPIDR_EL2 twice (in both
+    the VM Trap Control and Thread ID groups): 26 unique registers."""
+    assert len(vm_register_names()) == 26
+
+
+def test_table3_rows_match_papers_count_of_27():
+    from repro.core.classification import table3_vm_registers
+    assert len(table3_vm_registers()) == 27
+
+
+def test_table3_trap_control_group():
+    expected = {"HACR_EL2", "HCR_EL2", "HPFAR_EL2", "HSTR_EL2",
+                "VMPIDR_EL2", "VNCR_EL2", "VPIDR_EL2", "VTCR_EL2",
+                "VTTBR_EL2"}
+    actual = {r.name for r in iter_registers(
+        reg_class=RegClass.VM_TRAP_CONTROL)}
+    assert actual == expected
+
+
+def test_table3_execution_control_group_is_16_el1_registers():
+    regs = list(iter_registers(reg_class=RegClass.VM_EXECUTION_CONTROL))
+    assert len(regs) == 16
+    assert all(r.el == 1 for r in regs)
+    assert all(r.name.endswith("_EL1") for r in regs)
+
+
+def test_table3_thread_id_is_tpidr_el2():
+    regs = list(iter_registers(reg_class=RegClass.THREAD_ID))
+    assert [r.name for r in regs] == ["TPIDR_EL2"]
+
+
+def test_all_vm_registers_are_deferred():
+    """Table 3 registers all go to the deferred access page under NEVE."""
+    for name in vm_register_names():
+        assert lookup_register(name).neve is NeveBehavior.DEFER, name
+
+
+def test_vncr_el2_itself_is_deferred_for_recursion():
+    """Section 6.2: the L1 guest hypervisor's VNCR_EL2 is itself a VM
+    register — cached so the L0 hypervisor can emulate NEVE recursively."""
+    reg = lookup_register("VNCR_EL2")
+    assert reg.neve is NeveBehavior.DEFER
+    assert reg.vncr_offset is not None
+
+
+# ---------------------------------------------------------------------------
+# Table 4: hypervisor control registers
+# ---------------------------------------------------------------------------
+
+def test_table4_redirect_set():
+    expected = {"AFSR0_EL2", "AFSR1_EL2", "AMAIR_EL2", "ELR_EL2",
+                "ESR_EL2", "FAR_EL2", "SPSR_EL2", "MAIR_EL2", "SCTLR_EL2",
+                "VBAR_EL2"}
+    actual = {r.name for r in iter_registers(reg_class=RegClass.HYP_REDIRECT)}
+    assert actual == expected
+
+
+def test_table4_redirect_targets_exist_and_are_el1():
+    for reg in iter_registers(reg_class=RegClass.HYP_REDIRECT):
+        counterpart = lookup_register(reg.el1_counterpart)
+        assert counterpart.el == 1
+        assert counterpart.name == reg.name.replace("_EL2", "_EL1")
+
+
+def test_table4_vhe_redirect_rows():
+    actual = {r.name for r in iter_registers(
+        reg_class=RegClass.HYP_REDIRECT_VHE)}
+    assert actual == {"CONTEXTIDR_EL2", "TTBR1_EL2"}
+    for name in actual:
+        assert lookup_register(name).vhe_only
+
+
+def test_table4_trap_on_write_rows():
+    actual = {r.name for r in iter_registers(
+        reg_class=RegClass.HYP_TRAP_ON_WRITE)}
+    assert actual == {"CNTHCTL_EL2", "CNTVOFF_EL2", "CPTR_EL2", "MDCR_EL2"}
+
+
+def test_table4_redirect_or_trap_rows():
+    actual = {r.name for r in iter_registers(
+        reg_class=RegClass.HYP_REDIRECT_OR_TRAP)}
+    assert actual == {"TCR_EL2", "TTBR0_EL2"}
+
+
+# ---------------------------------------------------------------------------
+# Table 5: GIC hypervisor control interface
+# ---------------------------------------------------------------------------
+
+def test_table5_gic_register_count():
+    """6 control/status + 4 AP0R + 4 AP1R + 16 LRs = 30 registers."""
+    regs = list(iter_registers(reg_class=RegClass.GIC_HYP))
+    assert len(regs) == 30
+
+
+def test_table5_all_cached_copies():
+    for reg in iter_registers(reg_class=RegClass.GIC_HYP):
+        assert reg.neve is NeveBehavior.CACHED_COPY, reg.name
+
+
+def test_table5_read_only_status_registers():
+    for name in ("ICH_VTR_EL2", "ICH_MISR_EL2", "ICH_EISR_EL2",
+                 "ICH_ELRSR_EL2"):
+        assert lookup_register(name).read_only
+
+
+def test_sixteen_list_registers():
+    lrs = [r for r in iter_registers(reg_class=RegClass.GIC_HYP)
+           if r.name.startswith("ICH_LR")]
+    assert len(lrs) == 16
+
+
+# ---------------------------------------------------------------------------
+# Section 6.1 prose classifications
+# ---------------------------------------------------------------------------
+
+def test_pmu_registers_deferred():
+    for name in ("PMUSERENR_EL0", "PMSELR_EL0"):
+        assert lookup_register(name).neve is NeveBehavior.DEFER
+
+
+def test_mdscr_is_cached_copy():
+    assert lookup_register("MDSCR_EL1").neve is NeveBehavior.CACHED_COPY
+
+
+def test_el2_timers_always_trap():
+    for name in ("CNTHP_CTL_EL2", "CNTHP_CVAL_EL2", "CNTHV_CTL_EL2",
+                 "CNTHV_CVAL_EL2"):
+        assert lookup_register(name).neve is NeveBehavior.TRAP
+
+
+def test_el2_virtual_timer_requires_vhe():
+    assert lookup_register("CNTHV_CTL_EL2").vhe_only
+    assert not lookup_register("CNTHP_CTL_EL2").vhe_only
+
+
+# ---------------------------------------------------------------------------
+# Deferred access page layout
+# ---------------------------------------------------------------------------
+
+def test_deferred_offsets_are_unique_and_aligned():
+    offsets = [r.vncr_offset for r in iter_registers()
+               if r.vncr_offset is not None]
+    assert len(offsets) == len(set(offsets))
+    assert all(off % 8 == 0 for off in offsets)
+
+
+def test_deferred_page_fits_one_page():
+    """Section 6.3 mandates a single page-aligned page."""
+    assert deferred_page_size() <= 4096
+
+
+def test_only_defer_and_cached_registers_have_offsets():
+    for reg in iter_registers():
+        has_slot = reg.vncr_offset is not None
+        should = reg.neve in (NeveBehavior.DEFER, NeveBehavior.CACHED_COPY)
+        assert has_slot == should, reg.name
+
+
+# ---------------------------------------------------------------------------
+# Registry and RegisterFile behaviour
+# ---------------------------------------------------------------------------
+
+def test_lookup_unknown_register_raises():
+    with pytest.raises(KeyError):
+        lookup_register("TOTALLY_FAKE_EL2")
+
+
+def test_register_file_defaults_to_zero():
+    regfile = RegisterFile()
+    assert regfile.read("SCTLR_EL1") == 0
+
+
+def test_register_file_round_trip():
+    regfile = RegisterFile()
+    regfile.write("HCR_EL2", 0xDEADBEEF)
+    assert regfile.read("HCR_EL2") == 0xDEADBEEF
+
+
+def test_register_file_truncates_to_64_bits():
+    regfile = RegisterFile()
+    regfile.write("TTBR0_EL1", 1 << 70 | 0x5)
+    assert regfile.read("TTBR0_EL1") == 0x5
+
+
+def test_register_file_rejects_unknown_names():
+    regfile = RegisterFile()
+    with pytest.raises(KeyError):
+        regfile.write("NOT_A_REG", 1)
+
+
+def test_register_file_copy_from():
+    src = RegisterFile({"SCTLR_EL1": 7, "TCR_EL1": 9})
+    dst = RegisterFile()
+    dst.copy_from(src, ["SCTLR_EL1", "TCR_EL1"])
+    assert dst.read("SCTLR_EL1") == 7
+    assert dst.read("TCR_EL1") == 9
+
+
+def test_iter_registers_filter_by_neve():
+    trapping = list(iter_registers(neve=NeveBehavior.TRAP))
+    names = {r.name for r in trapping}
+    assert "CNTHP_CTL_EL2" in names
+    assert "ICC_SGI1R_EL1" in names

@@ -1,0 +1,80 @@
+"""Generic timer model tests."""
+
+from repro.arch.timer import (
+    CTL_ENABLE,
+    CTL_IMASK,
+    EL1_TIMER_SAVE_LIST,
+    HVTIMER_PPI,
+    VTIMER_PPI,
+    GenericTimer,
+    SystemCounter,
+    TimerBank,
+)
+from repro.metrics.cycles import CycleLedger
+
+
+def test_timer_fires_when_enabled_and_expired():
+    timer = GenericTimer("cntv", VTIMER_PPI, ctl=CTL_ENABLE, cval=100)
+    assert not timer.should_fire(99)
+    assert timer.should_fire(100)
+    assert timer.should_fire(500)
+
+
+def test_masked_timer_meets_condition_but_does_not_fire():
+    timer = GenericTimer("cntv", VTIMER_PPI,
+                         ctl=CTL_ENABLE | CTL_IMASK, cval=10)
+    assert timer.condition_met(20)
+    assert not timer.should_fire(20)
+
+
+def test_disabled_timer_never_fires():
+    timer = GenericTimer("cntv", VTIMER_PPI, ctl=0, cval=0)
+    assert not timer.should_fire(1_000_000)
+
+
+def test_timer_bank_vhe_includes_el2_virtual_timer():
+    bank = TimerBank(has_vhe=True)
+    bank.hvtimer.ctl = CTL_ENABLE
+    bank.hvtimer.cval = 5
+    assert bank.hvtimer in bank.firing(10)
+
+
+def test_timer_bank_non_vhe_excludes_el2_virtual_timer():
+    """The EL2 virtual timer is the VHE addition discussed in Section 7.1."""
+    bank = TimerBank(has_vhe=False)
+    bank.hvtimer.ctl = CTL_ENABLE
+    bank.hvtimer.cval = 5
+    assert bank.hvtimer not in bank.firing(10)
+
+
+def test_multiple_timers_fire_together():
+    bank = TimerBank()
+    bank.vtimer.ctl = CTL_ENABLE
+    bank.ptimer.ctl = CTL_ENABLE
+    firing = bank.firing(1)
+    assert bank.vtimer in firing and bank.ptimer in firing
+
+
+def test_system_counter_follows_ledger():
+    ledger = CycleLedger()
+    counter = SystemCounter(ledger)
+    assert counter.physical_count() == 0
+    ledger.charge(500)
+    assert counter.physical_count() == 500
+
+
+def test_virtual_count_applies_cntvoff():
+    ledger = CycleLedger()
+    ledger.charge(1_000)
+    counter = SystemCounter(ledger)
+    assert counter.virtual_count(cntvoff=300) == 700
+    assert counter.virtual_count(cntvoff=5_000) == 0  # clamped
+
+
+def test_save_list_is_the_el1_virtual_timer():
+    assert EL1_TIMER_SAVE_LIST == ("CNTV_CTL_EL0", "CNTV_CVAL_EL0")
+
+
+def test_standard_ppis():
+    assert VTIMER_PPI == 27
+    assert HVTIMER_PPI == 28

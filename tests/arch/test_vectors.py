@@ -1,0 +1,90 @@
+"""Exception vector/routing tests."""
+
+import pytest
+
+from repro.arch.exceptions import ExceptionLevel
+from repro.arch.vectors import (
+    RoutingConfig,
+    VectorGroup,
+    VectorKind,
+    route_physical_interrupt,
+    route_sync_exception,
+    stage1_translation_enabled,
+    vector_address,
+    vector_offset,
+    virtual_interrupt_deliverable_to,
+)
+
+
+def test_vector_table_layout():
+    assert vector_offset(VectorGroup.CURRENT_SPX,
+                         VectorKind.SYNCHRONOUS) == 0x200
+    assert vector_offset(VectorGroup.LOWER_A64, VectorKind.IRQ) == 0x480
+    assert vector_offset(VectorGroup.CURRENT_SP0,
+                         VectorKind.SERROR) == 0x180
+
+
+def test_vector_address_lower_el():
+    addr = vector_address(0xFFFF_0000, ExceptionLevel.EL1,
+                          ExceptionLevel.EL2, VectorKind.SYNCHRONOUS)
+    assert addr == 0xFFFF_0400
+
+
+def test_vector_address_same_el():
+    addr = vector_address(0x8_0000, ExceptionLevel.EL2,
+                          ExceptionLevel.EL2, VectorKind.IRQ)
+    assert addr == 0x8_0280
+
+
+def test_vector_address_aarch32_guest():
+    addr = vector_address(0x0, ExceptionLevel.EL1, ExceptionLevel.EL2,
+                          VectorKind.FIQ, aarch32=True)
+    assert addr == 0x700
+
+
+def test_imo_routes_irq_to_el2():
+    config = RoutingConfig(imo=True)
+    assert route_physical_interrupt(
+        VectorKind.IRQ, ExceptionLevel.EL1, config) is ExceptionLevel.EL2
+
+
+def test_without_imo_irq_stays_at_el1():
+    config = RoutingConfig(imo=False)
+    assert route_physical_interrupt(
+        VectorKind.IRQ, ExceptionLevel.EL1, config) is ExceptionLevel.EL1
+
+
+def test_el2_interrupts_never_route_down():
+    config = RoutingConfig(imo=False, fmo=False)
+    assert route_physical_interrupt(
+        VectorKind.FIQ, ExceptionLevel.EL2, config) is ExceptionLevel.EL2
+
+
+def test_sync_routing_rejects_interrupt_kinds():
+    with pytest.raises(ValueError):
+        route_physical_interrupt(VectorKind.SYNCHRONOUS,
+                                 ExceptionLevel.EL1, RoutingConfig())
+
+
+def test_tge_routes_el0_sync_to_el2():
+    assert route_sync_exception(
+        ExceptionLevel.EL0, RoutingConfig(tge=True)) is ExceptionLevel.EL2
+    assert route_sync_exception(
+        ExceptionLevel.EL0,
+        RoutingConfig(tge=False)) is ExceptionLevel.EL1
+
+
+def test_virtual_interrupts_only_to_el1():
+    """Section 2's first drawback of EL0 deprivileging."""
+    assert virtual_interrupt_deliverable_to(ExceptionLevel.EL1)
+    assert not virtual_interrupt_deliverable_to(ExceptionLevel.EL0)
+    assert not virtual_interrupt_deliverable_to(ExceptionLevel.EL2)
+
+
+def test_tge_disables_el0_stage1():
+    """Section 2's second drawback: TGE kills stage-1 for EL0."""
+    tge = RoutingConfig(tge=True)
+    assert not stage1_translation_enabled(ExceptionLevel.EL0, tge)
+    assert stage1_translation_enabled(ExceptionLevel.EL1, tge)
+    assert stage1_translation_enabled(ExceptionLevel.EL0,
+                                      RoutingConfig(tge=False))

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.arch.cpu import Cpu
+from repro.arch.exceptions import ExceptionLevel
+from repro.arch.features import ARMV8_0, ARMV8_1, ARMV8_3, ARMV8_4
+from repro.arch.registers import RegisterFile
+from repro.memory.phys import PhysicalMemory
+
+
+class RecordingHandler:
+    """Minimal trap handler for CPU-level tests: records syndromes and
+    emulates register accesses against a virtual register file."""
+
+    def __init__(self):
+        self.vregs = RegisterFile()
+        self.syndromes = []
+
+    def handle_trap(self, cpu, syndrome):
+        self.syndromes.append(syndrome)
+        if syndrome.register is not None:
+            if syndrome.is_write:
+                self.vregs.write(syndrome.register, syndrome.value or 0)
+                return None
+            return self.vregs.read(syndrome.register)
+        return 0
+
+    @property
+    def trap_count(self):
+        return len(self.syndromes)
+
+    def last(self):
+        return self.syndromes[-1] if self.syndromes else None
+
+
+def make_cpu(arch=ARMV8_4, with_memory=True, handler=True):
+    cpu = Cpu(arch=arch)
+    if with_memory:
+        cpu.memory = PhysicalMemory()
+    if handler:
+        cpu.trap_handler = RecordingHandler()
+    return cpu
+
+
+@pytest.fixture
+def cpu_v80():
+    return make_cpu(ARMV8_0)
+
+
+@pytest.fixture
+def cpu_v81():
+    return make_cpu(ARMV8_1)
+
+
+@pytest.fixture
+def cpu_v83():
+    return make_cpu(ARMV8_3)
+
+
+@pytest.fixture
+def cpu_v84():
+    return make_cpu(ARMV8_4)
+
+
+def at_virtual_el2(cpu, vhe=False):
+    cpu.enter_guest_context(ExceptionLevel.EL1, nv=True, virtual_e2h=vhe)
+    return cpu
+
+
+def enable_neve(cpu, baddr=0x7000_0000):
+    from repro.core.vncr import VncrEl2
+    cpu.el2_regs.write("VNCR_EL2", VncrEl2.make(baddr).value)
+    return baddr

@@ -1,0 +1,54 @@
+"""Architecture conformance suite tests."""
+
+from repro.arch.cpu import AccessKind
+from repro.arch.registers import lookup_register
+from repro.core.conformance import (
+    ConformanceResult,
+    _expected_kind,
+    render_conformance,
+    run_conformance,
+)
+
+
+def test_full_matrix_conforms():
+    result = run_conformance()
+    assert result.passed, result.violations[:5]
+    assert result.checks > 700
+
+
+def test_matrix_covers_all_four_configurations():
+    """2 architectures x 2 hypervisor flavours over ~100 registers."""
+    result = run_conformance()
+    assert result.checks >= 4 * 90
+
+
+def test_oracle_spot_checks():
+    hcr = lookup_register("HCR_EL2")
+    assert _expected_kind(hcr, True, neve=True, vhe=False) \
+        is AccessKind.DEFERRED_MEMORY
+    assert _expected_kind(hcr, True, neve=False, vhe=False) \
+        is AccessKind.TRAPPED
+    vbar = lookup_register("VBAR_EL2")
+    assert _expected_kind(vbar, False, neve=True, vhe=False) \
+        is AccessKind.REDIRECTED_EL1
+    lr = lookup_register("ICH_LR0_EL2")
+    assert _expected_kind(lr, True, neve=True, vhe=True) \
+        is AccessKind.TRAPPED
+    assert _expected_kind(lr, False, neve=True, vhe=True) \
+        is AccessKind.DEFERRED_MEMORY
+    timer = lookup_register("CNTHP_CTL_EL2")
+    assert _expected_kind(timer, False, neve=True, vhe=False) \
+        is AccessKind.TRAPPED
+
+
+def test_result_accumulation():
+    result = ConformanceResult()
+    result.record(True, "fine")
+    result.record(False, "broken")
+    assert result.checks == 2
+    assert not result.passed
+    assert result.violations == ["broken"]
+
+
+def test_render():
+    assert "0 violations" in render_conformance()

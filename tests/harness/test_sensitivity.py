@@ -1,0 +1,80 @@
+"""Sensitivity/crossover analysis tests."""
+
+import pytest
+
+from repro.harness.sensitivity import (
+    breakeven_rate,
+    neve_wins,
+    neve_x86_crossover_speedup,
+    overhead_at,
+    overhead_curve,
+    render_sensitivity,
+)
+
+
+def test_overhead_is_one_at_zero_rate():
+    assert overhead_at("neve-nested", 0.0) == pytest.approx(1.0)
+
+
+def test_overhead_linear_in_rate():
+    low = overhead_at("arm-nested", 10_000)
+    high = overhead_at("arm-nested", 20_000)
+    assert (high - 1.0) == pytest.approx(2 * (low - 1.0), rel=1e-6)
+
+
+def test_curve_is_monotone():
+    curve = overhead_curve("neve-nested", [0, 10_000, 50_000, 100_000])
+    overheads = [o for _, o in curve]
+    assert overheads == sorted(overheads)
+
+
+def test_breakeven_ordering_matches_per_event_costs():
+    """The cheaper the per-event cost, the more events a configuration
+    tolerates before 2x native."""
+    v83 = breakeven_rate("arm-nested")
+    vhe = breakeven_rate("arm-nested-vhe")
+    neve = breakeven_rate("neve-nested")
+    x86 = breakeven_rate("x86-nested")
+    assert v83 < vhe < neve < x86
+
+
+def test_v83_unusable_at_network_rates():
+    """At Figure 2's memcached injection rate (~150k/s) ARMv8.3 is deep
+    past the break-even; NEVE is not."""
+    assert breakeven_rate("arm-nested") < 10_000
+    assert breakeven_rate("neve-nested") > 20_000
+
+
+def test_crossover_speedup_in_plausible_band():
+    s_star = neve_x86_crossover_speedup(1.0, 0.5)
+    assert 1.5 <= s_star <= 4.0
+
+
+def test_memcached_sits_on_neve_side():
+    """x86 is 3x faster natively on memcached (Section 7.2) — above the
+    crossover, so NEVE wins."""
+    assert neve_wins(150_000, 70_000, x86_speedup=3.0,
+                     io_multiplier=1.25)
+
+
+def test_equal_hardware_favours_x86_without_anomaly():
+    """With identical native speed and no exit anomaly, x86's cheaper
+    per-exit cost wins — which is why Apache goes to x86 in Figure 2."""
+    assert not neve_wins(110_000, 55_000, x86_speedup=1.0)
+
+
+def test_anomaly_moves_the_boundary():
+    base = neve_x86_crossover_speedup(1.0, 0.5, io_multiplier=1.0)
+    with_anomaly = neve_x86_crossover_speedup(1.0, 0.5,
+                                              io_multiplier=2.5)
+    assert with_anomaly < base / 2
+
+
+def test_zero_mix_rejected():
+    with pytest.raises(ValueError):
+        neve_x86_crossover_speedup(0.0, 0.0)
+
+
+def test_render():
+    text = render_sensitivity()
+    assert "S*" in text and "Break-even" in text

@@ -1,0 +1,57 @@
+"""Table generator tests."""
+
+from repro.harness.tables import (
+    PAPER_TABLE1,
+    PAPER_TABLE6,
+    PAPER_TABLE7,
+    render_table1,
+    render_table6,
+    render_table7,
+    table1,
+    table6,
+    table7,
+)
+from repro.workloads.microbench import MICROBENCHMARKS
+
+
+def test_table1_rows_and_columns():
+    rows = table1(iterations=3)
+    assert [row["benchmark"] for row in rows] == list(MICROBENCHMARKS)
+    assert "arm-vm" in rows[0]
+    assert "arm-vm/paper" in rows[0]
+
+
+def test_table1_paper_reference_values_embedded():
+    rows = table1(iterations=3)
+    hypercall = rows[0]
+    assert hypercall["arm-vm/paper"] == 2_729
+    assert hypercall["x86-nested/paper"] == 36_345
+
+
+def test_table6_includes_slowdown_ratios():
+    rows = table6(iterations=3)
+    hypercall = rows[0]
+    assert hypercall["neve-nested/slowdown"] > 10
+    assert hypercall["arm-nested/slowdown"] > \
+        hypercall["neve-nested/slowdown"]
+
+
+def test_table7_trap_counts():
+    rows = table7(iterations=3)
+    hypercall = rows[0]
+    assert 118 <= hypercall["arm-nested"] <= 134
+    assert hypercall["x86-nested"] == 5
+    eoi = rows[3]
+    assert eoi["arm-nested"] == 0
+
+
+def test_paper_reference_tables_are_complete():
+    for table in (PAPER_TABLE1, PAPER_TABLE6, PAPER_TABLE7):
+        assert set(table) == set(MICROBENCHMARKS)
+
+
+def test_renderers_produce_text():
+    for renderer in (render_table1, render_table6, render_table7):
+        text = renderer(iterations=2)
+        assert "hypercall" in text
+        assert "(" in text  # measured(paper) format

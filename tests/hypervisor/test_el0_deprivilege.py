@@ -1,0 +1,71 @@
+"""EL0-deprivileging ablation tests (Section 2's rejected design)."""
+
+import pytest
+
+from repro.arch.exceptions import ExceptionLevel
+from repro.hypervisor.el0_deprivilege import (
+    El0DeprivilegeModel,
+    render_el0_study,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return El0DeprivilegeModel(working_set_pages=64)
+
+
+def test_architectural_facts(model):
+    assert model.virtual_interrupts_available(ExceptionLevel.EL1)
+    assert not model.virtual_interrupts_available(ExceptionLevel.EL0)
+    assert model.stage1_available(ExceptionLevel.EL1)
+    assert not model.stage1_available(ExceptionLevel.EL0)
+
+
+def test_instruction_trap_cost_identical(model):
+    """Deprivileging level does not change what hypervisor instructions
+    cost to trap-and-emulate."""
+    assert model.el0_design_cached.hypercall == \
+        model.el1_design().hypercall
+
+
+def test_el0_interrupt_delivery_much_worse(model):
+    el1 = model.el1_design()
+    el0 = model.el0_design_cached
+    assert el0.interrupt_delivery > 2 * el1.interrupt_delivery
+
+
+def test_el0_loses_trap_free_completion(model):
+    """The EL1 design completes interrupts through the GIC virtual
+    interface (~71 cycles); EL0 pays two full round trips."""
+    el1 = model.el1_design()
+    el0 = model.el0_design_cached
+    assert el1.interrupt_completion < 100
+    assert el0.interrupt_completion > 1_000 * el1.interrupt_completion
+
+
+def test_el0_pays_for_page_table_updates(model):
+    el1 = model.el1_design()
+    el0 = model.el0_design_cached
+    assert el0.page_table_update > 1_000 * el1.page_table_update
+
+
+def test_shadow_warmup_faults_whole_working_set(model):
+    cost = model.warmup_cost()
+    assert model.shadow.faults_handled == model.working_set_pages
+    assert cost > 0
+    # The shadow must actually translate afterwards.
+    assert model.shadow.translate(0x0) == 0x8000_0000
+
+
+def test_el1_wins_on_representative_mix(model):
+    totals = model.compare()
+    el1_total = min(totals.values())
+    el0_total = max(totals.values())
+    assert "EL1" in [k for k, v in totals.items() if v == el1_total][0]
+    assert el0_total > 2 * el1_total
+
+
+def test_render(model):
+    text = render_el0_study()
+    assert "EL0 design" in text
+    assert "EL1 deprivileging wins" in text

@@ -1,0 +1,138 @@
+"""GuestHypervisor (L1) unit tests: construction, flows, PSCI, designs."""
+
+import pytest
+
+from repro.arch.features import ARMV8_3
+from repro.hypervisor import psci
+from repro.hypervisor.kvm import Machine
+from repro.hypervisor.nested import GUEST_IPI_SGI, GuestHypervisor
+from repro.metrics.counters import ExitReason
+
+
+@pytest.fixture
+def machine():
+    return Machine(arch=ARMV8_3)
+
+
+def booted(machine, **kwargs):
+    vm = machine.kvm.create_vm(num_vcpus=2, nested="nv", **kwargs)
+    for vcpu in vm.vcpus:
+        machine.kvm.boot_nested(vcpu)
+    return vm
+
+
+def test_invalid_design_rejected(machine):
+    with pytest.raises(ValueError):
+        GuestHypervisor(machine, design="microkernel")
+
+
+def test_invalid_gic_version_rejected(machine):
+    with pytest.raises(ValueError):
+        GuestHypervisor(machine, gic_version=4)
+
+
+def test_exit_counter_increments_per_forwarded_exit(machine):
+    vm = booted(machine)
+    before = vm.guest_hyp.exits_handled
+    vm.vcpus[0].cpu.hvc(0)
+    vm.vcpus[0].cpu.hvc(0)
+    assert vm.guest_hyp.exits_handled == before + 2
+
+
+def test_l2_contexts_are_per_vcpu(machine):
+    vm = booted(machine)
+    vm.vcpus[0].cpu.hvc(0)
+    vm.vcpus[1].cpu.hvc(0)
+    assert 0 in vm.guest_hyp.l2_ctx
+    assert 1 in vm.guest_hyp.l2_ctx
+    assert vm.guest_hyp.l2_ctx[0] is not vm.guest_hyp.l2_ctx[1]
+
+
+def test_pending_queue_per_target(machine):
+    vm = booted(machine)
+    hyp = vm.guest_hyp
+    hyp.pending_for(0).append(3)
+    hyp.pending_for(1).append(4)
+    assert hyp.pending_for(0) == [3]
+    assert hyp.pending_for(1) == [4]
+
+
+def test_standalone_design_skips_el1_context(machine):
+    vm_kvm = booted(machine)
+    machine2 = Machine(arch=ARMV8_3)
+    vm_standalone = booted(machine2)
+    vm_standalone.guest_hyp.design = "standalone"
+    for vm in (vm_kvm, vm_standalone):
+        vm.vcpus[0].cpu.hvc(0)
+    m1 = machine.traps.total
+    vm_kvm.vcpus[0].cpu.hvc(0)
+    kvm_traps = machine.traps.total - m1
+    m2 = machine2.traps.total
+    vm_standalone.vcpus[0].cpu.hvc(0)
+    standalone_traps = machine2.traps.total - m2
+    assert standalone_traps < kvm_traps - 60
+
+
+def test_wfi_forwarded_and_handled(machine):
+    vm = booted(machine)
+    vm.vcpus[0].cpu.wfi()
+    assert machine.traps.count(ExitReason.WFI) == 1
+    assert vm.vcpus[0].cpu.current_el.name == "EL1"
+
+
+def test_unknown_exit_reason_gets_default_handling(machine):
+    vm = booted(machine)
+    hyp = vm.guest_hyp
+    cpu = vm.vcpus[0].cpu
+    # Drive the kernel handler directly with an unexpected reason.
+    result = hyp._kernel_handle_exit(cpu, vm.vcpus[0],
+                                     ExitReason.MSR_ACCESS, None)
+    assert result is None
+
+
+def test_l1_psci_affinity_info(machine):
+    vm = booted(machine)
+    hyp = vm.guest_hyp
+    cpu = vm.vcpus[0].cpu
+    hyp.l2_online[1] = False
+    result = hyp._emulate_psci(cpu, vm.vcpus[0],
+                               {"function": psci.PSCI_AFFINITY_INFO,
+                                "args": (1,)})
+    assert result == psci.AFFINITY_OFF
+
+
+def test_l1_psci_cpu_off(machine):
+    vm = booted(machine)
+    hyp = vm.guest_hyp
+    result = hyp._emulate_psci(vm.vcpus[0].cpu, vm.vcpus[0],
+                               {"function": psci.PSCI_CPU_OFF})
+    assert result == psci.PSCI_SUCCESS
+    assert hyp.l2_online[0] is False
+
+
+def test_l1_psci_unknown_function(machine):
+    vm = booted(machine)
+    result = vm.guest_hyp._emulate_psci(vm.vcpus[0].cpu, vm.vcpus[0],
+                                        {"function": 0x1234})
+    assert result == psci.PSCI_NOT_SUPPORTED
+
+
+def test_vgic_flush_respects_lr_capacity(machine):
+    vm = booted(machine)
+    hyp = vm.guest_hyp
+    vcpu = vm.vcpus[0]
+    ctx = hyp._ctx(hyp.l2_ctx, vcpu.cpu, 0)
+    for intid in range(8):  # more than the 4 LRs
+        hyp.pending_for(0).append(intid + 1)
+    hyp._vgic_flush(vcpu.cpu, vcpu, ctx)
+    assert vcpu.l1_used_lrs == machine.gic.num_lrs
+    assert len(hyp.pending_for(0)) == 4  # overflow stays queued
+
+
+def test_nested_ipi_uses_kick_sgi(machine):
+    vm = booted(machine)
+    sender = vm.vcpus[0]
+    sender.cpu.msr("ICC_SGI1R_EL1", (GUEST_IPI_SGI << 24) | 1)
+    # The L1 kernel's kick lands as an L1-level pending interrupt.
+    assert vm.vcpus[1].pending_virqs
+    assert GUEST_IPI_SGI in vm.guest_hyp.pending_for(1)

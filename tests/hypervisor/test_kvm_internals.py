@@ -1,0 +1,166 @@
+"""White-box tests of the L0 hypervisor's virtual-state plumbing.
+
+These pin the mechanisms Sections 4 and 6.1 describe: where virtual EL2
+state lives under each scheme, how the hardware EL1 image is juggled
+across virtual exception-level transitions, and how the vGIC images move
+between the guest hypervisor's view and the hardware.
+"""
+
+import pytest
+
+from repro.arch.features import ARMV8_3, ARMV8_4
+from repro.arch.gic import ListRegister, LrState, lr_name
+from repro.hypervisor.kvm import VEL2_EXEC_PAIRS, Machine
+from repro.hypervisor.vcpu import VcpuMode
+from repro.metrics.counters import ExitReason
+
+
+def nested_vcpu(mode="nv", guest_vhe=False):
+    machine = Machine(arch=ARMV8_3 if mode == "nv" else ARMV8_4)
+    vm = machine.kvm.create_vm(num_vcpus=1, nested=mode,
+                               guest_vhe=guest_vhe)
+    return machine, vm.vcpus[0]
+
+
+# ---------------------------------------------------------------------------
+# _read_vel2_reg / _write_vel2_reg routing
+# ---------------------------------------------------------------------------
+
+def test_vel2_state_in_ctx_for_v83_non_vhe():
+    machine, vcpu = nested_vcpu("nv")
+    kvm = machine.kvm
+    kvm._write_vel2_reg(vcpu.cpu, vcpu, "HCR_EL2", 0x123)
+    assert vcpu.vel2_ctx.peek("HCR_EL2") == 0x123
+    assert kvm._read_vel2_reg(vcpu.cpu, vcpu, "HCR_EL2") == 0x123
+
+
+def test_vel2_redirect_state_in_el1_image_for_vhe():
+    """A VHE guest hypervisor's E2H-redirected state lives in the
+    hardware EL1 registers (banked in el1_ctx while switched out)."""
+    machine, vcpu = nested_vcpu("nv", guest_vhe=True)
+    kvm = machine.kvm
+    kvm._write_vel2_reg(vcpu.cpu, vcpu, "ESR_EL2", 0x555)
+    assert vcpu.el1_ctx.peek("ESR_EL1") == 0x555
+    assert vcpu.vel2_ctx.peek("ESR_EL2") == 0  # not duplicated
+
+
+def test_vel2_deferred_state_in_page_for_neve():
+    machine, vcpu = nested_vcpu("neve")
+    kvm = machine.kvm
+    kvm._write_vel2_reg(vcpu.cpu, vcpu, "HCR_EL2", 0x777)
+    assert vcpu.neve.page.read_reg("HCR_EL2") == 0x777
+    assert kvm._read_vel2_reg(vcpu.cpu, vcpu, "HCR_EL2") == 0x777
+
+
+def test_vel2_redirect_state_in_el1_image_for_neve():
+    machine, vcpu = nested_vcpu("neve")
+    kvm = machine.kvm
+    kvm._write_vel2_reg(vcpu.cpu, vcpu, "VBAR_EL2", 0xFFFF_0000)
+    assert vcpu.el1_ctx.peek("VBAR_EL1") == 0xFFFF_0000
+
+
+def test_vel2_gic_state_in_shadow_ich_for_neve():
+    machine, vcpu = nested_vcpu("neve")
+    kvm = machine.kvm
+    kvm._write_vel2_reg(vcpu.cpu, vcpu, "ICH_VMCR_EL2", 0x99)
+    assert vcpu.shadow_ich.peek("ICH_VMCR_EL2") == 0x99
+
+
+# ---------------------------------------------------------------------------
+# Virtual-EL2 execution image juggling
+# ---------------------------------------------------------------------------
+
+def test_exec_image_round_trip():
+    machine, vcpu = nested_vcpu("nv")
+    kvm = machine.kvm
+    for el2_name, _el1_name in VEL2_EXEC_PAIRS:
+        vcpu.vel2_ctx.poke(el2_name, hash(el2_name) & 0xFFFF)
+    kvm._load_vel2_exec_image(vcpu.cpu, vcpu)
+    for el2_name, el1_name in VEL2_EXEC_PAIRS:
+        assert vcpu.el1_ctx.peek(el1_name) == hash(el2_name) & 0xFFFF
+    # Mutate the "hardware" image and bank it back.
+    vcpu.el1_ctx.poke("SCTLR_EL1", 0x1234)
+    kvm._save_vel2_exec_image(vcpu.cpu, vcpu)
+    assert vcpu.vel2_ctx.peek("SCTLR_EL2") == 0x1234
+
+
+def test_exception_context_injection():
+    machine, vcpu = nested_vcpu("nv")
+    kvm = machine.kvm
+    kvm._set_vel2_exception_context(vcpu.cpu, vcpu, ExitReason.MEM_ABORT,
+                                    {"addr": 0x0A00_0100})
+    assert vcpu.vel2_ctx.peek("ESR_EL2") >> 26 == 0x24  # DABT EC
+    assert vcpu.vel2_ctx.peek("FAR_EL2") == 0x0A00_0100
+    assert vcpu.vel2_ctx.peek("HPFAR_EL2") == 0x0A00_0100 >> 8
+
+
+def test_vttbr_selects_shadow_for_nested():
+    machine, vcpu = nested_vcpu("nv")
+    kvm = machine.kvm
+    vcpu.mode = VcpuMode.VEL2
+    hyp_vttbr = kvm._vttbr_for(vcpu)
+    vcpu.mode = VcpuMode.NESTED
+    nested_vttbr = kvm._vttbr_for(vcpu)
+    assert hyp_vttbr != nested_vttbr
+    assert (hyp_vttbr >> 48) == (nested_vttbr >> 48) == vcpu.vm.vmid
+
+
+# ---------------------------------------------------------------------------
+# vGIC image movement
+# ---------------------------------------------------------------------------
+
+def test_l2_lrs_published_to_shadow_on_forward():
+    machine, vcpu = nested_vcpu("nv")
+    kvm = machine.kvm
+    lr = ListRegister(vintid=27, state=LrState.PENDING)
+    vcpu.el1_ctx.poke(lr_name(0), lr.encode())
+    vcpu.used_lrs = 1
+    kvm._sync_l2_vgic_to_shadow(vcpu.cpu, vcpu)
+    assert vcpu.shadow_ich.peek(lr_name(0)) == lr.encode()
+
+
+def test_shadow_ich_loaded_for_l2_entry():
+    machine, vcpu = nested_vcpu("nv")
+    kvm = machine.kvm
+    lr = ListRegister(vintid=30, state=LrState.PENDING)
+    vcpu.shadow_ich.poke(lr_name(1), lr.encode())
+    kvm._load_shadow_ich(vcpu.cpu, vcpu)
+    assert vcpu.el1_ctx.peek(lr_name(1)) == lr.encode()
+    assert vcpu.used_lrs == 1
+
+
+def test_l1_vgic_image_banked_and_restored():
+    machine, vcpu = nested_vcpu("nv")
+    kvm = machine.kvm
+    lr = ListRegister(vintid=1, state=LrState.PENDING)
+    vcpu.el1_ctx.poke(lr_name(0), lr.encode())
+    vcpu.used_lrs = 1
+    kvm._save_l1_vgic_image(vcpu.cpu, vcpu)
+    vcpu.el1_ctx.poke(lr_name(0), 0)
+    kvm._load_l1_vgic_image(vcpu.cpu, vcpu)
+    assert vcpu.el1_ctx.peek(lr_name(0)) == lr.encode()
+    assert vcpu.used_lrs == 1
+
+
+def test_neve_status_sync_refreshes_page():
+    machine, vcpu = nested_vcpu("neve")
+    kvm = machine.kvm
+    vcpu.shadow_ich.poke("ICH_ELRSR_EL2", 0xF)
+    kvm._sync_neve_status_regs(vcpu.cpu, vcpu)
+    assert vcpu.neve.page.read_reg("ICH_ELRSR_EL2") == 0xF
+
+
+# ---------------------------------------------------------------------------
+# Virtual EL1 storage selection
+# ---------------------------------------------------------------------------
+
+def test_vel1_storage_is_shadow_for_v83_and_page_for_neve():
+    machine_nv, vcpu_nv = nested_vcpu("nv")
+    machine_nv.kvm._vel1_write(vcpu_nv.cpu, vcpu_nv, "SCTLR_EL1", 0x5)
+    assert vcpu_nv.vel1_shadow.peek("SCTLR_EL1") == 0x5
+
+    machine_ne, vcpu_ne = nested_vcpu("neve")
+    machine_ne.kvm._vel1_write(vcpu_ne.cpu, vcpu_ne, "SCTLR_EL1", 0x6)
+    assert vcpu_ne.neve.page.read_reg("SCTLR_EL1") == 0x6
+    assert machine_ne.kvm._vel1_read(vcpu_ne.cpu, vcpu_ne,
+                                     "SCTLR_EL1") == 0x6

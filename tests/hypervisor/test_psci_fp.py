@@ -1,0 +1,145 @@
+"""PSCI emulation and lazy FP/SIMD switching tests."""
+
+import pytest
+
+from repro.arch.features import ARMV8_3
+from repro.hypervisor import psci
+from repro.hypervisor.kvm import Machine
+from repro.metrics.counters import ExitReason
+
+
+@pytest.fixture
+def machine():
+    return Machine(arch=ARMV8_3)
+
+
+def vm_with_one_online(machine):
+    vm = machine.kvm.create_vm(num_vcpus=2)
+    vm.vcpus[1].online = False
+    machine.kvm.run_vcpu(vm.vcpus[0])
+    vm.vcpus[0].loaded = True
+    return vm
+
+
+# ---------------------------------------------------------------------------
+# PSCI
+# ---------------------------------------------------------------------------
+
+def test_psci_version(machine):
+    vm = vm_with_one_online(machine)
+    result = vm.vcpus[0].cpu.smc(psci.PSCI_VERSION)
+    assert result == psci.REPORTED_VERSION
+
+
+def test_cpu_on_brings_secondary_online(machine):
+    vm = vm_with_one_online(machine)
+    result = vm.vcpus[0].cpu.smc(psci.PSCI_CPU_ON, args=(1, 0x8000_0000))
+    assert result == psci.PSCI_SUCCESS
+    assert vm.vcpus[1].online
+    assert machine.kvm.running[vm.vcpus[1].cpu.cpu_id] is vm.vcpus[1]
+
+
+def test_cpu_on_invalid_target(machine):
+    vm = vm_with_one_online(machine)
+    assert vm.vcpus[0].cpu.smc(psci.PSCI_CPU_ON, args=(9,)) == \
+        psci.PSCI_INVALID_PARAMS
+
+
+def test_cpu_on_already_on(machine):
+    vm = vm_with_one_online(machine)
+    vm.vcpus[0].cpu.smc(psci.PSCI_CPU_ON, args=(1,))
+    assert vm.vcpus[0].cpu.smc(psci.PSCI_CPU_ON, args=(1,)) == \
+        psci.PSCI_ALREADY_ON
+
+
+def test_affinity_info(machine):
+    vm = vm_with_one_online(machine)
+    cpu = vm.vcpus[0].cpu
+    assert cpu.smc(psci.PSCI_AFFINITY_INFO, args=(1,)) == psci.AFFINITY_OFF
+    cpu.smc(psci.PSCI_CPU_ON, args=(1,))
+    assert cpu.smc(psci.PSCI_AFFINITY_INFO, args=(1,)) == psci.AFFINITY_ON
+
+
+def test_cpu_off(machine):
+    vm = vm_with_one_online(machine)
+    cpu = vm.vcpus[0].cpu
+    assert cpu.smc(psci.PSCI_CPU_OFF) == psci.PSCI_SUCCESS
+    assert not vm.vcpus[0].online
+    assert cpu.cpu_id not in machine.kvm.running
+
+
+def test_unknown_function(machine):
+    vm = vm_with_one_online(machine)
+    assert vm.vcpus[0].cpu.smc(0xDEAD) == psci.PSCI_NOT_SUPPORTED
+
+
+def test_nested_psci_forwarded_to_guest_hypervisor():
+    machine = Machine(arch=ARMV8_3)
+    vm = machine.kvm.create_vm(num_vcpus=2, nested="nv")
+    for vcpu in vm.vcpus:
+        machine.kvm.boot_nested(vcpu)
+    result = vm.vcpus[0].cpu.smc(psci.PSCI_VERSION)
+    assert result == psci.REPORTED_VERSION
+    assert machine.kvm.stats["forwards"] >= 1
+    # L0's own PSCI emulation must not have been involved.
+    assert machine.kvm.psci.calls == []
+
+
+def test_nested_cpu_on_handled_by_l1():
+    machine = Machine(arch=ARMV8_3)
+    vm = machine.kvm.create_vm(num_vcpus=2, nested="nv")
+    for vcpu in vm.vcpus:
+        machine.kvm.boot_nested(vcpu)
+    result = vm.vcpus[0].cpu.smc(psci.PSCI_CPU_ON, args=(1, 0x1000))
+    assert result == psci.PSCI_SUCCESS
+    assert vm.guest_hyp.l2_online[1]
+
+
+# ---------------------------------------------------------------------------
+# Lazy FP/SIMD switching
+# ---------------------------------------------------------------------------
+
+def test_first_fp_use_traps_then_runs_free(machine):
+    vm = vm_with_one_online(machine)
+    cpu = vm.vcpus[0].cpu
+    cpu.fp_op()
+    assert machine.traps.count(ExitReason.FP_TRAP) == 1
+    cpu.fp_op()
+    cpu.fp_op()
+    assert machine.traps.count(ExitReason.FP_TRAP) == 1  # no re-trap
+
+
+def test_fp_trap_rearmed_after_world_switch(machine):
+    vm = vm_with_one_online(machine)
+    cpu = vm.vcpus[0].cpu
+    cpu.fp_op()
+    cpu.hvc(0)  # world switch re-arms CPTR
+    cpu.fp_op()
+    assert machine.traps.count(ExitReason.FP_TRAP) == 2
+
+
+def test_fp_trap_is_a_shallow_exit(machine):
+    """The FP switch is handled in the hyp part without a full world
+    switch — it must be far cheaper than a hypercall."""
+    vm = vm_with_one_online(machine)
+    cpu = vm.vcpus[0].cpu
+    cpu.hvc(0)
+    start = machine.ledger.total
+    cpu.hvc(0)
+    hypercall = machine.ledger.total - start
+    start = machine.ledger.total
+    cpu.fp_op()
+    fp = machine.ledger.total - start
+    assert fp < hypercall / 4
+
+
+def test_fp_at_el2_never_traps(machine):
+    cpu = machine.cpu(0)
+    cpu.fp_op()
+    assert machine.traps.total == 0
+
+
+def test_fp_switch_counted(machine):
+    vm = vm_with_one_online(machine)
+    vm.vcpus[0].cpu.fp_op()
+    assert machine.kvm.stats["fp_switches"] == 1

@@ -1,0 +1,87 @@
+"""Recursive virtualization tests (Section 6.2, experiment E8)."""
+
+import pytest
+
+from repro.core.vncr import DeferredAccessPage, VncrEl2
+from repro.hypervisor.recursive import (
+    L2_PAGE_IPA,
+    L2_PAGE_PA,
+    RecursiveHost,
+    compare_recursion,
+)
+
+
+def test_v83_forwards_l2hyp_traps_to_l1():
+    host = RecursiveHost(neve=False)
+    stats = host.run_l2_hypervisor_fragment()
+    assert stats.l2hyp_traps == 11  # every hypervisor instruction
+    assert host.l1.handled == stats.l2hyp_traps
+
+
+def test_v83_l1_emulation_itself_traps():
+    """The compounding effect: the L1 emulation path runs at virtual EL2
+    and traps back into L0 several times per forwarded instruction."""
+    host = RecursiveHost(neve=False)
+    stats = host.run_l2_hypervisor_fragment()
+    assert stats.l1_emulation_traps >= 3 * stats.l2hyp_traps
+
+
+def test_neve_eliminates_both_boundaries():
+    host = RecursiveHost(neve=True)
+    stats = host.run_l2_hypervisor_fragment()
+    assert stats.l2hyp_traps == 1  # only the trap-on-write register
+    assert stats.l1_emulation_traps == 0
+
+
+def test_neve_l1_reads_l2_state_from_its_own_page():
+    """Section 6.2: 'The memory used is provided by the L1 guest
+    hypervisor which can therefore directly access the content of the
+    deferred access page used to support the L2 guest hypervisor.'"""
+    host = RecursiveHost(neve=True)
+    stats = host.run_l2_hypervisor_fragment()
+    assert stats.values_seen_by_l1["HCR_EL2"] == 0x80000001
+    assert stats.values_seen_by_l1["VTTBR_EL2"] == 0x3000
+
+
+def test_l0_translates_l1_written_baddr():
+    """The hardware VNCR_EL2 ends up with the *machine* address obtained
+    by walking the L1 VM's stage-2 table."""
+    host = RecursiveHost(neve=True)
+    host.run_l2_hypervisor_fragment()
+    hw = VncrEl2(host.cpu.el2_regs.read("VNCR_EL2"))
+    assert hw.baddr == L2_PAGE_PA
+    assert hw.baddr != L2_PAGE_IPA
+
+
+def test_l1s_vncr_write_is_itself_deferred():
+    """VNCR_EL2 is a Table 3 VM register: the L1 guest hypervisor's
+    configuration write must not trap when L1 runs with NEVE."""
+    host = RecursiveHost(neve=True)
+    assert host.l1_configures_l2_neve() == 0
+    assert host.l1_page.read_reg("VNCR_EL2") == VncrEl2.make(
+        L2_PAGE_IPA).value
+
+
+def test_both_schemes_functionally_equivalent():
+    v83, neve = compare_recursion()
+    assert v83.values_seen_by_l1 == neve.values_seen_by_l1
+    assert neve.total < v83.total / 10
+
+
+def test_l2_deferred_writes_land_in_machine_page():
+    host = RecursiveHost(neve=True)
+    host.run_l2_hypervisor_fragment()
+    page = DeferredAccessPage(host.memory, L2_PAGE_PA)
+    assert page.read_reg("SCTLR_EL1") == 0x30D0198
+    assert page.read_reg("ELR_EL1") == 0x8000
+
+
+def test_vhe_l1_emulation_traps_less():
+    """A VHE L1 guest hypervisor's emulation path reads the exception
+    context through EL1 encodings and traps less (Section 5 logic,
+    applied recursively)."""
+    non_vhe = RecursiveHost(neve=False, l1_vhe=False)
+    vhe = RecursiveHost(neve=False, l1_vhe=True)
+    non_vhe_stats = non_vhe.run_l2_hypervisor_fragment()
+    vhe_stats = vhe.run_l2_hypervisor_fragment()
+    assert vhe_stats.l1_emulation_traps < non_vhe_stats.l1_emulation_traps

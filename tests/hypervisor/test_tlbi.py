@@ -1,0 +1,115 @@
+"""TLB-maintenance trapping and shadow coherence tests."""
+
+import pytest
+
+from repro.arch.exceptions import ExceptionLevel
+from repro.arch.features import ARMV8_3, ARMV8_4
+from repro.hypervisor.kvm import Machine
+from repro.hypervisor.vcpu import VcpuMode
+from repro.memory.pagetable import Permission
+from repro.metrics.counters import ExitReason
+
+
+def nested(mode="nv"):
+    machine = Machine(arch=ARMV8_3 if mode == "nv" else ARMV8_4)
+    vm = machine.kvm.create_vm(num_vcpus=1, nested=mode)
+    machine.kvm.boot_nested(vm.vcpus[0])
+    return machine, vm
+
+
+def at_vel2(machine, vcpu):
+    vcpu.mode = VcpuMode.VEL2
+    vcpu.cpu.enter_host_context()
+    if vcpu.neve is not None:
+        vcpu.neve.enable()
+    vcpu.cpu.enter_guest_context(ExceptionLevel.EL1, nv=True)
+
+
+def back_to_l2(machine, vcpu):
+    vcpu.mode = VcpuMode.NESTED
+    machine.kvm._apply_resume(vcpu.cpu)
+
+
+def test_tlbi_at_el2_is_local():
+    machine, vm = nested()
+    cpu = machine.cpu(0)
+    cpu.enter_host_context()
+    cpu.tlbi()
+    assert machine.traps.count(ExitReason.TLBI_TRAP) == 0
+    back_to_l2(machine, vm.vcpus[0])
+
+
+def test_guest_tlbi_is_local():
+    """An ordinary guest's TLBI is VMID-scoped hardware work."""
+    machine = Machine(arch=ARMV8_3)
+    vm = machine.kvm.create_vm(num_vcpus=1)
+    machine.kvm.run_vcpu(vm.vcpus[0])
+    vm.vcpus[0].cpu.tlbi()
+    assert machine.traps.count(ExitReason.TLBI_TRAP) == 0
+
+
+@pytest.mark.parametrize("mode", ["nv", "neve"])
+def test_vel2_tlbi_traps_even_under_neve(mode):
+    """NEVE defers state, never TLB maintenance: it has an immediate
+    effect on translation (Section 4's shadow coherence)."""
+    machine, vm = nested(mode)
+    vcpu = vm.vcpus[0]
+    at_vel2(machine, vcpu)
+    vcpu.cpu.tlbi()
+    assert machine.traps.count(ExitReason.TLBI_TRAP) == 1
+    back_to_l2(machine, vcpu)
+
+
+def test_tlbi_invalidates_whole_shadow():
+    machine, vm = nested()
+    vcpu = vm.vcpus[0]
+    vm.shadow_s2.guest_stage2.map_page(0x5000, 0x5000, Permission.RWX)
+    vm.stage2.map_page(0x5000, 0x8000_5000, Permission.RWX)
+    vm.shadow_s2.handle_fault(0x5000)
+    assert len(vm.shadow_s2.table) > 0
+    at_vel2(machine, vcpu)
+    vcpu.cpu.tlbi("vmalls12e1")
+    back_to_l2(machine, vcpu)
+    assert len(vm.shadow_s2.table) == 0
+
+
+def test_tlbi_by_ipa_invalidates_one_page():
+    machine, vm = nested()
+    vcpu = vm.vcpus[0]
+    for addr in (0x5000, 0x6000):
+        vm.shadow_s2.guest_stage2.map_page(addr, addr, Permission.RWX)
+        vm.stage2.map_page(addr, 0x8000_0000 + addr, Permission.RWX)
+        vm.shadow_s2.handle_fault(addr)
+    at_vel2(machine, vcpu)
+    vcpu.cpu.tlbi("ipas2e1", address=0x5000)
+    back_to_l2(machine, vcpu)
+    assert vm.shadow_s2.table.lookup(0x5000) is None
+    assert vm.shadow_s2.table.lookup(0x6000) is not None
+
+
+def test_stale_shadow_refaults_after_guest_remap():
+    """End-to-end coherence: the guest hypervisor remaps a page in its
+    stage-2, TLBIs, and the next L2 access sees the new translation."""
+    machine, vm = nested()
+    vcpu = vm.vcpus[0]
+    shadow = vm.shadow_s2
+    shadow.guest_stage2.map_page(0x7000, 0x7000, Permission.RWX)
+    vm.stage2.map_page(0x7000, 0x8000_7000, Permission.RWX)
+    shadow.handle_fault(0x7000)
+    # Guest hypervisor redirects L2 page 0x7000 somewhere else...
+    shadow.guest_stage2.map_page(0x7000, 0x9000, Permission.RWX)
+    vm.stage2.map_page(0x9000, 0x8000_9000, Permission.RWX)
+    at_vel2(machine, vcpu)
+    vcpu.cpu.tlbi("ipas2e1", address=0x7000)
+    back_to_l2(machine, vcpu)
+    assert shadow.translate(0x7000) == 0x8000_9000
+
+
+def test_at_traps_from_vel2():
+    machine, vm = nested()
+    vcpu = vm.vcpus[0]
+    at_vel2(machine, vcpu)
+    before = machine.traps.total
+    vcpu.cpu.at_translate(0xFFFF_0000)
+    assert machine.traps.total == before + 1
+    back_to_l2(machine, vcpu)

@@ -1,0 +1,56 @@
+"""VcpuState / VcpuStruct tests."""
+
+from repro.hypervisor.vcpu import VcpuMode, VcpuState, VcpuStruct
+
+from tests.conftest import make_cpu
+
+
+def test_plain_vcpu_has_no_virtual_el2_state():
+    vcpu = VcpuState(make_cpu())
+    assert vcpu.vel2_ctx is None
+    assert vcpu.shadow_ich is None
+    assert vcpu.vel1_shadow is None
+    assert vcpu.mode is VcpuMode.VEL1
+
+
+def test_nested_vcpu_starts_in_virtual_el2():
+    vcpu = VcpuState(make_cpu(), has_virtual_el2=True)
+    assert vcpu.mode is VcpuMode.VEL2
+    assert vcpu.in_virtual_el2
+    assert vcpu.vel2_ctx is not None
+
+
+def test_virq_queue_dedupes_and_orders():
+    vcpu = VcpuState(make_cpu())
+    vcpu.queue_virq(27)
+    vcpu.queue_virq(30)
+    vcpu.queue_virq(27)  # duplicate ignored
+    assert vcpu.take_virq() == 27
+    assert vcpu.take_virq() == 30
+    assert vcpu.take_virq() is None
+
+
+def test_struct_charges_memory_costs():
+    cpu = make_cpu()
+    struct = VcpuStruct(cpu)
+    before = cpu.ledger.total
+    struct.save("SCTLR_EL1", 5)
+    assert cpu.ledger.total - before == cpu.costs.mem_store
+    before = cpu.ledger.total
+    assert struct.load("SCTLR_EL1") == 5
+    assert cpu.ledger.total - before == cpu.costs.mem_load
+
+
+def test_struct_peek_poke_are_free():
+    cpu = make_cpu()
+    struct = VcpuStruct(cpu)
+    before = cpu.ledger.total
+    struct.poke("TCR_EL1", 9)
+    assert struct.peek("TCR_EL1") == 9
+    assert cpu.ledger.total == before
+
+
+def test_repr_is_informative():
+    vcpu = VcpuState(make_cpu(), vcpu_id=3, has_virtual_el2=True)
+    text = repr(vcpu)
+    assert "3" in text and "vEL2" in text

@@ -1,0 +1,109 @@
+"""Virtio queue / notification suppression tests (Section 7.2)."""
+
+import pytest
+
+from repro.hypervisor.virtio import QueueStats, VirtioDevice, VirtioQueue
+
+
+def uniform(count, interval):
+    return [i * interval for i in range(count)]
+
+
+def test_idle_backend_means_kick_per_packet():
+    queue = VirtioQueue(backend_service_cycles=100)
+    stats = queue.simulate(uniform(100, 10_000))
+    assert stats.kick_ratio == 1.0
+    assert stats.suppressed == 0
+
+
+def test_busy_backend_suppresses_notifications():
+    queue = VirtioQueue(backend_service_cycles=30_000,
+                        wakeup_latency_cycles=5_000)
+    stats = queue.simulate(uniform(100, 1_000))
+    assert stats.kicks == 1
+    assert stats.suppressed == 99
+
+
+def test_faster_backend_means_more_kicks():
+    """The paper's core observation: 'the quicker the backend driver
+    handles packets, the more the frontend driver needs to notify'."""
+    interval = 8_000
+    slow = VirtioQueue(backend_service_cycles=9_000,
+                       wakeup_latency_cycles=4_000)
+    fast = VirtioQueue(backend_service_cycles=3_000,
+                       wakeup_latency_cycles=4_000)
+    times = uniform(2_000, interval)
+    assert fast.simulate(times).kicks > slow.simulate(times).kicks
+
+
+def test_kick_ratio_monotone_in_backend_speed():
+    interval = 8_000
+    ratios = []
+    for service in (16_000, 12_000, 9_000, 6_000, 3_000, 1_000):
+        queue = VirtioQueue(backend_service_cycles=service,
+                            wakeup_latency_cycles=4_000)
+        ratios.append(queue.kick_ratio(interval))
+    assert ratios == sorted(ratios)
+
+
+def test_busy_wait_experiment_reduces_kicks():
+    """Adding artificial delay to a fast backend cuts notifications —
+    the paper's x86 busy-wait experiment."""
+    times = uniform(2_000, 8_000)
+    fast = VirtioQueue(backend_service_cycles=3_000,
+                       wakeup_latency_cycles=4_000)
+    delayed = VirtioQueue(backend_service_cycles=7_000,
+                          wakeup_latency_cycles=4_000)
+    assert delayed.simulate(times).kicks < fast.simulate(times).kicks
+
+
+def test_kicks_plus_suppressed_equals_packets():
+    queue = VirtioQueue(backend_service_cycles=5_000,
+                        wakeup_latency_cycles=2_000)
+    stats = queue.simulate(uniform(500, 3_000))
+    assert stats.kicks + stats.suppressed == stats.packets == 500
+
+
+def test_finish_time_after_last_arrival():
+    queue = VirtioQueue(backend_service_cycles=1_000)
+    stats = queue.simulate(uniform(10, 500))
+    assert stats.finish_time >= 9 * 500
+
+
+def test_non_ascending_times_rejected():
+    queue = VirtioQueue(backend_service_cycles=1_000)
+    with pytest.raises(ValueError):
+        queue.simulate([100, 50])
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        VirtioQueue(backend_service_cycles=0)
+    with pytest.raises(ValueError):
+        VirtioQueue(backend_service_cycles=10, capacity=0)
+
+
+def test_empty_stream():
+    queue = VirtioQueue(backend_service_cycles=1_000)
+    stats = queue.simulate([])
+    assert stats.packets == 0
+    assert stats.kick_ratio == 0.0
+
+
+def test_queue_stats_kick_ratio():
+    stats = QueueStats(packets=10, kicks=4)
+    assert stats.kick_ratio == pytest.approx(0.4)
+
+
+def test_device_kick_is_an_mmio_exit():
+    """A virtio kick is an MMIO write to the notify register — i.e. a
+    Device I/O class VM exit."""
+    from repro.arch.exceptions import ExceptionLevel
+    from tests.conftest import make_cpu
+    cpu = make_cpu()
+    cpu.enter_guest_context(ExceptionLevel.EL1)
+    device = VirtioDevice("virtio-net", mmio_base=0x0A00_0000)
+    device.kick(cpu)
+    assert cpu.traps.total == 1
+    assert device.stats.kicks == 1
+    assert cpu.trap_handler.last().fault_ipa == device.notify_addr

@@ -1,0 +1,76 @@
+"""WFI blocking and virtual-timer wakeup tests."""
+
+import pytest
+
+from repro.arch.features import ARMV8_3
+from repro.arch.timer import VTIMER_PPI
+from repro.hypervisor.kvm import Machine
+
+
+@pytest.fixture
+def guest():
+    machine = Machine(arch=ARMV8_3)
+    vm = machine.kvm.create_vm(num_vcpus=1)
+    machine.kvm.run_vcpu(vm.vcpus[0])
+    return machine, vm.vcpus[0]
+
+
+def arm_timer(machine, cpu, delta):
+    cpu.msr("CNTV_CVAL_EL0", machine.ledger.total + delta)
+    cpu.msr("CNTV_CTL_EL0", 1)
+
+
+def test_wfi_sleeps_until_timer_deadline(guest):
+    machine, vcpu = guest
+    arm_timer(machine, vcpu.cpu, 500_000)
+    deadline = machine.ledger.total + 500_000
+    vcpu.cpu.wfi()
+    assert machine.ledger.total >= deadline
+    assert machine.ledger.by_category["idle"] > 400_000
+
+
+def test_wakeup_injects_vtimer_ppi(guest):
+    machine, vcpu = guest
+    arm_timer(machine, vcpu.cpu, 100_000)
+    vcpu.cpu.wfi()
+    intid = vcpu.cpu.mrs("ICC_IAR1_EL1")
+    assert intid == VTIMER_PPI
+    vcpu.cpu.msr("ICC_EOIR1_EL1", intid)
+
+
+def test_expired_timer_wakes_immediately(guest):
+    machine, vcpu = guest
+    vcpu.cpu.msr("CNTV_CVAL_EL0", 1)  # already in the past
+    vcpu.cpu.msr("CNTV_CTL_EL0", 1)
+    before = machine.ledger.total
+    vcpu.cpu.wfi()
+    assert "idle" not in machine.ledger.by_category
+    assert machine.ledger.total - before < 20_000  # no sleep
+    assert vcpu.cpu.mrs("ICC_IAR1_EL1") == VTIMER_PPI
+
+
+def test_wfi_with_disabled_timer_does_not_sleep(guest):
+    machine, vcpu = guest
+    vcpu.cpu.msr("CNTV_CTL_EL0", 0)
+    vcpu.cpu.wfi()
+    assert "idle" not in machine.ledger.by_category
+    assert vcpu.cpu.mrs("ICC_IAR1_EL1") == 1023  # nothing pending
+
+
+def test_pending_interrupt_preempts_sleep(guest):
+    machine, vcpu = guest
+    arm_timer(machine, vcpu.cpu, 10_000_000)
+    vcpu.queue_virq(5)
+    vcpu.cpu.wfi()
+    assert "idle" not in machine.ledger.by_category
+    assert vcpu.cpu.mrs("ICC_IAR1_EL1") == 5
+
+
+def test_idle_cycles_not_charged_as_work(guest):
+    """Idle time must be separable from active overhead, or the Figure 2
+    demand model would count sleep as slowdown."""
+    machine, vcpu = guest
+    arm_timer(machine, vcpu.cpu, 300_000)
+    vcpu.cpu.wfi()
+    active = machine.ledger.total - machine.ledger.by_category["idle"]
+    assert active < 50_000

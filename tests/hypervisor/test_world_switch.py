@@ -1,0 +1,229 @@
+"""World-switch flow tests: trap counts per flow and per configuration.
+
+These pin the *composition* of the exit multiplication: which flows trap
+how often at virtual EL2 under each architecture variant.
+"""
+
+import pytest
+
+from repro.arch.features import ARMV8_3, ARMV8_4
+from repro.hypervisor import world_switch as ws
+from repro.hypervisor.vcpu import VcpuStruct
+
+from tests.conftest import at_virtual_el2, enable_neve, make_cpu
+
+
+def make_vel2(vhe=False, neve=False):
+    cpu = make_cpu(ARMV8_4 if neve else ARMV8_3)
+    if neve:
+        enable_neve(cpu)
+    at_virtual_el2(cpu, vhe=vhe)
+    return cpu, ws.make_ops(cpu, vhe), VcpuStruct(cpu)
+
+
+def traps_of(cpu, fn, *args, **kwargs):
+    before = cpu.traps.total
+    fn(*args, **kwargs)
+    return cpu.traps.total - before
+
+
+# ---------------------------------------------------------------------------
+# EL1 context save/restore
+# ---------------------------------------------------------------------------
+
+def test_save_el1_traps_per_register_non_vhe_v83():
+    cpu, ops, ctx = make_vel2()
+    count = traps_of(cpu, ws.save_el1_state, ops, ctx)
+    # 20 EL1 registers + MDSCR trap; the 3 EL0 registers do not.
+    assert count == len(ws.EL1_STATE) + len(ws.DEBUG_STATE)
+
+
+def test_save_el1_traps_for_vhe_guest_via_el12(cpu_v83=None):
+    cpu, ops, ctx = make_vel2(vhe=True)
+    count = traps_of(cpu, ws.save_el1_state, ops, ctx)
+    assert count == len(ws.EL1_STATE) + len(ws.DEBUG_STATE)
+
+
+def test_save_el1_trapless_under_neve():
+    """Table 3 deferral plus the MDSCR cached-copy read."""
+    cpu, ops, ctx = make_vel2(neve=False, vhe=False)
+    cpu_neve, ops_neve, ctx_neve = make_vel2(neve=True)
+    assert traps_of(cpu_neve, ws.save_el1_state, ops_neve, ctx_neve) == 0
+
+
+def test_restore_el1_under_neve_traps_only_mdscr():
+    cpu, ops, ctx = make_vel2(neve=True)
+    count = traps_of(cpu, ws.restore_el1_state, ops, ctx)
+    assert count == 1  # MDSCR_EL1 write (cached copy)
+
+
+def test_save_restore_preserve_values_via_host_emulation():
+    """What the guest hypervisor saves must come back on restore."""
+    cpu, ops, ctx = make_vel2()
+    cpu.trap_handler.vregs.write("SCTLR_EL1", 0xAAA)
+    ws.save_el1_state(ops, ctx)
+    assert ctx.peek("SCTLR_EL1") == 0xAAA
+    ctx.poke("SCTLR_EL1", 0xBBB)
+    ws.restore_el1_state(ops, ctx)
+    assert cpu.trap_handler.vregs.read("SCTLR_EL1") == 0xBBB
+
+
+# ---------------------------------------------------------------------------
+# Trap configuration
+# ---------------------------------------------------------------------------
+
+def test_activate_traps_counts():
+    cpu, ops, ctx = make_vel2()
+    v83 = traps_of(cpu, ws.activate_traps, ops, False, 0x1000)
+    cpu2, ops2, _ = make_vel2(neve=True)
+    neve = traps_of(cpu2, ws.activate_traps, ops2, False, 0x1000)
+    assert v83 >= 8  # HCR rmw, CPTR, MDCR, HSTR, VTTBR, VTCR, IDs, TPIDR
+    assert neve == 2  # only CPTR and MDCR (trap on write)
+
+
+def test_deactivate_traps_counts():
+    cpu, ops, _ = make_vel2()
+    v83 = traps_of(cpu, ws.deactivate_traps, ops, False)
+    cpu2, ops2, _ = make_vel2(neve=True)
+    neve = traps_of(cpu2, ws.deactivate_traps, ops2, False)
+    assert v83 >= 5
+    assert neve == 2
+
+
+def test_vhe_guest_cptr_via_cpacr_never_traps():
+    """VHE KVM writes CPTR through the E2H-redirected CPACR encoding,
+    which goes straight to hardware EL1 at virtual EL2 (Section 5)."""
+    cpu, ops, _ = make_vel2(vhe=True)
+    before = cpu.traps.total
+    ops.write_hyp("CPTR_EL2", 1)
+    assert cpu.traps.total == before  # no trap, even on ARMv8.3
+
+
+def test_non_vhe_cptr_write_traps_even_with_neve():
+    cpu, ops, _ = make_vel2(neve=True, vhe=False)
+    before = cpu.traps.total
+    ops.write_hyp("CPTR_EL2", 1)
+    assert cpu.traps.total == before + 1
+
+
+# ---------------------------------------------------------------------------
+# Exception context
+# ---------------------------------------------------------------------------
+
+def test_exit_context_traps_non_vhe_v83():
+    cpu, ops, _ = make_vel2()
+    count = traps_of(cpu, ws.read_exit_context, ops)
+    assert count == 5  # ESR, ELR, SPSR, TPIDR_EL2, HCR
+
+
+def test_exit_context_trapless_for_vhe_v83_syndrome_reads():
+    """ESR/ELR/SPSR via EL1 encodings don't trap; TPIDR_EL2/HCR do."""
+    cpu, ops, _ = make_vel2(vhe=True)
+    count = traps_of(cpu, ws.read_exit_context, ops)
+    assert count == 2
+
+
+def test_exit_context_trapless_under_neve():
+    cpu, ops, _ = make_vel2(neve=True)
+    assert traps_of(cpu, ws.read_exit_context, ops) == 0
+
+
+def test_abort_context_adds_far_and_hpfar():
+    cpu, ops, _ = make_vel2()
+    plain = traps_of(cpu, ws.read_exit_context, ops, False)
+    abort = traps_of(cpu, ws.read_exit_context, ops, True)
+    assert abort == plain + 2  # the Device I/O benchmark's +2 traps
+
+
+# ---------------------------------------------------------------------------
+# vGIC and timers
+# ---------------------------------------------------------------------------
+
+def test_vgic_save_restore_trap_counts_v83():
+    cpu, ops, ctx = make_vel2()
+    save = traps_of(cpu, ws.vgic_save, ops, ctx, 0)
+    restore = traps_of(cpu, ws.vgic_restore, ops, ctx, 0)
+    assert save == 4  # VTR, HCR read, VMCR read, HCR write
+    assert restore == 3  # HCR read, VMCR write, HCR write
+
+
+def test_vgic_trap_counts_neve():
+    cpu, ops, ctx = make_vel2(neve=True)
+    save = traps_of(cpu, ws.vgic_save, ops, ctx, 0)
+    restore = traps_of(cpu, ws.vgic_restore, ops, ctx, 0)
+    assert save == 1  # only the ICH_HCR write
+    assert restore == 2  # VMCR + HCR writes
+
+
+def test_vgic_live_lrs_add_traps():
+    cpu, ops, ctx = make_vel2(neve=True)
+    for index in range(2):
+        ctx.poke("ICH_LR%d_EL2" % index, 1)
+    base = traps_of(cpu, ws.vgic_restore, ops, ctx, 0)
+    with_lrs = traps_of(cpu, ws.vgic_restore, ops, ctx, 2)
+    assert with_lrs > base  # each LR write is a cached-copy write trap
+
+
+def test_timer_trap_counts_non_vhe():
+    cpu, ops, ctx = make_vel2()
+    save = traps_of(cpu, ws.timer_save, ops, ctx, False)
+    restore = traps_of(cpu, ws.timer_restore, ops, ctx, False)
+    assert save == 2  # CNTHCTL read + write (CNTV is EL0: free)
+    assert restore == 4  # CNTVOFF r/w + CNTHCTL r/w
+
+
+def test_timer_trap_counts_vhe_el02_always_trap():
+    """Section 7.1: the VHE guest hypervisor's EL02 timer accesses trap
+    even with NEVE."""
+    cpu, ops, ctx = make_vel2(vhe=True, neve=True)
+    save = traps_of(cpu, ws.timer_save, ops, ctx, True)
+    restore = traps_of(cpu, ws.timer_restore, ops, ctx, True)
+    assert save == 3  # 2 EL02 reads + 1 EL02 write
+    assert restore == 3  # CNTVOFF write + 2 EL02 writes
+
+
+def test_timer_trap_counts_non_vhe_neve():
+    cpu, ops, ctx = make_vel2(neve=True)
+    save = traps_of(cpu, ws.timer_save, ops, ctx, False)
+    restore = traps_of(cpu, ws.timer_restore, ops, ctx, False)
+    assert save == 1  # CNTHCTL write
+    assert restore == 2  # CNTVOFF write + CNTHCTL write
+
+
+# ---------------------------------------------------------------------------
+# Composition
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("vhe,neve,low,high", [
+    (False, False, 115, 135),  # paper: 126
+    (True, False, 68, 88),  # paper: 82
+    (False, True, 12, 18),  # paper: 15
+    (True, True, 12, 18),  # paper: 15
+])
+def test_full_round_trip_trap_budget(vhe, neve, low, high):
+    """A hand-driven guest-hypervisor round trip lands in the paper's
+    Table 7 band for each configuration."""
+    cpu, ops, ctx = make_vel2(vhe=vhe, neve=neve)
+    host_ctx = VcpuStruct(cpu)
+    before = cpu.traps.total
+    cpu.hvc(0)  # stands in for the initial L2 exit reaching L0
+    ws.hyp_entry(cpu)
+    ws.read_exit_context(ops)
+    ws.save_el1_state(ops, ctx)
+    ws.timer_save(ops, ctx, vhe)
+    ws.vgic_save(ops, ctx, 0)
+    if not vhe:
+        ws.restore_el1_state(ops, host_ctx)
+    ws.deactivate_traps(ops, vhe)
+    if not vhe:
+        ws.prepare_exception_return(ops, 0x1000, 0x5)
+        cpu.hvc(0)
+        ws.hyp_entry(cpu)
+        ws.save_el1_state(ops, host_ctx)
+    ws.activate_traps(ops, vhe, 0x1000)
+    ws.timer_restore(ops, ctx, vhe)
+    ws.vgic_restore(ops, ctx, 0)
+    ws.restore_el1_state(ops, ctx)
+    ws.prepare_exception_return(ops, 0x2000, 0x5)
+    count = cpu.traps.total - before
+    assert low <= count <= high, count

@@ -1,0 +1,114 @@
+"""Long-scenario end-to-end tests: realistic mixed activity across the
+full stack, checking state coherence and accounting consistency."""
+
+import pytest
+
+import repro
+from repro.arch.features import ARMV8_3, ARMV8_4
+from repro.hypervisor import psci
+from repro.hypervisor.kvm import L1_VIRTIO_BASE, Machine
+from repro.hypervisor.nested import GUEST_IPI_SGI
+from repro.hypervisor.vcpu import VcpuMode
+
+
+def test_public_api_surface():
+    """Everything in __all__ must import and be usable."""
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    suite = repro.make_microbench("arm-vm")
+    assert isinstance(suite, repro.ArmMicrobench)
+    assert isinstance(suite.run("hypercall", 2), repro.MicrobenchResult)
+
+
+@pytest.mark.parametrize("mode,guest_vhe", [
+    ("nv", False), ("nv", True), ("neve", False), ("neve", True)])
+def test_mixed_activity_scenario(mode, guest_vhe):
+    """Boot, PSCI, device probing, hypercalls, IPIs, and state checks —
+    the nested_boot example's scenario as a regression test."""
+    machine = Machine(arch=ARMV8_3 if mode == "nv" else ARMV8_4)
+    vm = machine.kvm.create_vm(num_vcpus=2, nested=mode,
+                               guest_vhe=guest_vhe)
+    for vcpu in vm.vcpus:
+        machine.kvm.boot_nested(vcpu)
+    boot, secondary = vm.vcpus
+    boot.cpu.msr("TPIDR_EL0", 0xB007)
+    boot.cpu.msr("CONTEXTIDR_EL1", 0x42)
+
+    # Device probe sweep.
+    for offset in range(0, 0x20, 8):
+        assert boot.cpu.mmio_read(L1_VIRTIO_BASE + offset) == \
+            machine.device_read(L1_VIRTIO_BASE + offset)
+
+    # PSCI interrogation through two hypervisor layers.
+    assert boot.cpu.smc(psci.PSCI_VERSION) == psci.REPORTED_VERSION
+
+    # A burst of hypercalls and IPIs.
+    for _ in range(3):
+        assert boot.cpu.hvc(0) == 0
+        boot.cpu.msr("ICC_SGI1R_EL1", (GUEST_IPI_SGI << 24) | 1)
+        secondary.cpu.deliver_interrupt()
+        intid = secondary.cpu.mrs("ICC_IAR1_EL1")
+        assert intid == GUEST_IPI_SGI
+        secondary.cpu.msr("ICC_EOIR1_EL1", intid)
+
+    # State survived everything.
+    assert boot.cpu.mrs("TPIDR_EL0") == 0xB007
+    assert boot.cpu.mrs("CONTEXTIDR_EL1") == 0x42
+    assert boot.mode is VcpuMode.NESTED
+    assert secondary.mode is VcpuMode.NESTED
+    # Interface fully drained.
+    assert secondary.pending_virqs == []
+    assert machine.gic.used_lr_count(secondary.cpu) == 0
+
+
+def test_accounting_never_goes_backwards():
+    machine = Machine(arch=ARMV8_3)
+    vm = machine.kvm.create_vm(num_vcpus=1, nested="nv")
+    machine.kvm.boot_nested(vm.vcpus[0])
+    last_cycles = last_traps = 0
+    for _ in range(5):
+        vm.vcpus[0].cpu.hvc(0)
+        assert machine.ledger.total > last_cycles
+        assert machine.traps.total > last_traps
+        last_cycles = machine.ledger.total
+        last_traps = machine.traps.total
+    # Category breakdown sums to the total.
+    assert sum(machine.ledger.by_category.values()) == \
+        machine.ledger.total
+
+
+def test_two_vms_on_one_host_are_isolated():
+    """A nested VM and an ordinary VM coexist; their device state and
+    register state never mix."""
+    machine = Machine(arch=ARMV8_4, num_cpus=2)
+    nested_vm = machine.kvm.create_vm(num_vcpus=1, nested="neve")
+    machine.kvm.boot_nested(nested_vm.vcpus[0])
+    plain_vm = machine.kvm.create_vm(num_vcpus=1)
+    # Pin the plain VM's vcpu to the second physical CPU.
+    plain_vcpu = plain_vm.vcpus[0]
+    plain_vcpu.cpu = machine.cpu(1)
+    machine.kvm.run_vcpu(plain_vcpu)
+
+    nested_vm.vcpus[0].cpu.msr("TPIDR_EL1", 0x1111)
+    plain_vcpu.cpu.msr("TPIDR_EL1", 0x2222)
+    nested_vm.vcpus[0].cpu.hvc(0)
+    plain_vcpu.cpu.hvc(0)
+    assert nested_vm.vcpus[0].cpu.mrs("TPIDR_EL1") == 0x1111
+    assert plain_vcpu.cpu.mrs("TPIDR_EL1") == 0x2222
+    assert nested_vm.vmid != plain_vm.vmid
+
+
+def test_hundred_iteration_stability():
+    """Per-iteration costs are exactly stable over a long run (the
+    simulation is deterministic and leak-free)."""
+    machine = Machine(arch=ARMV8_3)
+    vm = machine.kvm.create_vm(num_vcpus=1, nested="nv")
+    machine.kvm.boot_nested(vm.vcpus[0])
+    cpu = vm.vcpus[0].cpu
+    cpu.hvc(0)
+    costs = set()
+    for _ in range(100):
+        start = machine.ledger.total
+        cpu.hvc(0)
+        costs.add(machine.ledger.total - start)
+    assert len(costs) == 1

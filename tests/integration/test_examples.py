@@ -1,0 +1,38 @@
+"""Example-script smoke tests (compile + fast ones executed)."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parents[2].glob("examples/*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "exit_multiplication.py",
+            "paravirt_rewriting.py", "trap_cost_validation.py",
+            "virtio_notification_study.py", "recursive_nesting.py",
+            "nested_boot.py", "arm_vs_x86.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", [
+    "trap_cost_validation.py",
+    "virtio_notification_study.py",
+    "recursive_nesting.py",
+    "paravirt_rewriting.py",
+])
+def test_fast_examples_run(name):
+    path = next(p for p in EXAMPLES if p.name == name)
+    proc = subprocess.run([sys.executable, str(path)],
+                          capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr[-500:]
+    assert proc.stdout.strip()

@@ -1,0 +1,174 @@
+"""The paper's headline claims, asserted end-to-end.
+
+Each test quotes the claim it checks.  These run the full stack (both
+machine models, all seven configurations) and are the highest-level
+regression net for the reproduction.
+"""
+
+import pytest
+
+from repro.harness.configs import make_microbench
+from repro.workloads.appbench import AppBenchmark
+
+_SUITES = {}
+_APP = {}
+
+
+def bench(config, name, iterations=6):
+    if config not in _SUITES:
+        _SUITES[config] = make_microbench(config)
+    return _SUITES[config].run(name, iterations=iterations)
+
+
+def app():
+    if not _APP:
+        _APP.update(AppBenchmark(iterations=4).figure2())
+    return _APP
+
+
+class TestAbstractClaims:
+    def test_arm_nested_much_worse_than_x86(self):
+        """'despite similarities between ARM and x86 nested
+        virtualization support, performance on ARM is much worse than on
+        x86' — in both cycles and relative overhead."""
+        arm = bench("arm-nested", "hypercall")
+        x86 = bench("x86-nested", "hypercall")
+        assert arm.cycles > 10 * x86.cycles
+        arm_rel = arm.cycles / bench("arm-vm", "hypercall").cycles
+        x86_rel = x86.cycles / bench("x86-vm", "hypercall").cycles
+        assert arm_rel > 3 * x86_rel
+
+    def test_excessive_traps_are_the_cause(self):
+        """'This is due to excessive traps to the hypervisor.'"""
+        assert bench("arm-nested", "hypercall").traps > \
+            20 * bench("x86-nested", "hypercall").traps
+
+    def test_neve_large_improvement_on_applications(self):
+        """'NEVE allows hypervisors running real application workloads to
+        provide an order of magnitude better performance than current ARM
+        nested virtualization support.'  Our linear event model bounds
+        the application-level improvement at the microbenchmark ratio
+        (~5x); the paper's >10x relied on nonlinear overload effects —
+        see EXPERIMENTS.md.  We assert the improvement approaches that
+        bound on every interrupt-heavy workload."""
+        improvements = []
+        for workload in ("netperf_tcp_maerts", "apache", "nginx",
+                         "memcached"):
+            v83 = app()[workload]["arm-nested"].overhead - 1
+            neve = app()[workload]["neve-nested"].overhead - 1
+            improvements.append(v83 / neve)
+        assert max(improvements) > 4.5
+        assert min(improvements) > 4.0
+
+    def test_neve_up_to_three_times_less_overhead_than_x86(self):
+        """'up to three times less overhead than x86 nested
+        virtualization' — on at least one workload NEVE's added overhead
+        is well below x86's."""
+        best = min(
+            (app()[w]["x86-nested"].overhead - 1)
+            / (app()[w]["neve-nested"].overhead - 1)
+            for w in ("netperf_tcp_maerts", "nginx", "memcached", "mysql"))
+        assert best > 1.0  # NEVE strictly wins on each of the four
+        worst_case = max(
+            (app()[w]["x86-nested"].overhead - 1)
+            / (app()[w]["neve-nested"].overhead - 1)
+            for w in ("netperf_tcp_maerts", "nginx", "memcached", "mysql"))
+        assert worst_case >= 1.2
+
+
+class TestSection5Claims:
+    def test_hypercall_126_and_82_traps(self):
+        """'it causes 126 and 82 traps to the host hypervisor when
+        running in a nested VM using a non-VHE and VHE guest hypervisor,
+        respectively' (we land within a few traps; see EXPERIMENTS.md)."""
+        assert abs(bench("arm-nested", "hypercall").traps - 126) <= 6
+        assert abs(bench("arm-nested-vhe", "hypercall").traps - 82) <= 8
+
+    def test_nested_hypercall_155x_and_113x_slower(self):
+        """'making hypercalls from a nested VM ... is 155 and 113 times
+        more expensive' — hold the order of magnitude."""
+        vm = bench("arm-vm", "hypercall").cycles
+        assert 100 <= bench("arm-nested", "hypercall").cycles / vm <= 180
+        assert 70 <= bench("arm-nested-vhe", "hypercall").cycles / vm <= 130
+
+    def test_virtual_eoi_same_cost_at_all_levels(self):
+        """'resulting in the same cost for both VMs and nested VMs.'"""
+        costs = {bench(c, "virtual_eoi").cycles
+                 for c in ("arm-vm", "arm-nested", "arm-nested-vhe",
+                           "neve-nested", "neve-nested-vhe")}
+        assert len(costs) == 1
+
+
+class TestSection7Claims:
+    def test_neve_5x_faster_than_v83(self):
+        """'NEVE provides up to 5 times faster performance than ARMv8.3
+        for both non-VHE and VHE guest hypervisors.'"""
+        for vhe in ("", "-vhe"):
+            ratio = (bench("arm-nested%s" % vhe, "hypercall").cycles
+                     / bench("neve-nested%s" % vhe, "hypercall").cycles)
+            assert 3.0 <= ratio <= 6.5, ratio
+
+    def test_trap_reduction_factor_of_six(self):
+        """'NEVE reduces the number of traps by more than six times.'"""
+        for name in ("hypercall", "device_io", "virtual_ipi"):
+            ratio = (bench("arm-nested", name).traps
+                     / bench("neve-nested", name).traps)
+            assert ratio >= 6, (name, ratio)
+
+    def test_neve_slowdown_close_to_x86_slowdown(self):
+        """'NEVE incurs a 34 to 37 times slowdown while x86 incurs a 31
+        times slowdown running in a nested vs non-nested VM.'"""
+        neve = (bench("neve-nested", "hypercall").cycles
+                / bench("arm-vm", "hypercall").cycles)
+        x86 = (bench("x86-nested", "hypercall").cycles
+               / bench("x86-vm", "hypercall").cycles)
+        assert 15 <= neve <= 45
+        assert 20 <= x86 <= 40
+        assert 0.5 <= neve / x86 <= 1.6
+
+    def test_non_vhe_and_vhe_need_same_traps_with_neve(self):
+        """'non-VHE and VHE guest hypervisors require the same number of
+        traps for Hypercall' (±2 in our model) 'they incur different
+        numbers of cycles ... as the traps incurred are different with
+        different emulation costs'."""
+        non_vhe = bench("neve-nested", "hypercall")
+        vhe = bench("neve-nested-vhe", "hypercall")
+        assert abs(non_vhe.traps - vhe.traps) <= 2
+        assert vhe.cycles != non_vhe.cycles
+
+    def test_memcached_anomaly_direction(self):
+        """'Memcached running in a nested VM on x86 shows an 8 times
+        slowdown compared to only a 2.5 times slowdown on NEVE' — we
+        require x86 > NEVE with a clear margin."""
+        x86 = app()["memcached"]["x86-nested"].overhead
+        neve = app()["memcached"]["neve-nested"].overhead
+        assert x86 > neve * 1.15
+
+    def test_faster_hardware_more_virtualization_overhead(self):
+        """'having faster hardware can result in more virtualization
+        overhead' — the virtio feedback loop."""
+        from repro.hypervisor.virtio import VirtioQueue
+        times = [i * 8_000 for i in range(1_000)]
+        slow_hw = VirtioQueue(9_000, 4_000).simulate(times)
+        fast_hw = VirtioQueue(3_000, 4_000).simulate(times)
+        assert fast_hw.kicks > slow_hw.kicks
+
+
+class TestConsistencyAcrossBenchmarks:
+    @pytest.mark.parametrize("config", [
+        "arm-nested", "arm-nested-vhe", "neve-nested", "neve-nested-vhe"])
+    def test_device_io_two_extra_traps(self, config):
+        """FAR/HPFAR reads make Device I/O exactly Hypercall + small
+        constant across every nested ARM configuration."""
+        delta = (bench(config, "device_io").traps
+                 - bench(config, "hypercall").traps)
+        assert 0 <= delta <= 3, delta
+
+    @pytest.mark.parametrize("config", [
+        "arm-nested", "arm-nested-vhe", "neve-nested"])
+    def test_ipi_roughly_two_round_trips(self, config):
+        """A virtual IPI costs both a sender and a receiver exit, so its
+        trap count is ~2x Hypercall plus vGIC emulation."""
+        ipi = bench(config, "virtual_ipi").traps
+        hypercall = bench(config, "hypercall").traps
+        assert 1.8 * hypercall <= ipi <= 2.6 * hypercall + 10

@@ -1,0 +1,30 @@
+"""Golden-value regression tests."""
+
+from repro.harness.regression import GOLDENS, Golden, check_goldens, render_regression
+
+
+def test_golden_tolerance_logic():
+    golden = Golden("c", "b", "cycles", 100, 0.10)
+    assert golden.check(105)
+    assert not golden.check(120)
+    zero = Golden("c", "b", "traps", 0, 0.0)
+    assert zero.check(0)
+    assert not zero.check(1)
+
+
+def test_goldens_cover_both_metrics_and_platforms():
+    metrics = {g.metric for g in GOLDENS}
+    configs = {g.config for g in GOLDENS}
+    assert metrics == {"cycles", "traps"}
+    assert "x86-nested" in configs and "neve-nested" in configs
+
+
+def test_all_goldens_pass():
+    passed, failures = check_goldens(iterations=5)
+    assert failures == [], failures
+    assert passed == len(GOLDENS)
+
+
+def test_render():
+    text = render_regression(iterations=3)
+    assert "checks passed" in text

@@ -1,0 +1,23 @@
+"""One-shot verdict tests."""
+
+from repro.harness.summary import Check, render_summary, run_summary
+
+
+def test_all_claims_reproduce():
+    checks = run_summary(iterations=4)
+    failed = [check.name for check in checks if not check.passed]
+    assert failed == [], failed
+    assert len(checks) >= 8
+
+
+def test_render_verdict():
+    text, ok = render_summary(iterations=3)
+    assert ok
+    assert "PASS" in text
+    assert "claims reproduced" in text
+
+
+def test_check_dataclass():
+    check = Check("x", False, "why")
+    assert not check.passed
+    assert check.detail == "why"

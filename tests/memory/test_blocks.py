@@ -1,0 +1,95 @@
+"""Block (2 MB) mapping tests, including shadow-table splitting."""
+
+import pytest
+
+from repro.memory.pagetable import (
+    BLOCK_SIZE,
+    PageTable,
+    Permission,
+    block_align,
+)
+from repro.memory.phys import PAGE_SIZE
+from repro.memory.shadow import ShadowStage2
+
+
+def test_block_align():
+    assert block_align(BLOCK_SIZE + 123) == BLOCK_SIZE
+    assert block_align(BLOCK_SIZE - 1) == 0
+
+
+def test_block_mapping_translates_any_offset():
+    table = PageTable()
+    table.map_block(0, 0x4000_0000)
+    assert table.translate(0x12_3456) == 0x4012_3456
+    assert table.translate(BLOCK_SIZE - 8) == 0x4000_0000 + BLOCK_SIZE - 8
+
+
+def test_block_requires_alignment():
+    with pytest.raises(ValueError):
+        PageTable().map_block(0x1000, 0x4000_0000)
+    with pytest.raises(ValueError):
+        PageTable().map_block(0, 0x4000_1000)
+
+
+def test_page_entry_overrides_covering_block():
+    """The split case: a page remap inside a block wins."""
+    table = PageTable()
+    table.map_block(0, 0x4000_0000)
+    table.map_page(0x3000, 0x9000_0000)
+    assert table.translate(0x3008) == 0x9000_0008
+    assert table.translate(0x4008) == 0x4000_4008  # rest of the block
+
+
+def test_unmap_block():
+    table = PageTable()
+    table.map_block(0, 0x4000_0000)
+    table.unmap_block(0x1234)
+    assert table.lookup(0x0) is None
+
+
+def test_block_permissions_respected():
+    table = PageTable()
+    table.map_block(0, 0x4000_0000, perm=Permission.R)
+    from repro.memory.pagetable import TranslationFault
+    with pytest.raises(TranslationFault):
+        table.translate(0x100, Permission.W)
+
+
+def test_contains_sees_blocks():
+    table = PageTable()
+    table.map_block(BLOCK_SIZE, 0x4000_0000)
+    assert BLOCK_SIZE + 0x5000 in table
+    assert 0x5000 not in table
+
+
+def test_block_count():
+    table = PageTable()
+    table.map_block(0, 0x4000_0000)
+    table.map_block(BLOCK_SIZE, 0x4020_0000)
+    assert table.block_count == 2
+
+
+def test_shadow_splits_guest_blocks_to_pages():
+    """When the guest stage-2 uses a 2 MB block but the host stage-2 only
+    offers 4 KB pages, the collapsed shadow must degrade to page
+    granularity — each distinct page faults separately."""
+    guest = PageTable(stage=2)
+    host = PageTable(stage=2)
+    guest.map_block(0, 0x40_0000)  # one block entry
+    host.map_range(0x40_0000, 0x8000_0000, BLOCK_SIZE)  # 512 page entries
+    shadow = ShadowStage2(guest, host)
+    assert shadow.translate(0x1234) == 0x8000_1234
+    assert shadow.translate(0x5678) == 0x8000_5678
+    assert shadow.faults_handled == 2  # split: one fault per page
+    assert shadow.table.block_count == 0
+    assert len(shadow.table) == 2
+
+
+def test_shadow_block_chain_matches_full_walk():
+    guest = PageTable(stage=2)
+    host = PageTable(stage=2)
+    guest.map_block(BLOCK_SIZE, 0x40_0000)
+    host.map_range(0x40_0000, 0x9000_0000, BLOCK_SIZE)
+    shadow = ShadowStage2(guest, host)
+    addr = BLOCK_SIZE + 7 * PAGE_SIZE + 16
+    assert shadow.translate(addr) == host.translate(guest.translate(addr))

@@ -1,0 +1,125 @@
+"""Stage-1/stage-2 page table tests."""
+
+import pytest
+
+from repro.memory.pagetable import (
+    FaultType,
+    PageTable,
+    Permission,
+    TranslationFault,
+)
+
+
+def test_map_and_translate():
+    table = PageTable()
+    table.map_page(0x1000, 0x8000_1000)
+    assert table.translate(0x1234) == 0x8000_1234
+
+
+def test_offset_preserved_within_page():
+    table = PageTable()
+    table.map_page(0x0, 0x9000)
+    assert table.translate(0xABC) == 0x9ABC
+
+
+def test_unmapped_address_faults_with_input_address():
+    table = PageTable(stage=2)
+    with pytest.raises(TranslationFault) as excinfo:
+        table.translate(0x5000)
+    fault = excinfo.value
+    assert fault.stage == 2
+    assert fault.address == 0x5000
+    assert fault.fault_type is FaultType.TRANSLATION
+
+
+def test_permission_fault():
+    table = PageTable()
+    table.map_page(0x1000, 0x2000, perm=Permission.R)
+    assert table.translate(0x1000, Permission.R) == 0x2000
+    with pytest.raises(TranslationFault) as excinfo:
+        table.translate(0x1000, Permission.W)
+    assert excinfo.value.fault_type is FaultType.PERMISSION
+    assert excinfo.value.is_write
+
+
+def test_map_range_covers_every_page():
+    table = PageTable()
+    table.map_range(0x0, 0x10_0000, 4 * 4096)
+    for offset in (0, 0x1000, 0x2000, 0x3FF8):
+        assert table.translate(offset) == 0x10_0000 + offset
+    with pytest.raises(TranslationFault):
+        table.translate(0x4000)
+
+
+def test_map_range_rejects_bad_size():
+    with pytest.raises(ValueError):
+        PageTable().map_range(0, 0, 0)
+
+
+def test_unmap_page():
+    table = PageTable()
+    table.map_page(0x1000, 0x2000)
+    table.unmap_page(0x1000)
+    with pytest.raises(TranslationFault):
+        table.translate(0x1000)
+
+
+def test_unmap_all():
+    table = PageTable()
+    table.map_range(0, 0, 8 * 4096)
+    table.unmap_all()
+    assert len(table) == 0
+
+
+def test_remap_overwrites():
+    table = PageTable()
+    table.map_page(0x1000, 0x2000)
+    table.map_page(0x1000, 0x3000)
+    assert table.translate(0x1000) == 0x3000
+
+
+def test_contains_and_len():
+    table = PageTable()
+    table.map_page(0x1000, 0x2000)
+    assert 0x1800 in table
+    assert 0x2000 not in table
+    assert len(table) == 1
+
+
+def test_lookup_does_not_fault():
+    table = PageTable()
+    assert table.lookup(0x1000) is None
+
+
+def test_mapped_pages_sorted():
+    table = PageTable()
+    table.map_page(0x3000, 0x1)
+    table.map_page(0x1000, 0x2)
+    pages = [page for page, _ in table.mapped_pages()]
+    assert pages == sorted(pages)
+
+
+def test_device_mapping_flag():
+    table = PageTable()
+    table.map_page(0x0900_0000, 0x0900_0000, is_device=True)
+    assert table.lookup(0x0900_0000).is_device
+
+
+def test_el2_format_tag():
+    """ARMv8.3 lets a deprivileged hypervisor keep its EL2 page table
+    format at EL1 (Section 2); the model tracks the format as metadata."""
+    table = PageTable(stage=1, fmt="el2", name="guest-hyp-s1")
+    assert table.fmt == "el2"
+
+
+def test_invalid_constructor_arguments():
+    with pytest.raises(ValueError):
+        PageTable(stage=3)
+    with pytest.raises(ValueError):
+        PageTable(fmt="el3")
+
+
+def test_permission_flags_compose():
+    assert Permission.RW == Permission.R | Permission.W
+    assert Permission.RWX & Permission.X
+    assert not (Permission.R & Permission.W)

@@ -1,0 +1,134 @@
+"""Physical memory and region tests."""
+
+import pytest
+
+from repro.memory.phys import (
+    PAGE_SIZE,
+    FrameAllocator,
+    MemoryRegion,
+    PhysicalMemory,
+    is_page_aligned,
+    page_align,
+)
+
+
+def test_page_align():
+    assert page_align(0x1234) == 0x1000
+    assert page_align(0x1000) == 0x1000
+    assert is_page_aligned(0x2000)
+    assert not is_page_aligned(0x2008)
+
+
+def test_word_round_trip():
+    mem = PhysicalMemory()
+    mem.write_word(0x1000, 0xDEAD)
+    assert mem.read_word(0x1000) == 0xDEAD
+
+
+def test_unwritten_memory_reads_zero():
+    assert PhysicalMemory().read_word(0x4_0000_0000) == 0
+
+
+def test_values_truncate_to_64_bits():
+    mem = PhysicalMemory()
+    mem.write_word(0x0, (1 << 65) | 7)
+    assert mem.read_word(0x0) == 7
+
+
+def test_unaligned_access_rejected():
+    mem = PhysicalMemory()
+    with pytest.raises(ValueError):
+        mem.read_word(0x1001)
+    with pytest.raises(ValueError):
+        mem.write_word(0x1004, 1)
+
+
+def test_memory_is_sparse():
+    mem = PhysicalMemory()
+    mem.write_word(0x10_0000_0000, 1)  # 64 GB address
+    assert mem.footprint_words == 1
+
+
+def test_regions_classify_addresses():
+    mem = PhysicalMemory()
+    mem.add_region(MemoryRegion("ram", 0x8000_0000, 0x1000_0000))
+    mem.add_region(MemoryRegion("dev", 0x0900_0000, 0x1_0000,
+                                is_mmio=True))
+    assert mem.region_at(0x8000_1000).name == "ram"
+    assert mem.is_mmio(0x0900_0050)
+    assert not mem.is_mmio(0x8000_0000)
+    assert mem.region_at(0x100) is None
+
+
+def test_overlapping_regions_rejected():
+    mem = PhysicalMemory()
+    mem.add_region(MemoryRegion("a", 0x1000, 0x1000))
+    with pytest.raises(ValueError):
+        mem.add_region(MemoryRegion("b", 0x1800, 0x1000))
+
+
+def test_adjacent_regions_allowed():
+    mem = PhysicalMemory()
+    mem.add_region(MemoryRegion("a", 0x1000, 0x1000))
+    mem.add_region(MemoryRegion("b", 0x2000, 0x1000))
+
+
+def test_region_validation():
+    with pytest.raises(ValueError):
+        MemoryRegion("bad", 0x1000, 0)
+    with pytest.raises(ValueError):
+        MemoryRegion("bad", -4096, 0x1000)
+
+
+def test_strict_mode_rejects_unmapped_access():
+    mem = PhysicalMemory(strict=True)
+    mem.add_region(MemoryRegion("ram", 0x1000, 0x1000))
+    mem.write_word(0x1008, 5)
+    with pytest.raises(ValueError):
+        mem.write_word(0x9000, 5)
+
+
+def test_zero_page():
+    mem = PhysicalMemory()
+    mem.write_word(0x2000, 1)
+    mem.write_word(0x2008, 2)
+    mem.zero_page(0x2000)
+    assert mem.read_word(0x2000) == 0
+    assert mem.footprint_words == 0
+
+
+def test_read_page_returns_all_words():
+    mem = PhysicalMemory()
+    mem.write_word(0x3000, 0xAA)
+    page = mem.read_page(0x3000)
+    assert len(page) == PAGE_SIZE // 8
+    assert page[0] == 0xAA
+
+
+def test_page_ops_require_alignment():
+    mem = PhysicalMemory()
+    with pytest.raises(ValueError):
+        mem.read_page(0x3008)
+    with pytest.raises(ValueError):
+        mem.zero_page(0x3008)
+
+
+def test_frame_allocator_hands_out_aligned_frames():
+    alloc = FrameAllocator(0x10000, 4 * PAGE_SIZE)
+    first = alloc.alloc()
+    second = alloc.alloc(pages=2)
+    assert first == 0x10000
+    assert second == 0x11000
+    assert alloc.allocated_bytes == 3 * PAGE_SIZE
+
+
+def test_frame_allocator_exhaustion():
+    alloc = FrameAllocator(0x0, PAGE_SIZE)
+    alloc.alloc()
+    with pytest.raises(MemoryError):
+        alloc.alloc()
+
+
+def test_frame_allocator_requires_alignment():
+    with pytest.raises(ValueError):
+        FrameAllocator(0x100, PAGE_SIZE)

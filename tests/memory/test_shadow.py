@@ -1,0 +1,120 @@
+"""Shadow stage-2 table tests (Section 4's memory virtualization)."""
+
+import pytest
+
+from repro.memory.pagetable import PageTable, Permission, TranslationFault
+from repro.memory.shadow import ShadowStage2
+
+
+def make_shadow():
+    guest = PageTable(stage=2, name="l1-s2")  # L2 PA -> L1 PA
+    host = PageTable(stage=2, name="l0-s2")  # L1 PA -> L0 PA
+    guest.map_range(0x0, 0x10_0000, 8 * 4096)
+    host.map_range(0x10_0000, 0x8000_0000, 8 * 4096)
+    return ShadowStage2(guest, host)
+
+
+def test_shadow_collapses_two_stages():
+    shadow = make_shadow()
+    assert shadow.translate(0x1234) == 0x8000_1234
+
+
+def test_shadow_entry_faulted_in_lazily():
+    shadow = make_shadow()
+    assert len(shadow.table) == 0
+    shadow.translate(0x0)
+    assert len(shadow.table) == 1
+    assert shadow.faults_handled == 1
+
+
+def test_second_access_hits_cached_entry():
+    shadow = make_shadow()
+    shadow.translate(0x2000)
+    shadow.translate(0x2008)
+    assert shadow.faults_handled == 1
+
+
+def test_guest_fault_propagates_for_forwarding():
+    """A miss in the guest hypervisor's stage-2 must be forwarded to the
+    guest hypervisor, so it surfaces as a stage-2 fault on its table."""
+    shadow = make_shadow()
+    with pytest.raises(TranslationFault) as excinfo:
+        shadow.translate(0x10_0000)  # unmapped in guest stage-2
+    assert excinfo.value.address == 0x10_0000
+
+
+def test_permissions_are_intersected():
+    guest = PageTable(stage=2)
+    host = PageTable(stage=2)
+    guest.map_page(0x0, 0x1000, perm=Permission.RW)
+    host.map_page(0x1000, 0x2000, perm=Permission.RX)
+    shadow = ShadowStage2(guest, host)
+    shadow.translate(0x0, Permission.R)
+    assert shadow.table.lookup(0x0).perm == Permission.R
+
+
+def test_device_attribute_propagates():
+    guest = PageTable(stage=2)
+    host = PageTable(stage=2)
+    guest.map_page(0x0, 0x1000)
+    host.map_page(0x1000, 0x0900_0000, is_device=True)
+    shadow = ShadowStage2(guest, host)
+    shadow.translate(0x0)
+    assert shadow.table.lookup(0x0).is_device
+
+
+def test_invalidate_l2_range():
+    shadow = make_shadow()
+    shadow.translate(0x0)
+    shadow.translate(0x1000)
+    shadow.invalidate_l2_range(0x0, 4096)
+    assert shadow.table.lookup(0x0) is None
+    assert shadow.table.lookup(0x1000) is not None
+
+
+def test_invalidate_for_l1_page():
+    """When L0 changes a mapping for an L1 page, every shadow entry
+    passing through it must be dropped."""
+    shadow = make_shadow()
+    shadow.translate(0x0)  # via L1 PA 0x10_0000
+    shadow.translate(0x1000)  # via L1 PA 0x10_1000
+    shadow.invalidate_for_l1_page(0x10_0000)
+    assert shadow.table.lookup(0x0) is None
+    assert shadow.table.lookup(0x1000) is not None
+
+
+def test_invalidate_all():
+    shadow = make_shadow()
+    shadow.translate(0x0)
+    shadow.invalidate_all()
+    assert len(shadow.table) == 0
+
+
+def test_verify_against_chain():
+    shadow = make_shadow()
+    for addr in (0x0, 0x1000, 0x3000):
+        shadow.translate(addr)
+    assert shadow.verify_against_chain()
+
+
+def test_verify_detects_stale_entries():
+    shadow = make_shadow()
+    shadow.translate(0x0)
+    # Change the guest stage-2 without invalidating the shadow.
+    shadow.guest_stage2.map_page(0x0, 0x10_2000)
+    with pytest.raises(AssertionError):
+        shadow.verify_against_chain()
+
+
+def test_shadow_equals_three_stage_walk():
+    """Section 4: the shadow's two-stage result must equal the full
+    L2VA -> L2PA -> L1PA -> L0PA chain."""
+    from repro.memory.translation import translate
+    l2_stage1 = PageTable(stage=1, name="l2-s1")
+    l2_stage1.map_page(0xFFFF_0000, 0x2000)
+    shadow = make_shadow()
+    via_chain = translate(0xFFFF_0123,
+                          [l2_stage1, shadow.guest_stage2,
+                           shadow.host_stage2])
+    ipa = l2_stage1.translate(0xFFFF_0123)
+    assert shadow.translate(ipa) == via_chain

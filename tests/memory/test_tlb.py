@@ -1,0 +1,85 @@
+"""VMID-tagged TLB tests."""
+
+import pytest
+
+from repro.memory.tlb import Tlb
+
+
+def test_fill_and_lookup():
+    tlb = Tlb()
+    tlb.fill(1, 0x1000, 0x8000_0000)
+    assert tlb.lookup(1, 0x1234) == 0x8000_0000
+
+
+def test_miss_returns_none():
+    tlb = Tlb()
+    assert tlb.lookup(1, 0x1000) is None
+    assert tlb.misses == 1
+
+
+def test_vmid_tags_isolate_translations():
+    """Different VMs' translations never alias (the property VTTBR's
+    VMID field provides)."""
+    tlb = Tlb()
+    tlb.fill(1, 0x1000, 0xAAAA_0000)
+    tlb.fill(2, 0x1000, 0xBBBB_0000)
+    assert tlb.lookup(1, 0x1000) == 0xAAAA_0000
+    assert tlb.lookup(2, 0x1000) == 0xBBBB_0000
+
+
+def test_invalidate_vmid_only_affects_that_vm():
+    tlb = Tlb()
+    tlb.fill(1, 0x1000, 0xA000)
+    tlb.fill(2, 0x1000, 0xB000)
+    tlb.invalidate_vmid(1)
+    assert tlb.lookup(1, 0x1000) is None
+    assert tlb.lookup(2, 0x1000) == 0xB000
+
+
+def test_invalidate_page():
+    tlb = Tlb()
+    tlb.fill(1, 0x1000, 0xA000)
+    tlb.fill(1, 0x2000, 0xC000)
+    tlb.invalidate_page(1, 0x1000)
+    assert tlb.lookup(1, 0x1000) is None
+    assert tlb.lookup(1, 0x2000) == 0xC000
+
+
+def test_invalidate_all():
+    tlb = Tlb()
+    tlb.fill(1, 0x1000, 0xA000)
+    tlb.invalidate_all()
+    assert len(tlb) == 0
+
+
+def test_lru_eviction():
+    tlb = Tlb(capacity=2)
+    tlb.fill(1, 0x1000, 0xA000)
+    tlb.fill(1, 0x2000, 0xB000)
+    tlb.lookup(1, 0x1000)  # refresh
+    tlb.fill(1, 0x3000, 0xC000)  # evicts 0x2000
+    assert tlb.lookup(1, 0x1000) is not None
+    assert tlb.lookup(1, 0x2000) is None
+
+
+def test_hit_rate():
+    tlb = Tlb()
+    tlb.fill(1, 0x1000, 0xA000)
+    tlb.lookup(1, 0x1000)
+    tlb.lookup(1, 0x2000)
+    assert tlb.hit_rate == pytest.approx(0.5)
+
+
+def test_hit_rate_empty():
+    assert Tlb().hit_rate == 0.0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tlb(capacity=0)
+
+
+def test_fill_page_aligns_values():
+    tlb = Tlb()
+    tlb.fill(1, 0x1234, 0x8000_0567)
+    assert tlb.lookup(1, 0x1000) == 0x8000_0000

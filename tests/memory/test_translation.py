@@ -1,0 +1,79 @@
+"""Translation regime and chain-walk tests."""
+
+import pytest
+
+from repro.memory.pagetable import PageTable, Permission, TranslationFault
+from repro.memory.tlb import Tlb
+from repro.memory.translation import TranslationRegime, translate
+
+
+def test_chain_walk_three_stages():
+    s1 = PageTable(stage=1)
+    g2 = PageTable(stage=2)
+    h2 = PageTable(stage=2)
+    s1.map_page(0xFFFF_0000, 0x1000)
+    g2.map_page(0x1000, 0x20_0000)
+    h2.map_page(0x20_0000, 0x8000_0000)
+    assert translate(0xFFFF_0ABC, [s1, g2, h2]) == 0x8000_0ABC
+
+
+def test_chain_walk_skips_none_tables():
+    s2 = PageTable(stage=2)
+    s2.map_page(0x1000, 0x2000)
+    assert translate(0x1008, [None, s2, None]) == 0x2008
+
+
+def test_chain_fault_identifies_stage():
+    s1 = PageTable(stage=1)
+    s2 = PageTable(stage=2)
+    s1.map_page(0x0, 0x5000)
+    with pytest.raises(TranslationFault) as excinfo:
+        translate(0x10, [s1, s2])
+    assert excinfo.value.stage == 2
+    assert excinfo.value.address == 0x5010
+
+
+def test_regime_stage1_only():
+    s1 = PageTable(stage=1)
+    s1.map_page(0x4000, 0x9000)
+    regime = TranslationRegime(stage1=s1, label="hypervisor")
+    assert regime.translate(0x4020) == 0x9020
+
+
+def test_regime_identity_when_mmu_off():
+    regime = TranslationRegime()
+    assert regime.translate(0x1234) == 0x1234
+
+
+def test_regime_two_stages():
+    s1 = PageTable(stage=1)
+    s2 = PageTable(stage=2)
+    s1.map_page(0x0, 0x1000)
+    s2.map_page(0x1000, 0x8000_0000)
+    regime = TranslationRegime(stage1=s1, stage2=s2, vmid=3)
+    assert regime.translate(0x10) == 0x8000_0010
+
+
+def test_regime_uses_tlb():
+    s1 = PageTable(stage=1)
+    s1.map_page(0x0, 0x7000)
+    tlb = Tlb()
+    regime = TranslationRegime(stage1=s1, vmid=1)
+    regime.translate(0x8, tlb=tlb)
+    assert tlb.misses == 1
+    regime.translate(0x10, tlb=tlb)
+    assert tlb.hits == 1
+
+
+def test_tlb_hit_bypasses_stale_table():
+    """A TLB hit returns the cached translation even after the table
+    changed — which is why TLBI maintenance matters."""
+    s1 = PageTable(stage=1)
+    s1.map_page(0x0, 0x7000)
+    tlb = Tlb()
+    regime = TranslationRegime(stage1=s1, vmid=1)
+    assert regime.translate(0x8, tlb=tlb) == 0x7008
+    s1.map_page(0x0, 0x9000)
+    assert regime.translate(0x8, tlb=tlb) == 0x7008  # stale!
+    tlb.invalidate_vmid(1)
+    assert regime.translate(0x8, tlb=tlb) == 0x9008

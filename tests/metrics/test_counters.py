@@ -1,0 +1,47 @@
+"""Trap counter tests."""
+
+import pytest
+
+from repro.metrics.counters import ExitReason, TrapCounter
+
+
+def test_record_and_count():
+    counter = TrapCounter()
+    counter.record(ExitReason.HVC)
+    counter.record(ExitReason.HVC)
+    counter.record(ExitReason.SYSREG_TRAP)
+    assert counter.total == 3
+    assert counter.count(ExitReason.HVC) == 2
+    assert counter.count(ExitReason.ERET_TRAP) == 0
+
+
+def test_record_rejects_raw_strings():
+    with pytest.raises(TypeError):
+        TrapCounter().record("hvc")
+
+
+def test_snapshot_since():
+    counter = TrapCounter()
+    counter.record(ExitReason.HVC)
+    snap = counter.snapshot()
+    counter.record(ExitReason.IRQ)
+    counter.record(ExitReason.IRQ)
+    assert counter.since(snap) == 2
+
+
+def test_delta_by_reason():
+    counter = TrapCounter()
+    counter.record(ExitReason.HVC)
+    snap = counter.snapshot()
+    counter.record(ExitReason.HVC)
+    counter.record(ExitReason.SYSREG_TRAP)
+    delta = counter.delta_by_reason(snap)
+    assert delta == {ExitReason.HVC: 1, ExitReason.SYSREG_TRAP: 1}
+
+
+def test_reset():
+    counter = TrapCounter()
+    counter.record(ExitReason.WFI)
+    counter.reset()
+    assert counter.total == 0
+    assert counter.by_reason == {}

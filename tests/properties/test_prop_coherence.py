@@ -1,0 +1,139 @@
+"""State-coherence property: ARMv8.3 and NEVE are observationally
+equivalent.
+
+The whole point of NEVE is to change *where* virtual EL2 state lives
+(memory instead of trap-emulated software state) without changing what
+the guest hypervisor observes.  For arbitrary interleavings of reads and
+writes at virtual EL2, both mechanisms must produce identical read
+results — with wildly different trap counts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.features import ARMV8_3, ARMV8_4
+from repro.arch.registers import NeveBehavior, RegClass, iter_registers
+
+from tests.conftest import (
+    RecordingHandler,
+    at_virtual_el2,
+    enable_neve,
+    make_cpu,
+)
+
+#: Registers whose reads at virtual EL2 return stored state under both
+#: mechanisms (excludes hardware-computed and trap-always registers).
+_STATEFUL = [
+    r.name for r in iter_registers()
+    if not r.read_only and not r.vhe_only
+    and r.reg_class not in (RegClass.SPECIAL, RegClass.GIC_CPU)
+    and r.neve in (NeveBehavior.DEFER, NeveBehavior.CACHED_COPY,
+                   NeveBehavior.REDIRECT)
+]
+
+operations = st.lists(
+    st.tuples(st.sampled_from(_STATEFUL),
+              st.one_of(st.none(), st.integers(0, 2**40))),
+    min_size=1, max_size=40)
+
+
+class _CoherentHandler(RecordingHandler):
+    """Emulates trapped accesses against virtual state, like L0 does —
+    including the host's side of the NEVE contract: after emulating a
+    trapped write to a cached-copy register, refresh the deferred access
+    page "as needed" (Section 6.1) so subsequent reads hit fresh data."""
+
+    def __init__(self, cpu, vhe=False):
+        super().__init__()
+        self._cpu = cpu
+        self._vhe = vhe
+
+    def handle_trap(self, cpu, syndrome):
+        if syndrome.is_write and syndrome.register:
+            from repro.arch.registers import lookup_register
+            reg = lookup_register(syndrome.register)
+            if cpu.neve_enabled and reg.vncr_offset is not None:
+                # Host side of the NEVE contract: refresh the cached copy
+                # regardless of where the canonical state lives.
+                cpu.memory.write_word(cpu.vncr_baddr + reg.vncr_offset,
+                                      syndrome.value or 0)
+        if syndrome.register and self._vhe:
+            # A VHE guest hypervisor's E2H-redirected state lives in the
+            # hardware EL1 registers; the host must emulate trapped EL2
+            # accesses against them (what KvmHypervisor._read_vel2_reg
+            # does for VHE vcpus).
+            from repro.arch.cpu import _e2h_reverse
+            counterpart = _e2h_reverse(syndrome.register)
+            if counterpart is not None:
+                if syndrome.is_write:
+                    cpu.el1_regs.write(counterpart, syndrome.value or 0)
+                    self.syndromes.append(syndrome)
+                    return None
+                self.syndromes.append(syndrome)
+                return cpu.el1_regs.read(counterpart)
+        return super().handle_trap(cpu, syndrome)
+
+
+def _run(arch, neve, ops, vhe):
+    cpu = make_cpu(arch)
+    cpu.trap_handler = _CoherentHandler(cpu, vhe=vhe)
+    if neve:
+        enable_neve(cpu)
+    at_virtual_el2(cpu, vhe=vhe)
+    observations = []
+    for name, value in ops:
+        if value is None:
+            observations.append((name, cpu.mrs(name)))
+        else:
+            cpu.msr(name, value)
+    return observations, cpu.traps.total
+
+
+@given(ops=operations, vhe=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_neve_and_v83_observationally_equivalent(ops, vhe):
+    v83_obs, v83_traps = _run(ARMV8_3, False, ops, vhe)
+    neve_obs, neve_traps = _run(ARMV8_4, True, ops, vhe)
+    assert v83_obs == neve_obs
+    assert neve_traps <= v83_traps
+
+
+@given(ops=operations)
+@settings(max_examples=30, deadline=None)
+def test_reads_return_last_write(ops):
+    """Per-register last-write-wins, through the NEVE machinery."""
+    cpu = make_cpu(ARMV8_4)
+    cpu.trap_handler = _CoherentHandler(cpu)
+    enable_neve(cpu)
+    at_virtual_el2(cpu)
+    last = {}
+    for name, value in ops:
+        if value is None:
+            expected = last.get(name, 0)
+            assert cpu.mrs(name) == expected, name
+        else:
+            cpu.msr(name, value)
+            last[name] = value
+
+
+@given(ops=operations, vhe=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_neve_trap_count_depends_only_on_writes_to_trapping_regs(ops,
+                                                                 vhe):
+    """Under NEVE, traps come only from writes to cached-copy/trap-class
+    registers — reads never trap for this register population."""
+    from repro.arch.registers import lookup_register
+    from repro.core.redirection import traps_on_write
+
+    def expect_trap(name):
+        reg = lookup_register(name)
+        if vhe and reg.el != 2:
+            # A VHE guest hypervisor reaches EL0/EL1-encoded registers
+            # directly through its live hardware state: never a trap.
+            return False
+        return traps_on_write(name, vhe)
+
+    _, traps = _run(ARMV8_4, True, ops, vhe)
+    expected = sum(1 for name, value in ops
+                   if value is not None and expect_trap(name))
+    assert traps == expected

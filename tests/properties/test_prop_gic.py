@@ -1,0 +1,87 @@
+"""Property-based tests for the GIC model and the virtio queue."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.gic import Gic, ListRegister, LrState, SPURIOUS_INTID
+from repro.hypervisor.virtio import VirtioQueue
+
+from tests.conftest import make_cpu
+
+lr_values = st.builds(
+    ListRegister,
+    vintid=st.integers(1, 1019),
+    state=st.sampled_from(list(LrState)),
+    priority=st.integers(0, 255),
+    group=st.integers(0, 1),
+    hw=st.booleans(),
+    pintid=st.integers(0, 1019),
+)
+
+
+@given(lr=lr_values)
+def test_lr_encode_decode_round_trip(lr):
+    assert ListRegister.decode(lr.encode()) == lr
+
+
+@given(intids=st.lists(st.integers(1, 100), min_size=1, max_size=4,
+                       unique=True),
+       priorities=st.lists(st.integers(0, 255), min_size=4, max_size=4))
+@settings(max_examples=50)
+def test_acknowledge_always_picks_lowest_priority_value(intids,
+                                                        priorities):
+    gic = Gic(num_lrs=4)
+    cpu = make_cpu()
+    gic.attach_cpu(cpu)
+    injected = []
+    for intid, priority in zip(intids, priorities):
+        gic.inject_virtual_interrupt(cpu, intid, priority=priority)
+        injected.append((priority, intid))
+    best = min(injected)[1]  # highest priority, lowest INTID on ties
+    assert gic.cpu_interface_access(cpu, "ICC_IAR1_EL1", False,
+                                    None) == best
+
+
+@given(intids=st.lists(st.integers(1, 100), min_size=1, max_size=4,
+                       unique=True))
+@settings(max_examples=50)
+def test_ack_eoi_drains_everything(intids):
+    """Acknowledge+EOI in any order always empties the interface, and a
+    further acknowledge is spurious."""
+    gic = Gic(num_lrs=4)
+    cpu = make_cpu()
+    gic.attach_cpu(cpu)
+    for intid in intids:
+        gic.inject_virtual_interrupt(cpu, intid)
+    for _ in intids:
+        taken = gic.cpu_interface_access(cpu, "ICC_IAR1_EL1", False, None)
+        assert taken != SPURIOUS_INTID
+        gic.cpu_interface_access(cpu, "ICC_EOIR1_EL1", True, taken)
+    assert gic.used_lr_count(cpu) == 0
+    assert gic.cpu_interface_access(cpu, "ICC_IAR1_EL1", False,
+                                    None) == SPURIOUS_INTID
+
+
+@given(service=st.integers(1, 50_000), wakeup=st.integers(0, 50_000),
+       interval=st.integers(1, 50_000),
+       packets=st.integers(1, 300))
+@settings(max_examples=60)
+def test_virtio_invariants(service, wakeup, interval, packets):
+    queue = VirtioQueue(backend_service_cycles=service,
+                        wakeup_latency_cycles=wakeup)
+    stats = queue.simulate([i * interval for i in range(packets)])
+    assert stats.kicks >= 1  # the first packet always notifies
+    assert stats.kicks + stats.suppressed == packets
+    assert 0 < stats.kick_ratio <= 1
+    assert stats.backend_wakeups == stats.kicks
+
+
+@given(interval=st.integers(1, 20_000))
+@settings(max_examples=30)
+def test_virtio_faster_backend_never_kicks_less(interval):
+    times = [i * interval for i in range(200)]
+    slow = VirtioQueue(backend_service_cycles=10_000,
+                       wakeup_latency_cycles=2_000).simulate(times)
+    fast = VirtioQueue(backend_service_cycles=2_000,
+                       wakeup_latency_cycles=2_000).simulate(times)
+    assert fast.kicks >= slow.kicks

@@ -1,0 +1,93 @@
+"""Property-based tests for translation and the shadow stage-2 tables."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.pagetable import PageTable, Permission, TranslationFault
+from repro.memory.phys import PAGE_SIZE
+from repro.memory.shadow import ShadowStage2
+from repro.memory.tlb import Tlb
+
+page_numbers = st.integers(min_value=0, max_value=1 << 20)
+offsets = st.integers(min_value=0, max_value=PAGE_SIZE - 1)
+
+
+@given(in_page=page_numbers, out_page=page_numbers, offset=offsets)
+def test_translation_preserves_page_offset(in_page, out_page, offset):
+    table = PageTable()
+    table.map_page(in_page * PAGE_SIZE, out_page * PAGE_SIZE)
+    translated = table.translate(in_page * PAGE_SIZE + offset)
+    assert translated == out_page * PAGE_SIZE + offset
+
+
+@given(mapping=st.dictionaries(page_numbers, page_numbers, max_size=32))
+@settings(max_examples=40)
+def test_shadow_table_extensionally_equals_chain(mapping):
+    """For any guest stage-2 layout, the collapsed shadow translation
+    equals the two-step walk — Section 4's correctness condition."""
+    guest = PageTable(stage=2)
+    host = PageTable(stage=2)
+    for l2_page, l1_page in mapping.items():
+        guest.map_page(l2_page * PAGE_SIZE, l1_page * PAGE_SIZE)
+        host.map_page(l1_page * PAGE_SIZE,
+                      (l1_page + 0x100000) * PAGE_SIZE)
+    shadow = ShadowStage2(guest, host)
+    for l2_page in mapping:
+        addr = l2_page * PAGE_SIZE + 8
+        via_shadow = shadow.translate(addr)
+        via_chain = host.translate(guest.translate(addr))
+        assert via_shadow == via_chain
+    shadow.verify_against_chain()
+
+
+@given(mapping=st.dictionaries(page_numbers, page_numbers, min_size=1,
+                               max_size=16),
+       data=st.data())
+@settings(max_examples=40)
+def test_shadow_invalidation_is_conservative(mapping, data):
+    """After invalidating any L2 range, re-translation still matches the
+    chain (entries are refaulted, never stale)."""
+    guest = PageTable(stage=2)
+    host = PageTable(stage=2)
+    for l2_page, l1_page in mapping.items():
+        guest.map_page(l2_page * PAGE_SIZE, l1_page * PAGE_SIZE)
+        host.map_page(l1_page * PAGE_SIZE, (l1_page + 7) * PAGE_SIZE)
+    shadow = ShadowStage2(guest, host)
+    for l2_page in mapping:
+        shadow.translate(l2_page * PAGE_SIZE)
+    victim = data.draw(st.sampled_from(sorted(mapping)))
+    # The guest hypervisor remaps one page and invalidates.
+    guest.map_page(victim * PAGE_SIZE, (victim + 3) * PAGE_SIZE)
+    host.map_page((victim + 3) * PAGE_SIZE, (victim + 99) * PAGE_SIZE)
+    shadow.invalidate_l2_range(victim * PAGE_SIZE, PAGE_SIZE)
+    assert shadow.translate(victim * PAGE_SIZE) == \
+        host.translate(guest.translate(victim * PAGE_SIZE))
+
+
+@given(fills=st.lists(st.tuples(st.integers(0, 3), page_numbers,
+                                page_numbers), max_size=64))
+@settings(max_examples=40)
+def test_tlb_never_crosses_vmids(fills):
+    tlb = Tlb(capacity=16)
+    latest = {}
+    for vmid, va_page, pa_page in fills:
+        tlb.fill(vmid, va_page * PAGE_SIZE, pa_page * PAGE_SIZE)
+        latest[(vmid, va_page)] = pa_page * PAGE_SIZE
+    for (vmid, va_page), pa in latest.items():
+        hit = tlb.lookup(vmid, va_page * PAGE_SIZE)
+        if hit is not None:
+            assert hit == pa  # may be evicted, never wrong
+
+
+@given(perm_bits=st.integers(min_value=0, max_value=7))
+def test_permission_fault_iff_requesting_more_than_granted(perm_bits):
+    granted = Permission(perm_bits)
+    table = PageTable()
+    table.map_page(0, PAGE_SIZE, perm=granted)
+    for requested in (Permission.R, Permission.W, Permission.X):
+        try:
+            table.translate(0, requested)
+            faulted = False
+        except TranslationFault:
+            faulted = True
+        assert faulted == bool(requested & ~granted)

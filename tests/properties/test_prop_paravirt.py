@@ -1,0 +1,85 @@
+"""Property-based equivalence of the paravirtualization methodology.
+
+For *arbitrary* guest-hypervisor instruction sequences, the rewritten
+program executed on the ARMv8.0 model must take exactly as many traps as
+the original on the v8.3/v8.4 model — Section 3's claim, generalized from
+the hand-picked fragment in the examples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.exceptions import ExceptionLevel
+from repro.arch.features import ARMV8_0, ARMV8_3, ARMV8_4
+from repro.arch.registers import RegClass, RegisterFile, iter_registers
+from repro.core.paravirt import (
+    HvcEncodingTable,
+    Instr,
+    InstrKind,
+    PvHostEmulator,
+    execute_program,
+    paravirtualize,
+)
+
+from tests.conftest import at_virtual_el2, enable_neve, make_cpu
+
+_SAFE_REGS = [
+    r.name for r in iter_registers()
+    if r.reg_class is not RegClass.SPECIAL and not r.vhe_only
+    and not r.read_only
+]
+
+instructions = st.one_of(
+    st.builds(Instr, kind=st.just(InstrKind.SYSREG_READ),
+              reg=st.sampled_from(_SAFE_REGS)),
+    st.builds(Instr, kind=st.just(InstrKind.SYSREG_WRITE),
+              reg=st.sampled_from(_SAFE_REGS),
+              value=st.integers(0, 2**32 - 1)),
+    st.just(Instr(InstrKind.READ_CURRENTEL)),
+    st.just(Instr(InstrKind.ERET)),
+)
+
+programs = st.lists(instructions, min_size=1, max_size=30)
+
+
+def _native_traps(program, arch, neve, vhe):
+    cpu = make_cpu(arch)
+    if neve:
+        enable_neve(cpu)
+    cpu.trap_handler = PvHostEmulator(HvcEncodingTable(), RegisterFile())
+    at_virtual_el2(cpu, vhe=vhe)
+    execute_program(cpu, program)
+    return cpu.traps.total
+
+
+def _paravirt_traps(program, mode, vhe):
+    table = HvcEncodingTable()
+    rewritten = paravirtualize(program, mode, table, virtual_e2h=vhe,
+                               page_base=0x7000_0000)
+    cpu = make_cpu(ARMV8_0, handler=False)
+    cpu.trap_handler = PvHostEmulator(table, RegisterFile())
+    cpu.enter_guest_context(ExceptionLevel.EL1)
+    execute_program(cpu, rewritten)
+    return cpu.traps.total
+
+
+@given(program=programs, vhe=st.booleans())
+@settings(max_examples=50, deadline=None)
+def test_v83_mimicry_trap_equivalence(program, vhe):
+    assert _native_traps(program, ARMV8_3, False, vhe) == \
+        _paravirt_traps(program, "nv", vhe)
+
+
+@given(program=programs, vhe=st.booleans())
+@settings(max_examples=50, deadline=None)
+def test_neve_mimicry_trap_equivalence(program, vhe):
+    assert _native_traps(program, ARMV8_4, True, vhe) == \
+        _paravirt_traps(program, "neve", vhe)
+
+
+@given(program=programs, vhe=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_neve_never_traps_more_than_v83(program, vhe):
+    """NEVE only removes traps relative to ARMv8.3 — for any program."""
+    assert _native_traps(program, ARMV8_4, True, vhe) <= \
+        _native_traps(program, ARMV8_3, False, vhe)

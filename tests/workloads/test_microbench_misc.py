@@ -1,0 +1,94 @@
+"""Microbenchmark harness edge cases and error paths."""
+
+import pytest
+
+from repro.arch.exceptions import ExceptionClass, Syndrome
+from repro.arch.features import ARMV8_3
+from repro.harness.configs import make_microbench
+from repro.hypervisor.kvm import Machine
+from repro.workloads.microbench import MicrobenchResult
+
+
+def test_unknown_benchmark_name():
+    suite = make_microbench("arm-vm")
+    with pytest.raises(KeyError):
+        suite.run("context_switch")
+
+
+def test_result_str_is_readable():
+    result = MicrobenchResult("hypercall", 2729.0, 1.0, 10)
+    text = str(result)
+    assert "hypercall" in text and "2729" in text and "1.0" in text
+
+
+def test_iterations_recorded():
+    suite = make_microbench("arm-vm")
+    assert suite.run("hypercall", iterations=7).iterations == 7
+
+
+def test_device_io_uses_l1_window_when_nested():
+    nested = make_microbench("arm-nested")
+    assert nested.device_io_once() == \
+        nested.machine.device_read(0x0A00_0100)
+
+
+def test_x86_run_all_without_shadowing():
+    from repro.workloads.microbench import X86Microbench
+    suite = X86Microbench(nested=True, shadowing=False)
+    results = suite.run_all(iterations=3)
+    assert results["hypercall"].traps > 15
+
+
+def test_eoi_prime_restores_interface_each_iteration():
+    suite = make_microbench("arm-vm")
+    result = suite.run("virtual_eoi", iterations=12)
+    assert result.traps == 0
+    # Interface empty at the end: every primed interrupt was completed.
+    assert suite.machine.gic.used_lr_count(suite.vm.vcpus[0].cpu) == 0
+
+
+def test_unhandled_vm_trap_reason_raises():
+    machine = Machine(arch=ARMV8_3)
+    vm = machine.kvm.create_vm(num_vcpus=1)
+    machine.kvm.run_vcpu(vm.vcpus[0])
+    cpu = vm.vcpus[0].cpu
+    bogus = Syndrome(ec=ExceptionClass.UNKNOWN)
+    with cpu.host_mode():
+        with pytest.raises(RuntimeError, match="unhandled"):
+            machine.kvm.handle_trap(cpu, bogus)
+
+
+def test_unhandled_nested_exit_reason_raises():
+    machine = Machine(arch=ARMV8_3)
+    vm = machine.kvm.create_vm(num_vcpus=1, nested="nv")
+    machine.kvm.boot_nested(vm.vcpus[0])
+    cpu = vm.vcpus[0].cpu
+    bogus = Syndrome(ec=ExceptionClass.UNKNOWN)
+    with cpu.host_mode():
+        with pytest.raises(RuntimeError, match="unhandled"):
+            machine.kvm.handle_trap(cpu, bogus)
+
+
+def test_x86_unknown_exit_reason_raises():
+    from repro.x86.kvm_x86 import X86Machine
+    machine = X86Machine()
+    vm = machine.kvm.create_vm(num_vcpus=1)
+    machine.kvm.run_vcpu(vm.vcpus[0])
+    with pytest.raises(RuntimeError):
+        machine.kvm.handle_exit(vm.vcpus[0].cpu, "not-a-reason", {})
+
+
+def test_report_help_and_all_key_inventory():
+    from repro.harness.report import REPORTS
+    expected = {"table1", "table6", "table7", "figure2", "spec",
+                "virtio", "shadowing", "designs", "attribution",
+                "sensitivity", "chart", "el0", "conformance",
+                "regression", "scaling", "riscv"}
+    assert expected == set(REPORTS)
+
+
+@pytest.mark.parametrize("key", ["spec", "virtio", "riscv"])
+def test_cheap_reports_render(key, capsys):
+    from repro.harness.report import main
+    assert main([key]) == 0
+    assert capsys.readouterr().out.strip()

@@ -1,0 +1,89 @@
+"""Workload-profile and IPI-latency tests."""
+
+import pytest
+
+from repro.harness.configs import make_microbench
+from repro.workloads.profiles import (
+    FIGURE2_WORKLOADS,
+    NATIVE_CYCLES_PER_SEC,
+    PROFILES,
+    WorkloadProfile,
+)
+
+
+def test_ten_workloads_as_in_table8():
+    assert len(FIGURE2_WORKLOADS) == 10
+
+
+def test_profiles_are_frozen():
+    with pytest.raises(Exception):
+        PROFILES["kernbench"].injections_per_sec = 0
+
+
+def test_cpu_workloads_have_low_event_rates():
+    for name in ("kernbench", "specjvm2008"):
+        profile = PROFILES[name]
+        assert profile.injections_per_sec < 1_000
+        assert profile.kicks_per_sec < 1_000
+
+
+def test_network_workloads_have_high_injection_rates():
+    for name in ("netperf_tcp_maerts", "apache", "memcached"):
+        assert PROFILES[name].injections_per_sec > 50_000
+
+
+def test_hackbench_is_ipi_heavy():
+    profile = PROFILES["hackbench"]
+    assert profile.ipis_per_sec > 10 * profile.injections_per_sec
+
+
+def test_memcached_x86_speedup_is_papers_3x():
+    assert PROFILES["memcached"].x86_speedup == 3.0
+
+
+def test_tcp_rr_is_latency_kind():
+    profile = PROFILES["netperf_tcp_rr"]
+    assert profile.kind == "latency"
+    assert profile.native_cycles_per_txn > 0
+
+
+def test_anomaly_multipliers_on_papers_workloads():
+    """Section 7.2 names MAERTS, Nginx (and Memcached) as taking more
+    I/O exits on x86; those profiles carry multipliers > 1."""
+    for name in ("netperf_tcp_maerts", "nginx", "memcached", "mysql"):
+        assert PROFILES[name].x86_io_exit_multiplier > 1.0, name
+    assert PROFILES["apache"].x86_io_exit_multiplier == 1.0
+
+
+def test_mysql_carries_extra_x86_exits():
+    assert PROFILES["mysql"].x86_extra_exits_per_sec > 0
+
+
+def test_native_rate_is_2_4_ghz():
+    assert NATIVE_CYCLES_PER_SEC == 2.4e9
+
+
+def test_profile_defaults():
+    profile = WorkloadProfile(name="x", description="y")
+    assert profile.kind == "throughput"
+    assert profile.x86_io_exit_multiplier == 1.0
+
+
+# ---------------------------------------------------------------------------
+# IPI latency metric
+# ---------------------------------------------------------------------------
+
+def test_ipi_latency_below_sum_metric():
+    suite = make_microbench("arm-nested")
+    latency = suite.measure_ipi_latency(iterations=4)
+    total = suite.run("virtual_ipi", iterations=4).cycles
+    assert latency < total
+    assert latency > total * 0.5  # the receiver path dominates
+
+
+def test_ipi_latency_vhe_near_paper():
+    """The latency metric lands within ~10% of the paper's 494,765 for
+    the VHE configuration."""
+    suite = make_microbench("arm-nested-vhe")
+    latency = suite.measure_ipi_latency(iterations=4)
+    assert abs(latency - 494_765) / 494_765 < 0.12

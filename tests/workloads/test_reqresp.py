@@ -1,0 +1,71 @@
+"""Closed-loop request/response (TCP_RR) simulation tests."""
+
+import pytest
+
+from repro.workloads.reqresp import (
+    NATIVE_TXN_CYCLES,
+    RequestResponseSim,
+    compare_rr,
+)
+
+_RESULTS = {}
+
+
+def result(config):
+    if config not in _RESULTS:
+        _RESULTS[config] = RequestResponseSim(config).run(transactions=5)
+    return _RESULTS[config]
+
+
+def test_vm_latency_moderate():
+    """A single-level VM adds one injection + one kick per transaction:
+    low single-digit microseconds on a ~26 us round trip."""
+    assert 1.05 <= result("arm-vm").overhead <= 1.6
+
+
+def test_nested_v83_latency_collapse():
+    """Every transaction pays two fully multiplied exits."""
+    assert result("arm-nested").overhead > 10
+
+
+def test_neve_restores_usable_latency():
+    v83 = result("arm-nested").overhead
+    neve = result("neve-nested").overhead
+    assert neve < v83 / 4
+    assert neve < 6
+
+
+def test_trap_counts_per_transaction():
+    assert result("arm-vm").traps_per_txn <= 3
+    assert result("arm-nested").traps_per_txn > 200  # injection + kick
+
+
+def test_serialized_transactions_never_batch():
+    """Per-transaction traps are constant: no amortization in RR."""
+    short = RequestResponseSim("arm-nested").run(transactions=2)
+    longer = RequestResponseSim("arm-nested").run(transactions=6)
+    assert short.traps_per_txn == pytest.approx(longer.traps_per_txn,
+                                                abs=1)
+
+
+def test_matches_analytic_latency_model():
+    """The executed RR loop and the appbench latency formula must agree
+    on the overhead, within the fidelity of their shared inputs."""
+    from repro.workloads.appbench import AppBenchmark
+    app = AppBenchmark(iterations=4)
+    for config in ("arm-nested", "neve-nested"):
+        analytic = app.run("netperf_tcp_rr", config).overhead
+        executed = result(config).overhead
+        assert executed == pytest.approx(analytic, rel=0.35), (
+            config, executed, analytic)
+
+
+def test_x86_rejected():
+    with pytest.raises(ValueError):
+        RequestResponseSim("x86-nested")
+
+
+def test_compare_helper():
+    data = compare_rr(("arm-vm",), transactions=2)
+    assert "arm-vm" in data
+    assert data["arm-vm"].cycles_per_txn > NATIVE_TXN_CYCLES

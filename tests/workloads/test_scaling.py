@@ -1,0 +1,63 @@
+"""SMP scaling study tests."""
+
+import pytest
+
+from repro.workloads.scaling import SmpScalingStudy, scaling_curve
+
+_POINTS = {}
+
+
+def point(config, vcpus):
+    key = (config, vcpus)
+    if key not in _POINTS:
+        _POINTS[key] = SmpScalingStudy(config, vcpus).run(iterations=2)
+    return _POINTS[key]
+
+
+def test_rendezvous_ipi_count():
+    assert point("arm-vm", 2).ipis_per_rendezvous == 2
+    assert point("arm-vm", 4).ipis_per_rendezvous == 12
+
+
+def test_traps_scale_with_ipi_count():
+    """Nested trap counts grow like N(N-1) — the Hackbench collapse."""
+    two = point("arm-nested", 2)
+    four = point("arm-nested", 4)
+    ratio = four.traps_per_rendezvous / two.traps_per_rendezvous
+    ipi_ratio = four.ipis_per_rendezvous / two.ipis_per_rendezvous
+    assert ratio == pytest.approx(ipi_ratio, rel=0.25)
+
+
+def test_vm_rendezvous_is_cheap():
+    assert point("arm-vm", 4).cycles_per_rendezvous < 200_000
+
+
+def test_neve_scales_better_than_v83():
+    v83 = point("arm-nested", 4)
+    neve = point("neve-nested", 4)
+    assert v83.cycles_per_rendezvous > 4 * neve.cycles_per_rendezvous
+    assert v83.traps_per_rendezvous > 5 * neve.traps_per_rendezvous
+
+
+def test_drain_terminates_across_repeated_rendezvous():
+    """Regression: list registers must be folded after completion or the
+    interface fills up and pending interrupts can never be delivered."""
+    study = SmpScalingStudy("arm-vm", 4)
+    for _ in range(3):
+        study._rendezvous()
+    for vcpu in study.vm.vcpus:
+        assert vcpu.pending_virqs == []
+        assert vcpu.used_lrs == 0
+
+
+def test_scaling_curve_shape():
+    points = scaling_curve("arm-vm", (2, 4), iterations=1)
+    assert [p.vcpus for p in points] == [2, 4]
+    assert points[1].cycles_per_rendezvous > points[0].cycles_per_rendezvous
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        SmpScalingStudy("x86-nested", 2)
+    with pytest.raises(ValueError):
+        SmpScalingStudy("arm-vm", 1)

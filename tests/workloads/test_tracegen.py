@@ -1,0 +1,109 @@
+"""Trace generation and trace-driven execution tests."""
+
+import pytest
+
+from repro.workloads.appbench import AppBenchmark
+from repro.workloads.tracegen import (
+    COMPUTE,
+    DEVICE_IO,
+    HYPERCALL,
+    INJECTION,
+    IPI,
+    TraceRunner,
+    generate_trace,
+    native_cycles_of,
+    trace_overhead,
+)
+
+WINDOW = 400  # microseconds: keep unit tests quick
+
+
+def test_trace_event_counts_follow_profile_rates():
+    trace = generate_trace("hackbench", window_us=1_000)
+    ipis = sum(1 for e in trace if e.kind == IPI)
+    # 30k IPIs/s over 1 ms -> 30 events
+    assert 28 <= ipis <= 32
+
+
+def test_trace_is_deterministic():
+    a = generate_trace("memcached", window_us=WINDOW, seed=3)
+    b = generate_trace("memcached", window_us=WINDOW, seed=3)
+    assert a == b
+
+
+def test_different_seeds_shuffle_but_preserve_counts():
+    a = generate_trace("memcached", window_us=WINDOW, seed=1)
+    b = generate_trace("memcached", window_us=WINDOW, seed=2)
+    assert a != b
+    count = lambda t, k: sum(1 for e in t if e.kind == k)  # noqa: E731
+    for kind in (HYPERCALL, DEVICE_IO, IPI, INJECTION):
+        assert count(a, kind) == count(b, kind)
+
+
+def test_native_cycles_cover_the_window():
+    trace = generate_trace("kernbench", window_us=1_000)
+    # 1 ms at 2.4 GHz = 2.4M cycles of native work
+    assert native_cycles_of(trace) == pytest.approx(2.4e6, rel=0.01)
+
+
+def test_compute_slices_interleave_events():
+    trace = generate_trace("memcached", window_us=WINDOW)
+    kinds = [e.kind for e in trace]
+    assert kinds[0] == COMPUTE
+    assert any(k != COMPUTE for k in kinds)
+
+
+def test_latency_workloads_rejected():
+    with pytest.raises(ValueError):
+        generate_trace("netperf_tcp_rr")
+
+
+def test_x86_configs_rejected():
+    with pytest.raises(ValueError):
+        TraceRunner("x86-nested")
+
+
+def test_empty_profile_trace_still_has_compute():
+    trace = generate_trace("specjvm2008", window_us=10)
+    assert native_cycles_of(trace) > 0
+
+
+# ---------------------------------------------------------------------------
+# Execution and cross-validation
+# ---------------------------------------------------------------------------
+
+def test_vm_trace_overhead_near_one():
+    assert 1.0 <= trace_overhead("kernbench", "arm-vm",
+                                 window_us=WINDOW) < 1.1
+
+
+def test_executed_overhead_matches_analytic_model():
+    """The rate×cost model and the executed trace must agree — they are
+    two independent paths through the same machinery."""
+    app = AppBenchmark(iterations=3)
+    cases = (  # window must hold enough events for the rates to converge
+        ("hackbench", "arm-nested", WINDOW),
+        ("hackbench", "neve-nested", WINDOW),
+        ("kernbench", "arm-nested", 4_000),
+    )
+    for workload, config, window in cases:
+        executed = trace_overhead(workload, config, window_us=window)
+        analytic = app.run(workload, config).overhead
+        assert executed == pytest.approx(analytic, rel=0.25), (
+            workload, config, executed, analytic)
+
+
+def test_executed_ordering_matches_paper():
+    v83 = trace_overhead("memcached", "arm-nested", window_us=WINDOW)
+    neve = trace_overhead("memcached", "neve-nested", window_us=WINDOW)
+    vm = trace_overhead("memcached", "arm-vm", window_us=WINDOW)
+    assert v83 > 4 * neve > neve > vm >= 1.0
+    assert v83 > 25  # the "more than 40 times" regime at full window
+
+
+def test_runner_reports_traps():
+    runner = TraceRunner("arm-nested")
+    trace = generate_trace("hackbench", window_us=WINDOW)
+    _overhead, cycles, traps = runner.run(trace)
+    assert traps > 100  # IPI-heavy trace under exit multiplication
+    assert cycles > 0

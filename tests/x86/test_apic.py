@@ -1,0 +1,91 @@
+"""Virtual APIC (APICv) model tests."""
+
+import pytest
+
+from repro.x86.apic import SPURIOUS_VECTOR, ApicBank, VirtualApic
+
+
+def test_post_and_acknowledge():
+    apic = VirtualApic()
+    apic.post_interrupt(0x31)
+    assert apic.acknowledge() == 0x31
+    assert apic.in_service == 0x31
+
+
+def test_acknowledge_empty_is_spurious():
+    assert VirtualApic().acknowledge() == SPURIOUS_VECTOR
+
+
+def test_highest_vector_delivered_first():
+    apic = VirtualApic()
+    apic.post_interrupt(0x31)
+    apic.post_interrupt(0x81)
+    assert apic.acknowledge() == 0x81
+
+
+def test_ppr_masks_same_and_lower_priority_classes():
+    """An in-service vector masks pending vectors of the same or lower
+    16-vector priority class (the PPR rule)."""
+    apic = VirtualApic()
+    apic.post_interrupt(0x35)
+    apic.acknowledge()
+    apic.post_interrupt(0x32)  # same class (0x30): masked
+    assert apic.pending_vector() is None
+    apic.post_interrupt(0x45)  # higher class: deliverable
+    assert apic.pending_vector() == 0x45
+
+
+def test_eoi_unmasks_lower_priority():
+    apic = VirtualApic()
+    apic.post_interrupt(0x35)
+    apic.acknowledge()
+    apic.post_interrupt(0x32)
+    assert apic.eoi() == 0x35
+    assert apic.pending_vector() == 0x32
+
+
+def test_eoi_clears_highest_in_service():
+    apic = VirtualApic()
+    for vector in (0x31, 0x45):
+        apic.post_interrupt(vector)
+        apic.acknowledge()
+    apic.eoi()
+    assert apic.in_service == 0x31
+
+
+def test_eoi_counts():
+    apic = VirtualApic()
+    apic.eoi()
+    apic.eoi()
+    assert apic.eoi_count == 2
+
+
+def test_vector_range_enforced():
+    with pytest.raises(ValueError):
+        VirtualApic().post_interrupt(300)
+
+
+def test_reset():
+    apic = VirtualApic()
+    apic.post_interrupt(0x31)
+    apic.acknowledge()
+    apic.reset()
+    assert apic.pending_vector() is None
+    assert apic.in_service == -1
+
+
+def test_bank_routes_ipis():
+    bank = ApicBank()
+    bank.send_ipi(2, 0x55)
+    assert bank.apic(2).pending_vector() == 0x55
+    assert bank.apic(1).pending_vector() is None
+
+
+def test_kvm_route_posts_into_target_apic():
+    from repro.x86.kvm_x86 import MSR_ICR, X86Machine
+    machine = X86Machine()
+    vm = machine.kvm.create_vm(num_vcpus=2)
+    for vcpu in vm.vcpus:
+        machine.kvm.run_vcpu(vcpu)
+    vm.vcpus[0].cpu.wrmsr(MSR_ICR, (0x31 << 8) | 1)
+    assert vm.vcpus[1].apic.pending_vector() == 0x31

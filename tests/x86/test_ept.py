@@ -1,0 +1,103 @@
+"""Nested EPT (multi-dimensional paging) tests."""
+
+import pytest
+
+from repro.memory.pagetable import TranslationFault
+from repro.x86.ept import MMIO_BASE, NestedEpt
+from repro.x86.kvm_x86 import X86Machine
+from repro.x86.vmx import X86ExitReason
+
+
+def make_ept():
+    ept = NestedEpt()
+    ept.map_l1_memory(0x0, 0x8000_0000, 0x10_0000)
+    ept.map_l2_memory(0x0, 0x4_0000, 0x8_0000)
+    return ept
+
+
+def test_collapse_two_dimensions():
+    ept = make_ept()
+    ept.fix_shadow(0x1000)
+    assert ept.translate(0x1234) == 0x8004_1234  # 0x1000+0x4_0000+base
+
+
+def test_classify_mmio():
+    assert make_ept().classify_violation(MMIO_BASE + 0x100) == "mmio"
+
+
+def test_classify_shadow_miss():
+    assert make_ept().classify_violation(0x2000) == "shadow"
+
+
+def test_classify_l1_fault():
+    """ept12 has no mapping: only the L1 hypervisor can resolve it."""
+    assert make_ept().classify_violation(0x20_0000) == "l1_fault"
+
+
+def test_fix_allocates_host_backing_on_ept01_miss():
+    ept = NestedEpt()
+    ept.map_l2_memory(0x0, 0x900_0000, 0x1000)  # L1 GPA not in ept01
+    ept.fix_shadow(0x0)
+    assert ept.translate(0x0) == 0x1_0000_0000 + 0x900_0000
+
+
+def test_l1_remap_invalidates_shadow():
+    ept = make_ept()
+    ept.fix_shadow(0x1000)
+    before = ept.translate(0x1000)
+    ept.map_l2_memory(0x1000, 0x6_0000, 0x1000)
+    assert ept.translate(0x1000) != before
+
+
+def test_shadow_verifies_against_chain():
+    ept = make_ept()
+    for addr in (0x0, 0x1000, 0x3000):
+        ept.fix_shadow(addr)
+    assert ept.shadow.verify_against_chain()
+
+
+def test_unmapped_translation_faults():
+    with pytest.raises(TranslationFault):
+        NestedEpt().translate(0x1000)
+
+
+# ---------------------------------------------------------------------------
+# Integration with the exit path
+# ---------------------------------------------------------------------------
+
+def nested_vm():
+    machine = X86Machine()
+    vm = machine.kvm.create_vm(num_vcpus=1, nested=True)
+    machine.kvm.boot_nested(vm.vcpus[0])
+    return machine, vm
+
+
+def test_shadow_violation_fixed_without_reflecting():
+    machine, vm = nested_vm()
+    reflects = machine.kvm.stats["reflects"]
+    vm.vcpus[0].cpu.mmio_read(0x2000)  # RAM address with ept12 mapping
+    assert machine.kvm.stats["reflects"] == reflects
+    assert vm.nested_ept.violations_fixed == 1
+    assert vm.vcpus[0].nested_active
+
+
+def test_shadow_violation_is_single_exit():
+    machine, vm = nested_vm()
+    vm.vcpus[0].cpu.mmio_read(0x2000)
+    before = machine.traps.total
+    vm.vcpus[0].cpu.mmio_read(0x3000)
+    assert machine.traps.total - before == 1
+
+
+def test_mmio_violation_still_reflects_to_l1():
+    machine, vm = nested_vm()
+    value = vm.vcpus[0].cpu.mmio_read(MMIO_BASE + 0x100)
+    assert value == machine.device_read(MMIO_BASE + 0x100)
+    assert vm.nested_ept.violations_reflected == 1
+
+
+def test_l1_fault_reflects():
+    machine, vm = nested_vm()
+    reflects = machine.kvm.stats["reflects"]
+    vm.vcpus[0].cpu.mmio_read(0x90_0000)  # outside ept12's 8 MB
+    assert machine.kvm.stats["reflects"] == reflects + 1

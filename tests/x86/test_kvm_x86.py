@@ -1,0 +1,193 @@
+"""KVM x86 and Turtles nested-VMX tests."""
+
+import pytest
+
+from repro.metrics.counters import ExitReason
+from repro.x86.kvm_x86 import MSR_ICR, X86Machine
+from repro.x86.vmcs import VmcsFields, VmcsSet
+from repro.x86.vmx import X86ExitReason
+
+
+def plain_vm():
+    machine = X86Machine()
+    vm = machine.kvm.create_vm(num_vcpus=2)
+    for vcpu in vm.vcpus:
+        machine.kvm.run_vcpu(vcpu)
+    return machine, vm
+
+
+def nested_vm(shadowing=True):
+    machine = X86Machine()
+    vm = machine.kvm.create_vm(num_vcpus=2, nested=True,
+                               shadowing=shadowing)
+    for vcpu in vm.vcpus:
+        machine.kvm.boot_nested(vcpu)
+    return machine, vm
+
+
+# ---------------------------------------------------------------------------
+# Plain VM
+# ---------------------------------------------------------------------------
+
+def test_vmcall_round_trip():
+    machine, vm = plain_vm()
+    assert vm.vcpus[0].cpu.vmcall() == 0
+    assert machine.traps.count(ExitReason.VMCALL) == 1
+
+
+def test_vmcall_cost_near_paper_anchor():
+    """Table 1: x86 VM hypercall is 1,188 cycles."""
+    machine, vm = plain_vm()
+    vm.vcpus[0].cpu.vmcall()
+    before = machine.ledger.total
+    vm.vcpus[0].cpu.vmcall()
+    cost = machine.ledger.total - before
+    assert 1_000 <= cost <= 1_450, cost
+
+
+def test_mmio_reaches_device_model():
+    machine, vm = plain_vm()
+    machine.device_values[0xFEB0_0000] = 0x77
+    assert vm.vcpus[0].cpu.mmio_read(0xFEB0_0000) == 0x77
+    vm.vcpus[0].cpu.mmio_write(0xFEB0_0008, 0x99)
+    assert machine.device_values[0xFEB0_0008] == 0x99
+
+
+def test_icr_write_routes_ipi():
+    machine, vm = plain_vm()
+    vm.vcpus[0].cpu.wrmsr(MSR_ICR, (0x31 << 8) | 1)
+    assert 0x31 in vm.vcpus[1].pending_virqs
+
+
+def test_external_interrupt_injects_pending():
+    machine, vm = plain_vm()
+    vm.vcpus[1].queue_virq(0x31)
+    vm.vcpus[1].cpu.vm_exit(X86ExitReason.EXTERNAL_INTERRUPT, {})
+    assert vm.vcpus[1].pending_virqs == []
+
+
+def test_overcommit_rejected():
+    machine = X86Machine()
+    with pytest.raises(ValueError):
+        machine.kvm.create_vm(num_vcpus=3)
+
+
+# ---------------------------------------------------------------------------
+# Nested (Turtles)
+# ---------------------------------------------------------------------------
+
+def test_boot_nested_reaches_l2():
+    machine, vm = nested_vm()
+    assert vm.vcpus[0].nested_active
+
+
+def test_boot_without_nested_feature_rejected():
+    machine = X86Machine()
+    vm = machine.kvm.create_vm(num_vcpus=1)
+    with pytest.raises(ValueError):
+        machine.kvm.boot_nested(vm.vcpus[0])
+
+
+def test_nested_vmcall_returns_through_both_hypervisors():
+    machine, vm = nested_vm()
+    assert vm.vcpus[0].cpu.vmcall() == 0
+    assert vm.vcpus[0].nested_active  # back in L2
+    assert machine.kvm.stats["reflects"] >= 1
+    assert machine.kvm.stats["vmresume_emulations"] >= 2  # boot + exit
+
+
+def test_nested_vmcall_takes_five_exits():
+    """Table 7: 5 traps per nested hypercall on x86."""
+    machine, vm = nested_vm()
+    vm.vcpus[0].cpu.vmcall()
+    before = machine.traps.total
+    vm.vcpus[0].cpu.vmcall()
+    assert machine.traps.total - before == 5
+
+
+def test_nested_ipi_takes_nine_exits():
+    """Table 7: 9 traps for a nested virtual IPI on x86."""
+    machine, vm = nested_vm()
+    sender, receiver = vm.vcpus
+
+    def once():
+        sender.cpu.wrmsr(MSR_ICR, (0x31 << 8) | 1)
+        receiver.queue_virq(0x31)
+        receiver.cpu.vm_exit(X86ExitReason.EXTERNAL_INTERRUPT, {})
+
+    once()
+    before = machine.traps.total
+    once()
+    assert machine.traps.total - before == 9
+
+
+def test_nested_mmio_served_by_l1_userspace():
+    machine, vm = nested_vm()
+    value = vm.vcpus[0].cpu.mmio_read(0xFEB0_0100)
+    assert value == machine.device_read(0xFEB0_0100)
+
+
+def test_shadowing_off_multiplies_exits():
+    """E9: without VMCS shadowing every vmcs12 access exits."""
+    machine_on, vm_on = nested_vm(shadowing=True)
+    machine_off, vm_off = nested_vm(shadowing=False)
+    vm_on.vcpus[0].cpu.vmcall()
+    vm_off.vcpus[0].cpu.vmcall()
+    on_before = machine_on.traps.total
+    vm_on.vcpus[0].cpu.vmcall()
+    on = machine_on.traps.total - on_before
+    off_before = machine_off.traps.total
+    vm_off.vcpus[0].cpu.vmcall()
+    off = machine_off.traps.total - off_before
+    assert off > on * 3
+
+
+def test_shadowing_improves_cycles():
+    machine_on, vm_on = nested_vm(shadowing=True)
+    machine_off, vm_off = nested_vm(shadowing=False)
+    for vm, machine in ((vm_on, machine_on), (vm_off, machine_off)):
+        vm.vcpus[0].cpu.vmcall()
+    start = machine_on.ledger.total
+    vm_on.vcpus[0].cpu.vmcall()
+    on_cycles = machine_on.ledger.total - start
+    start = machine_off.ledger.total
+    vm_off.vcpus[0].cpu.vmcall()
+    off_cycles = machine_off.ledger.total - start
+    assert off_cycles > on_cycles
+
+
+def test_nested_hypercall_cost_band():
+    """Table 6: x86 nested hypercall is 36,345 cycles; hold within 20%."""
+    machine, vm = nested_vm()
+    vm.vcpus[0].cpu.vmcall()
+    before = machine.ledger.total
+    vm.vcpus[0].cpu.vmcall()
+    cost = machine.ledger.total - before
+    assert 28_000 <= cost <= 43_000, cost
+
+
+# ---------------------------------------------------------------------------
+# VMCS structures
+# ---------------------------------------------------------------------------
+
+def test_vmcs_set_has_turtles_trio():
+    trio = VmcsSet()
+    assert trio.vmcs01.name == "vmcs01"
+    assert trio.vmcs12.name == "vmcs12"
+    assert trio.vmcs02.name == "vmcs02"
+
+
+def test_vmcs_field_storage():
+    trio = VmcsSet()
+    trio.vmcs12.write("GUEST_RIP", 0x1000)
+    assert trio.vmcs12.read("GUEST_RIP") == 0x1000
+    assert trio.vmcs02.read("GUEST_RIP") == 0
+    trio.vmcs12.clear()
+    assert trio.vmcs12.read("GUEST_RIP") == 0
+
+
+def test_field_group_sizes_consistent():
+    assert VmcsFields.HW_EXIT_FIELDS == (VmcsFields.GUEST_STATE
+                                         + VmcsFields.HOST_STATE)
+    assert VmcsFields.MERGE_ON_ENTRY > VmcsFields.GUEST_STATE
+    assert VmcsFields.SYNC_ON_EXIT > VmcsFields.EXIT_INFO

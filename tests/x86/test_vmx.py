@@ -1,0 +1,102 @@
+"""VT-x CPU model tests."""
+
+import pytest
+
+from repro.metrics.counters import ExitReason
+from repro.x86.vmx import X86Cpu, X86ExitReason
+
+
+class EchoHandler:
+    def __init__(self):
+        self.exits = []
+
+    def handle_exit(self, cpu, reason, payload):
+        self.exits.append((reason, payload))
+        cpu.vm_entry()
+        return 0x42
+
+
+def non_root_cpu():
+    cpu = X86Cpu()
+    cpu.exit_handler = EchoHandler()
+    cpu.in_root = False
+    return cpu
+
+
+def test_vm_exit_dispatches_and_returns():
+    cpu = non_root_cpu()
+    assert cpu.vmcall(3) == 0x42
+    reason, payload = cpu.exit_handler.exits[0]
+    assert reason is X86ExitReason.VMCALL
+    assert payload == {"nr": 3}
+
+
+def test_vm_exit_charges_hardware_state_swap():
+    cpu = non_root_cpu()
+    cpu.vmcall()
+    assert cpu.ledger.by_category["vmexit_hw"] == cpu.costs.vmexit_hw
+    assert cpu.ledger.by_category["vmentry_hw"] == cpu.costs.vmentry_hw
+
+
+def test_vm_exit_counted_by_reason():
+    cpu = non_root_cpu()
+    cpu.vmcall()
+    cpu.mmio_read(0x1000)
+    cpu.wrmsr(0x830, 1)
+    assert cpu.traps.count(ExitReason.VMCALL) == 1
+    assert cpu.traps.count(ExitReason.EPT_VIOLATION) == 1
+    assert cpu.traps.count(ExitReason.MSR_ACCESS) == 1
+
+
+def test_exit_in_root_mode_is_an_error():
+    cpu = X86Cpu()
+    cpu.exit_handler = EchoHandler()
+    with pytest.raises(RuntimeError):
+        cpu.vm_exit(X86ExitReason.VMCALL, {})
+
+
+def test_mode_tracking_across_exit_and_entry():
+    cpu = non_root_cpu()
+    states = []
+
+    class Probe:
+        def handle_exit(self, cpu, reason, payload):
+            states.append(cpu.in_root)
+            cpu.vm_entry()
+            return None
+
+    cpu.exit_handler = Probe()
+    cpu.vmcall()
+    assert states == [True]
+    assert not cpu.in_root
+
+
+def test_apicv_virtual_eoi_no_exit():
+    cpu = non_root_cpu()
+    cpu.apic_virtual_eoi()
+    assert cpu.traps.total == 0
+
+
+def test_apicv_eoi_cost_near_paper():
+    """Table 1: x86 Virtual EOI is 316 cycles."""
+    cpu = non_root_cpu()
+    before = cpu.ledger.total
+    cpu.apic_virtual_eoi()
+    assert 280 <= cpu.ledger.total - before <= 350
+
+
+def test_vmread_vmwrite_costs():
+    cpu = X86Cpu()
+    before = cpu.ledger.total
+    cpu.vmread(10)
+    cpu.vmwrite(5)
+    expected = 10 * cpu.costs.vmread + 5 * cpu.costs.vmwrite
+    assert cpu.ledger.total - before == expected
+
+
+def test_memcpy_fields_cost():
+    cpu = X86Cpu()
+    before = cpu.ledger.total
+    cpu.memcpy_fields(20)
+    assert cpu.ledger.total - before == 20 * (cpu.costs.mem_load
+                                              + cpu.costs.mem_store)
