@@ -6,10 +6,17 @@ single hypercall from the L2 guest while recording every trap the host
 hypervisor services.  The ARMv8.3 trace shows the guest hypervisor's world
 switch trapping on every system register access; the NEVE trace shows only
 the irreducible transitions and trap-on-write registers.
+
+Pass ``--sanitize`` to run the whole scenario under the runtime
+invariant sanitizer (``repro.analysis.sanitizer``) and print its
+verdict alongside the traces.
 """
 
+import argparse
 from collections import Counter
+from contextlib import ExitStack
 
+from repro.analysis.sanitizer import SanitizerReport, sanitized
 from repro.harness.configs import ALL_CONFIGS, arm_arch_for
 from repro.hypervisor.kvm import Machine
 from repro.metrics.cycles import ARM_COSTS
@@ -30,27 +37,39 @@ class TracingHandler:
         return self.kvm.resume_context(cpu)
 
 
-def trace_hypercall(nested_mode):
+def trace_hypercall(nested_mode, report=None):
     config = ALL_CONFIGS["arm-nested" if nested_mode == "nv"
                          else "neve-nested"]
     machine = Machine(arch=arm_arch_for(config), costs=ARM_COSTS)
     vm = machine.kvm.create_vm(num_vcpus=1, nested=nested_mode)
-    machine.kvm.boot_nested(vm.vcpus[0])
 
-    tracer = TracingHandler(machine.kvm)
-    for cpu in machine.cpus:
-        cpu.trap_handler = tracer
+    with ExitStack() as stack:
+        if report is not None:
+            runners = [vcpu.neve for vcpu in vm.vcpus]
+            stack.enter_context(sanitized(cpus=machine.cpus,
+                                          runners=runners, report=report))
+        machine.kvm.boot_nested(vm.vcpus[0])
 
-    vm.vcpus[0].cpu.hvc(0)  # warm up
-    tracer.trace.clear()
-    vm.vcpus[0].cpu.hvc(0)
+        tracer = TracingHandler(machine.kvm)
+        for cpu in machine.cpus:
+            cpu.trap_handler = tracer
+
+        vm.vcpus[0].cpu.hvc(0)  # warm up
+        tracer.trace.clear()
+        vm.vcpus[0].cpu.hvc(0)
     return tracer.trace
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run under the runtime invariant sanitizer")
+    opts = parser.parse_args(argv)
+
+    report = SanitizerReport() if opts.sanitize else None
     for mode, label in (("nv", "ARMv8.3 trap-and-emulate"),
                         ("neve", "NEVE")):
-        trace = trace_hypercall(mode)
+        trace = trace_hypercall(mode, report=report)
         print("=" * 70)
         print("%s: one L2 hypercall -> %d traps to the host hypervisor"
               % (label, len(trace)))
@@ -62,7 +81,14 @@ def main():
     print("Every line is work the ARMv8.3 host hypervisor must emulate")
     print("with a full world switch; NEVE's deferred access page absorbs")
     print("the register traffic in ordinary loads and stores.")
+    if report is not None:
+        print()
+        print(report.summary())
+        for finding in report.violations:
+            print("  " + finding.format())
+        return 1 if report.violations else 0
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,8 +1,26 @@
-"""``python -m repro``: the one-shot reproduction verdict."""
+"""``python -m repro``: the one-shot reproduction verdict, plus tools.
+
+* ``python -m repro`` — run the verification layers and print the
+  PASS/FAIL verdict per paper claim.
+* ``python -m repro lint`` — run the spec-conformance checker, the
+  simulator-invariant lint and the runtime-sanitizer smoke scenario
+  (see :mod:`repro.analysis`).
+"""
 
 import sys
 
-from repro.harness.summary import main
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+        return lint_main(argv[1:])
+    if argv:
+        print("usage: python -m repro [lint [options]]", file=sys.stderr)
+        return 2
+    from repro.harness.summary import main as summary_main
+    return summary_main()
+
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,45 @@
+"""Machine-checked conformance for the reproduction (``repro.analysis``).
+
+Three cooperating passes keep the register classification and the
+discrete-event core honest:
+
+1. :mod:`repro.analysis.spec` — static cross-validation of the register
+   registry against the paper's Tables 2-5 (counts, uniqueness,
+   encodings, redirect targets, deferred-page layout).
+2. :mod:`repro.analysis.lint` — AST lint over the simulator sources for
+   invariant violations: register-state mutation that bypasses
+   ``cpu.mrs``/``cpu.msr``, nondeterminism sources, and cycle-ledger
+   bypasses.
+3. :mod:`repro.analysis.sanitizer` — opt-in runtime sanitizer that
+   checks every virtual-EL2 access of a live simulation against the
+   specification oracle.
+
+``python -m repro lint`` (see :mod:`repro.analysis.cli`) runs all three.
+"""
+
+from repro.analysis.base import Finding
+from repro.analysis.lint import lint_file, lint_paths, lint_source
+from repro.analysis.sanitizer import (
+    CpuSanitizer,
+    RunnerSanitizer,
+    SanitizerError,
+    SanitizerReport,
+    run_sanitized_scenario,
+    sanitized,
+)
+from repro.analysis.spec import SpecSnapshot, check_spec
+
+__all__ = [
+    "CpuSanitizer",
+    "Finding",
+    "RunnerSanitizer",
+    "SanitizerError",
+    "SanitizerReport",
+    "SpecSnapshot",
+    "check_spec",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run_sanitized_scenario",
+    "sanitized",
+]

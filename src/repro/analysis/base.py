@@ -1,0 +1,62 @@
+"""Shared plumbing for the analysis passes: findings and lint pragmas.
+
+All three passes (:mod:`repro.analysis.spec`, :mod:`repro.analysis.lint`,
+:mod:`repro.analysis.sanitizer`) report problems as :class:`Finding`
+objects so the CLI and the tests can treat them uniformly.
+"""
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem reported by an analysis pass.
+
+    ``rule`` is a stable kebab-case identifier (``spec-*`` for the
+    conformance checker, ``sim-*`` for the AST lint, ``san-*`` for the
+    runtime sanitizer) so pragmas and tests can key on it.
+    """
+
+    rule: str
+    message: str
+    path: str = None
+    line: int = None
+
+    def format(self):
+        if self.path is not None:
+            location = self.path
+            if self.line is not None:
+                location += ":%d" % self.line
+            return "%s: %s: %s" % (location, self.rule, self.message)
+        return "%s: %s" % (self.rule, self.message)
+
+
+#: ``# lint: allow(rule-a, rule-b)`` on the first physical line of a
+#: statement suppresses those rules for that statement.  The pragma is an
+#: assertion by the author that the flagged construct is intentional —
+#: e.g. a device model mutating its own hardware register state, which is
+#: not a simulated instruction and so owes the ledger nothing.
+PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\(([a-z0-9, -]+)\)")
+
+
+def pragma_allowances(source):
+    """Map line number -> set of rule names allowed on that line."""
+    allowances = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = PRAGMA_RE.search(line)
+        if match:
+            rules = {rule.strip() for rule in match.group(1).split(",")}
+            allowances[lineno] = rules
+    return allowances
+
+
+def apply_pragmas(findings, allowances):
+    """Drop findings whose rule is allowed on their line."""
+    kept = []
+    for finding in findings:
+        allowed = allowances.get(finding.line, ())
+        if finding.rule in allowed:
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,86 @@
+"""``python -m repro lint``: run the analysis passes and report.
+
+Default run (no arguments) executes all three passes against the live
+tree: the spec-conformance checker, the AST lint over the ``repro``
+package sources, and the sanitized exit-multiplication smoke scenario.
+Any finding fails the run (exit status 1), which is what CI keys on.
+
+Usage::
+
+    python -m repro lint                  # full clean-tree check
+    python -m repro lint path/to/file.py  # lint specific files/dirs
+    python -m repro lint --no-sanitize    # skip the runtime scenario
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _default_lint_paths():
+    """The installed ``repro`` package sources."""
+    import repro
+    return [Path(repro.__file__).parent]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Spec-conformance checker, simulator-invariant lint "
+                    "and runtime-sanitizer smoke run.")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (default: the "
+                             "repro package sources)")
+    parser.add_argument("--no-spec", action="store_true",
+                        help="skip the register-classification "
+                             "spec checks")
+    parser.add_argument("--no-lint", action="store_true",
+                        help="skip the AST lint")
+    parser.add_argument("--no-sanitize", action="store_true",
+                        help="skip the sanitized exit-multiplication "
+                             "scenario")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="print findings only, no summary")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    missing = [path for path in args.paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print("error: no such file or directory: %s" % path,
+                  file=sys.stderr)
+        return 2
+
+    findings = []
+    passes = []
+
+    if not args.no_spec:
+        from repro.analysis.spec import check_spec
+        spec_findings = check_spec()
+        findings.extend(spec_findings)
+        passes.append(("spec", len(spec_findings)))
+
+    if not args.no_lint:
+        from repro.analysis.lint import lint_paths
+        paths = args.paths or _default_lint_paths()
+        lint_findings = lint_paths(paths)
+        findings.extend(lint_findings)
+        passes.append(("lint", len(lint_findings)))
+
+    if not args.no_sanitize:
+        from repro.analysis.sanitizer import run_sanitized_scenario
+        report = run_sanitized_scenario()
+        findings.extend(report.violations)
+        passes.append(("sanitizer[%d checks]" % report.checks,
+                       len(report.violations)))
+
+    for finding in findings:
+        print(finding.format())
+    if not args.quiet:
+        detail = ", ".join("%s: %d" % item for item in passes)
+        verdict = "clean" if not findings else \
+            "%d finding(s)" % len(findings)
+        print("repro lint: %s (%s)" % (verdict, detail))
+    return 1 if findings else 0

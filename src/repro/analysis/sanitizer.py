@@ -1,0 +1,232 @@
+"""Pass 3: runtime invariant sanitizer (opt-in, ASan-style).
+
+Where the conformance matrix (:mod:`repro.core.conformance`) probes the
+CPU model with a synthetic trap handler, the sanitizer rides along a
+*real* simulation — full hypervisor stack, GIC, timers — and checks
+every access as it happens:
+
+* every system-register access from virtual EL2 resolves to exactly the
+  behaviour Tables 3-5 specify (trap, redirect, defer, or permitted
+  direct access) — no silent fallthrough into the wrong mechanism;
+* deferred-access-page traffic only happens while ``VNCR_EL2.Enable``
+  is set (Section 6.1: the host clears Enable while the nested VM runs
+  so the VM reaches its real EL1 registers);
+* :class:`~repro.core.neve.NeveRunner` bookkeeping stays in sync with
+  the hardware ``VNCR_EL2`` value, enable/disable only happen at EL2,
+  and cached-copy refreshes only target registers that actually own a
+  page slot.
+
+Violations are collected in a :class:`SanitizerReport` (or raised
+immediately with ``strict=True``).  Attach with::
+
+    with sanitized(cpus=machine.cpus, runners=[vcpu.neve]) as report:
+        ... run the scenario ...
+    report.assert_clean()
+"""
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.analysis.base import Finding
+from repro.arch.cpu import Encoding
+from repro.arch.exceptions import ExceptionLevel
+from repro.arch.registers import RegClass, lookup_register
+from repro.core.conformance import expected_access_kind
+
+
+class SanitizerError(AssertionError):
+    """Raised on the first violation when running in strict mode."""
+
+
+@dataclass
+class SanitizerReport:
+    """Accumulated sanitizer verdict for one simulation run."""
+
+    checks: int = 0
+    violations: list = field(default_factory=list)
+    strict: bool = False
+
+    @property
+    def passed(self):
+        return not self.violations
+
+    def record(self, ok, rule, message):
+        self.checks += 1
+        if ok:
+            return
+        finding = Finding(rule, message)
+        self.violations.append(finding)
+        if self.strict:
+            raise SanitizerError(finding.format())
+
+    def assert_clean(self):
+        if self.violations:
+            raise SanitizerError(
+                "%d invariant violation(s) in %d checks:\n%s"
+                % (len(self.violations), self.checks,
+                   "\n".join(f.format() for f in self.violations)))
+
+    def summary(self):
+        return ("sanitizer: %d checks, %d violations"
+                % (self.checks, len(self.violations)))
+
+
+class CpuSanitizer:
+    """Wraps one :class:`~repro.arch.cpu.Cpu`'s access resolution."""
+
+    def __init__(self, cpu, report):
+        self.cpu = cpu
+        self.report = report
+        self._orig_sysreg_access = None
+        self._orig_deferred_access = None
+
+    def install(self):
+        if self._orig_sysreg_access is not None:
+            raise RuntimeError("sanitizer already installed on cpu %d"
+                               % self.cpu.cpu_id)
+        self._orig_sysreg_access = self.cpu.sysreg_access
+        self._orig_deferred_access = self.cpu._deferred_access
+        self.cpu.sysreg_access = self._checked_sysreg_access
+        self.cpu._deferred_access = self._checked_deferred_access
+
+    def uninstall(self):
+        if self._orig_sysreg_access is None:
+            return
+        # The originals are bound methods; deleting the instance
+        # attributes re-exposes them.
+        del self.cpu.sysreg_access
+        del self.cpu._deferred_access
+        self._orig_sysreg_access = None
+        self._orig_deferred_access = None
+
+    def _checked_sysreg_access(self, name, is_write, value=None,
+                               enc=Encoding.NORMAL):
+        cpu = self.cpu
+        # Snapshot the resolution inputs before the access runs: the
+        # trap handler may world-switch and change them underneath us.
+        at_vel2 = cpu.at_virtual_el2
+        neve = cpu.neve_enabled
+        vhe = cpu.virtual_e2h
+        result, kind = self._orig_sysreg_access(name, is_write,
+                                                value=value, enc=enc)
+        if at_vel2 and enc is Encoding.NORMAL and cpu.arch.has_nv:
+            reg = lookup_register(name)
+            if reg.reg_class is not RegClass.SPECIAL:
+                expected = expected_access_kind(reg, is_write, neve, vhe)
+                self.report.record(
+                    kind is expected, "san-access-kind",
+                    "virtual-EL2 %s of %s resolved to %s, Tables 3-5 "
+                    "specify %s (neve=%s vhe=%s)"
+                    % ("write" if is_write else "read", name, kind.value,
+                       expected.value, neve, vhe))
+        return result, kind
+
+    def _checked_deferred_access(self, reg, is_write, value):
+        self.report.record(
+            self.cpu.neve_enabled, "san-vncr-disabled",
+            "deferred-access-page %s of %s while VNCR_EL2.Enable is "
+            "clear" % ("write" if is_write else "read", reg.name))
+        self.report.record(
+            reg.vncr_offset is not None, "san-vncr-slot",
+            "deferred access to %s, which owns no page slot" % reg.name)
+        return self._orig_deferred_access(reg, is_write, value)
+
+
+class RunnerSanitizer:
+    """Wraps one :class:`~repro.core.neve.NeveRunner`."""
+
+    def __init__(self, runner, report):
+        self.runner = runner
+        self.report = report
+        self._originals = {}
+
+    def install(self):
+        if self._originals:
+            raise RuntimeError("sanitizer already installed on runner")
+        for method in ("enable", "disable", "write_cached_copy"):
+            self._originals[method] = getattr(self.runner, method)
+        self.runner.enable = self._checked_enable
+        self.runner.disable = self._checked_disable
+        self.runner.write_cached_copy = self._checked_write_cached_copy
+
+    def uninstall(self):
+        for method in self._originals:
+            delattr(self.runner, method)
+        self._originals = {}
+
+    def _check_sync(self, what):
+        cpu = self.runner.cpu
+        self.report.record(
+            cpu.current_el is ExceptionLevel.EL2, "san-runner-el",
+            "NeveRunner.%s called while the CPU runs at %s; VNCR_EL2 is "
+            "host-hypervisor state" % (what, cpu.current_el))
+        hw = cpu.el2_regs.read("VNCR_EL2")
+        self.report.record(
+            hw == self.runner.vncr.value, "san-runner-drift",
+            "after NeveRunner.%s the hardware VNCR_EL2 (%#x) disagrees "
+            "with the runner's view (%#x)"
+            % (what, hw, self.runner.vncr.value))
+
+    def _checked_enable(self):
+        result = self._originals["enable"]()
+        self._check_sync("enable")
+        return result
+
+    def _checked_disable(self):
+        result = self._originals["disable"]()
+        self._check_sync("disable")
+        return result
+
+    def _checked_write_cached_copy(self, reg_name, value):
+        reg = lookup_register(reg_name)
+        self.report.record(
+            reg.vncr_offset is not None, "san-vncr-slot",
+            "cached-copy refresh of %s, which owns no page slot"
+            % reg_name)
+        return self._originals["write_cached_copy"](reg_name, value)
+
+
+@contextmanager
+def sanitized(cpus=(), runners=(), strict=False, report=None):
+    """Attach sanitizers to *cpus* and *runners* for the dynamic extent
+    of the block; yields the shared :class:`SanitizerReport`."""
+    if report is None:
+        report = SanitizerReport(strict=strict)
+    wrappers = [CpuSanitizer(cpu, report) for cpu in cpus]
+    wrappers += [RunnerSanitizer(runner, report) for runner in runners
+                 if runner is not None]
+    for wrapper in wrappers:
+        wrapper.install()
+    try:
+        yield report
+    finally:
+        for wrapper in wrappers:
+            wrapper.uninstall()
+
+
+def run_sanitized_scenario(modes=("nv", "neve"), hypercalls=2):
+    """Run the exit-multiplication scenario (examples/
+    exit_multiplication.py) under the sanitizer: boot a nested VM on the
+    ARMv8.3 and NEVE models and drive L2 hypercalls end to end.
+
+    Returns the combined :class:`SanitizerReport`; a clean report means
+    every register access the full hypervisor stack performed resolved
+    exactly as the specification tables demand.
+    """
+    from repro.harness.configs import ALL_CONFIGS, arm_arch_for
+    from repro.hypervisor.kvm import Machine
+    from repro.metrics.cycles import ARM_COSTS
+
+    report = SanitizerReport()
+    for mode in modes:
+        config = ALL_CONFIGS["arm-nested" if mode == "nv"
+                             else "neve-nested"]
+        machine = Machine(arch=arm_arch_for(config), costs=ARM_COSTS)
+        vm = machine.kvm.create_vm(num_vcpus=1, nested=mode)
+        runners = [vcpu.neve for vcpu in vm.vcpus]
+        with sanitized(cpus=machine.cpus, runners=runners,
+                       report=report):
+            machine.kvm.boot_nested(vm.vcpus[0])
+            for _ in range(hypercalls):
+                vm.vcpus[0].cpu.hvc(0)
+    return report

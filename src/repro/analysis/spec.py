@@ -1,0 +1,304 @@
+"""Pass 1: spec-conformance checker for the register classification.
+
+The reproduction encodes the paper's Tables 2-5 three times over: as the
+register registry (:mod:`repro.arch.registers`), as the classification
+table views (:mod:`repro.core.classification`) and as real AArch64
+encodings (:mod:`repro.arch.encodings`), with the CPU trap paths
+consuming all three.  A register that drifts between them — classified
+twice, missing an encoding, redirected to a counterpart that does not
+exist — silently corrupts every exit-multiplication result downstream.
+
+This pass cross-validates the three as *data*:
+
+* every register is classified exactly once, and every
+  :class:`RegClass` maps to exactly one table (3, 4, 5 or the prose
+  extensions of Section 6.1);
+* every :class:`RegClass` has a defined set of legal NEVE behaviours,
+  and every register's behaviour is in its class's set;
+* the table row counts match the paper's stated 27 / 18 / 30 (with the
+  Table 4 caption-vs-rows discrepancy pinned to
+  :data:`repro.core.classification.TABLE4_ROW_COUNT`);
+* encodings are present, unique and free of orphans;
+* redirection targets (``el1_counterpart`` and the ``E2H_REDIRECTS``
+  map) name registers that exist at the right exception level;
+* the deferred-access-page layout is consistent: a VNCR slot exists iff
+  the behaviour stores the register in memory, offsets are unique,
+  8-byte aligned and fit one page.
+
+Checks run against a :class:`SpecSnapshot` so tests can corrupt a copy
+of the live data and assert the checker notices.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.base import Finding
+from repro.arch.registers import NeveBehavior, RegClass
+
+#: Legal NEVE behaviours per register class.  A class missing from this
+#: map, or a register whose behaviour is outside its class's set, is a
+#: conformance finding ("every RegClass has a defined NEVE behaviour").
+CLASS_BEHAVIOR = {
+    RegClass.VM_TRAP_CONTROL: frozenset({NeveBehavior.DEFER}),
+    RegClass.VM_EXECUTION_CONTROL: frozenset({NeveBehavior.DEFER}),
+    RegClass.THREAD_ID: frozenset({NeveBehavior.DEFER}),
+    RegClass.HYP_REDIRECT: frozenset({NeveBehavior.REDIRECT}),
+    RegClass.HYP_REDIRECT_VHE: frozenset({NeveBehavior.REDIRECT}),
+    RegClass.HYP_TRAP_ON_WRITE: frozenset({NeveBehavior.CACHED_COPY}),
+    # Redirect-or-trap rows carry CACHED_COPY as the non-VHE fallback;
+    # the CPU upgrades them to REDIRECT at access time under VHE.
+    RegClass.HYP_REDIRECT_OR_TRAP: frozenset({NeveBehavior.CACHED_COPY}),
+    RegClass.GIC_HYP: frozenset({NeveBehavior.CACHED_COPY}),
+    RegClass.GIC_CPU: frozenset({NeveBehavior.NONE, NeveBehavior.TRAP}),
+    RegClass.TIMER_EL2: frozenset({NeveBehavior.TRAP}),
+    RegClass.TIMER_GUEST: frozenset({NeveBehavior.DEFER,
+                                     NeveBehavior.NONE}),
+    RegClass.PMU: frozenset({NeveBehavior.DEFER}),
+    RegClass.DEBUG: frozenset({NeveBehavior.CACHED_COPY}),
+    RegClass.EL1_CONTEXT: frozenset({NeveBehavior.DEFER}),
+    RegClass.SPECIAL: frozenset({NeveBehavior.NONE}),
+}
+
+#: Which classification table owns each register class.  Totality of
+#: this map is what "classified exactly once" means at the class level.
+TABLE_OF_CLASS = {
+    RegClass.VM_TRAP_CONTROL: "table3",
+    RegClass.VM_EXECUTION_CONTROL: "table3",
+    RegClass.THREAD_ID: "table3",
+    RegClass.HYP_REDIRECT: "table4",
+    RegClass.HYP_REDIRECT_VHE: "table4",
+    RegClass.HYP_TRAP_ON_WRITE: "table4",
+    RegClass.HYP_REDIRECT_OR_TRAP: "table4",
+    RegClass.GIC_HYP: "table5",
+    RegClass.GIC_CPU: "prose",
+    RegClass.TIMER_EL2: "prose",
+    RegClass.TIMER_GUEST: "prose",
+    RegClass.PMU: "prose",
+    RegClass.DEBUG: "prose",
+    RegClass.EL1_CONTEXT: "prose",
+    RegClass.SPECIAL: "prose",
+}
+
+
+@dataclass
+class SpecSnapshot:
+    """All the classification data the checker validates, as plain
+    values, so tests can corrupt a copy without touching the live
+    registry."""
+
+    registers: tuple  # SysReg instances
+    encodings: dict  # name -> (op0, op1, CRn, CRm, op2)
+    e2h_redirects: dict  # EL1-encoded name -> EL2 register name
+    table_rows: dict  # table name -> row count of the rendered view
+    page_size: int
+
+    @classmethod
+    def live(cls):
+        from repro.arch.cpu import E2H_REDIRECTS
+        from repro.arch.encodings import SYSREG_ENCODINGS
+        from repro.arch.registers import iter_registers
+        from repro.core.classification import (
+            table3_vm_registers,
+            table4_hyp_control_registers,
+            table5_gic_registers,
+        )
+        from repro.memory.phys import PAGE_SIZE
+
+        return cls(
+            registers=tuple(iter_registers()),
+            encodings=dict(SYSREG_ENCODINGS),
+            e2h_redirects=dict(E2H_REDIRECTS),
+            table_rows={
+                "table3": len(table3_vm_registers()),
+                "table4": len(table4_hyp_control_registers()),
+                "table5": len(table5_gic_registers()),
+            },
+            page_size=PAGE_SIZE,
+        )
+
+    def corrupt(self, name, **changes):
+        """A copy of the snapshot with one register's fields replaced
+        (test helper for seeding violations)."""
+        registers = tuple(
+            replace(reg, **changes) if reg.name == name else reg
+            for reg in self.registers)
+        return replace(self, registers=registers)
+
+
+def _check_unique_names(snapshot):
+    seen = {}
+    for reg in snapshot.registers:
+        if reg.name in seen:
+            yield Finding("spec-duplicate-register",
+                          "%s is defined more than once" % reg.name)
+        seen[reg.name] = reg
+
+
+def _check_class_coverage(snapshot):
+    for reg_class in RegClass:
+        if reg_class not in CLASS_BEHAVIOR:
+            yield Finding("spec-class-behavior",
+                          "RegClass.%s has no defined NEVE behaviour set"
+                          % reg_class.name)
+        if reg_class not in TABLE_OF_CLASS:
+            yield Finding("spec-class-table",
+                          "RegClass.%s is not assigned to any "
+                          "classification table" % reg_class.name)
+    for reg in snapshot.registers:
+        allowed = CLASS_BEHAVIOR.get(reg.reg_class)
+        if allowed is not None and reg.neve not in allowed:
+            yield Finding(
+                "spec-misclassified",
+                "%s: behaviour %s is illegal for class %s (allowed: %s)"
+                % (reg.name, reg.neve.value, reg.reg_class.value,
+                   ", ".join(sorted(b.value for b in allowed))))
+
+
+def _check_table_counts(snapshot):
+    from repro.core.classification import (
+        TABLE3_ROW_COUNT,
+        TABLE4_CAPTION_COUNT,
+        TABLE4_REDIRECT_COUNT,
+        TABLE4_ROW_COUNT,
+        TABLE5_ROW_COUNT,
+    )
+
+    if TABLE4_ROW_COUNT != TABLE4_CAPTION_COUNT + 1:
+        yield Finding("spec-count",
+                      "Table 4 caption/rows discrepancy constant drifted: "
+                      "rows %d, caption %d (must differ by exactly the "
+                      "one documented row)"
+                      % (TABLE4_ROW_COUNT, TABLE4_CAPTION_COUNT))
+
+    expected = {"table3": TABLE3_ROW_COUNT, "table4": TABLE4_ROW_COUNT,
+                "table5": TABLE5_ROW_COUNT}
+    for table, want in expected.items():
+        got = snapshot.table_rows.get(table)
+        if got != want:
+            yield Finding("spec-count",
+                          "%s renders %s rows, paper states %d"
+                          % (table, got, want))
+
+    # Re-count from the registry itself so the rendered views cannot
+    # paper over a registry drift (Table 3 prints TPIDR_EL2 twice, hence
+    # the +1).
+    by_table = {"table3": 0, "table4": 0, "table5": 0}
+    redirects = 0
+    for reg in snapshot.registers:
+        table = TABLE_OF_CLASS.get(reg.reg_class)
+        if table in by_table:
+            by_table[table] += 1
+        if reg.neve is NeveBehavior.REDIRECT:
+            redirects += 1
+    registry_rows = {"table3": by_table["table3"] + 1,
+                     "table4": by_table["table4"],
+                     "table5": by_table["table5"]}
+    for table, want in expected.items():
+        if registry_rows[table] != want:
+            yield Finding("spec-count",
+                          "registry holds %d %s registers, paper states %d"
+                          % (registry_rows[table], table, want))
+    if redirects != TABLE4_REDIRECT_COUNT:
+        yield Finding("spec-count",
+                      "%d registers marked REDIRECT, Table 4 enumerates %d"
+                      % (redirects, TABLE4_REDIRECT_COUNT))
+
+
+def _check_encodings(snapshot):
+    names = {reg.name for reg in snapshot.registers}
+    by_encoding = {}
+    for name, fields in snapshot.encodings.items():
+        if name not in names:
+            yield Finding("spec-encoding-orphan",
+                          "encoding defined for %s, which is not in the "
+                          "registry" % name)
+        if fields in by_encoding:
+            yield Finding("spec-encoding-duplicate",
+                          "%s and %s share encoding %r"
+                          % (by_encoding[fields], name, fields))
+        by_encoding[fields] = name
+    for reg in snapshot.registers:
+        if reg.name not in snapshot.encodings:
+            yield Finding("spec-encoding-missing",
+                          "%s has no AArch64 encoding" % reg.name)
+
+
+def _check_redirects(snapshot):
+    by_name = {reg.name: reg for reg in snapshot.registers}
+    for reg in snapshot.registers:
+        needs_counterpart = (
+            reg.neve is NeveBehavior.REDIRECT
+            or reg.reg_class is RegClass.HYP_REDIRECT_OR_TRAP)
+        if not needs_counterpart:
+            continue
+        target = reg.el1_counterpart
+        if target is None:
+            yield Finding("spec-redirect",
+                          "%s redirects but names no EL1 counterpart"
+                          % reg.name)
+            continue
+        counterpart = by_name.get(target)
+        if counterpart is None:
+            yield Finding("spec-redirect",
+                          "%s redirects to %s, which is not in the "
+                          "registry" % (reg.name, target))
+        elif counterpart.el == 2:
+            yield Finding("spec-redirect",
+                          "%s redirects to %s, which is itself an EL2 "
+                          "register" % (reg.name, target))
+    for source, target in snapshot.e2h_redirects.items():
+        for name in (source, target):
+            if name not in by_name:
+                yield Finding("spec-redirect",
+                              "E2H_REDIRECTS names unknown register %s "
+                              "(%s -> %s)" % (name, source, target))
+
+
+def _check_vncr_layout(snapshot):
+    in_memory = (NeveBehavior.DEFER, NeveBehavior.CACHED_COPY)
+    by_offset = {}
+    for reg in snapshot.registers:
+        if reg.neve in in_memory:
+            if reg.vncr_offset is None:
+                yield Finding("spec-vncr-layout",
+                              "%s is %s but has no deferred-access-page "
+                              "slot" % (reg.name, reg.neve.value))
+                continue
+            if reg.vncr_offset % 8:
+                yield Finding("spec-vncr-layout",
+                              "%s slot %#x is not 8-byte aligned"
+                              % (reg.name, reg.vncr_offset))
+            if reg.vncr_offset + 8 > snapshot.page_size:
+                yield Finding("spec-vncr-layout",
+                              "%s slot %#x falls outside the deferred "
+                              "access page" % (reg.name, reg.vncr_offset))
+            if reg.vncr_offset in by_offset:
+                yield Finding("spec-vncr-layout",
+                              "%s and %s share page offset %#x"
+                              % (by_offset[reg.vncr_offset], reg.name,
+                                 reg.vncr_offset))
+            by_offset[reg.vncr_offset] = reg.name
+        elif reg.vncr_offset is not None:
+            yield Finding("spec-vncr-layout",
+                          "%s is %s yet owns page offset %#x"
+                          % (reg.name, reg.neve.value, reg.vncr_offset))
+
+
+_CHECKS = (
+    _check_unique_names,
+    _check_class_coverage,
+    _check_table_counts,
+    _check_encodings,
+    _check_redirects,
+    _check_vncr_layout,
+)
+
+
+def check_spec(snapshot=None):
+    """Run every spec-conformance check; returns a list of findings
+    (empty when the classification data is consistent)."""
+    if snapshot is None:
+        snapshot = SpecSnapshot.live()
+    findings = []
+    for check in _CHECKS:
+        findings.extend(check(snapshot))
+    return findings

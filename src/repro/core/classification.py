@@ -8,6 +8,26 @@ report harness can print them (experiment E7 in DESIGN.md).
 
 from repro.arch.registers import NeveBehavior, RegClass, iter_registers
 
+#: Row count of Table 3 as printed: 27, because the paper lists
+#: ``TPIDR_EL2`` in both the VM Trap Control and Thread ID groups
+#: (26 unique registers).
+TABLE3_ROW_COUNT = 27
+
+#: What Table 4's caption claims ("17 hypervisor control registers").
+TABLE4_CAPTION_COUNT = 17
+
+#: What Table 4's rows actually enumerate.  The caption and the rows
+#: disagree by one; we encode the rows (see DESIGN.md fidelity notes).
+#: This is the single authoritative constant — tests and the spec
+#: conformance checker must not re-derive it.
+TABLE4_ROW_COUNT = TABLE4_CAPTION_COUNT + 1
+
+#: Table 4 rows handled by register redirection (both redirect groups).
+TABLE4_REDIRECT_COUNT = 12
+
+#: GIC hypervisor control interface registers (Table 5).
+TABLE5_ROW_COUNT = 30
+
 
 def table2_fields():
     """VNCR_EL2 register fields (Table 2)."""

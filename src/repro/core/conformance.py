@@ -39,9 +39,14 @@ class ConformanceResult:
             self.violations.append(description)
 
 
-def _expected_kind(reg, is_write, neve, vhe):
+def expected_access_kind(reg, is_write, neve, vhe):
     """The specified behaviour for one access (the oracle, derived
-    directly from the paper's tables rather than from the CPU code)."""
+    directly from the paper's tables rather than from the CPU code).
+
+    Shared with the runtime sanitizer
+    (:mod:`repro.analysis.sanitizer`), which checks live simulations
+    against the same oracle the conformance matrix uses.
+    """
     if reg.reg_class is RegClass.GIC_CPU:
         return (AccessKind.TRAPPED if reg.neve is NeveBehavior.TRAP
                 else AccessKind.DIRECT_EL1)
@@ -106,7 +111,7 @@ def _make_cpu(neve):
               memory=PhysicalMemory())
     cpu.trap_handler = _NullHandler()
     if neve:
-        cpu.el2_regs.write("VNCR_EL2", VncrEl2.make(0x7000_0000).value)
+        cpu.el2_regs.write("VNCR_EL2", VncrEl2.make(0x7000_0000).value)  # lint: allow(sim-sysreg-bypass)
     return cpu
 
 
@@ -129,7 +134,8 @@ def run_conformance():
                     _value, kind = cpu.sysreg_access(
                         reg.name, is_write=is_write,
                         value=1 if is_write else None)
-                    expected = _expected_kind(reg, is_write, neve, vhe)
+                    expected = expected_access_kind(reg, is_write, neve,
+                                                    vhe)
                     result.record(
                         kind is expected,
                         "%s %s (neve=%s vhe=%s): expected %s, got %s"

@@ -3,9 +3,11 @@
 Runs the repository's verification layers in order of strength and prints
 a PASS/FAIL verdict per claim:
 
-1. **Conformance** — the CPU model obeys the NEVE specification tables.
-2. **Goldens** — the measured numbers in EXPERIMENTS.md still hold.
-3. **Paper claims** — the headline quantitative claims of the paper.
+1. **Spec data** — the register registry is internally consistent with
+   the paper's classification tables (``repro.analysis.spec``).
+2. **Conformance** — the CPU model obeys the NEVE specification tables.
+3. **Goldens** — the measured numbers in EXPERIMENTS.md still hold.
+4. **Paper claims** — the headline quantitative claims of the paper.
 
 ``python -m repro`` runs this.
 """
@@ -75,6 +77,12 @@ def _claim_checks():
 def run_summary(iterations=6):
     """Run all verification layers; returns ``[Check]``."""
     checks = []
+
+    from repro.analysis.spec import check_spec
+    spec_findings = check_spec()
+    checks.append(Check(
+        "spec tables static conformance (registry vs Tables 2-5)",
+        not spec_findings, "%d findings" % len(spec_findings)))
 
     from repro.core.conformance import run_conformance
     conformance = run_conformance()

@@ -142,14 +142,14 @@ class RecursiveHost:
             l1_vncr = VncrEl2(self.l1_page.read_reg("VNCR_EL2"))
             machine_baddr = self.l1_stage2.translate(l1_vncr.baddr)
             hw = VncrEl2.make(machine_baddr, enable=True)
-            self.cpu.el2_regs.write("VNCR_EL2", hw.value)
+            self.cpu.el2_regs.write("VNCR_EL2", hw.value)  # lint: allow(sim-sysreg-bypass)
         self.cpu.enter_guest_context(ExceptionLevel.EL1, nv=True,
                                      virtual_e2h=False)
 
     def _enter_l1(self):
         if self.neve:
             # L1 runs with its own NEVE page active.
-            self.cpu.el2_regs.write(
+            self.cpu.el2_regs.write(  # lint: allow(sim-sysreg-bypass)
                 "VNCR_EL2", VncrEl2.make(self.l1_page.baddr).value)
         self.cpu.enter_guest_context(ExceptionLevel.EL1, nv=True,
                                      virtual_e2h=False)
@@ -182,12 +182,12 @@ class RecursiveHost:
                 # While forwarding, L1 runs with ITS page, not L2's.
                 if self.neve:
                     saved = cpu.el2_regs.read("VNCR_EL2")
-                    cpu.el2_regs.write(
+                    cpu.el2_regs.write(  # lint: allow(sim-sysreg-bypass)
                         "VNCR_EL2",
                         VncrEl2.make(self.l1_page.baddr).value)
                 result = self.l1.emulate(cpu, syndrome)
                 if self.neve:
-                    cpu.el2_regs.write("VNCR_EL2", saved)
+                    cpu.el2_regs.write("VNCR_EL2", saved)  # lint: allow(sim-sysreg-bypass)
         finally:
             self._forwarding = False
         ws.hyp_exit(cpu)

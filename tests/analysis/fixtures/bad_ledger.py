@@ -1,0 +1,27 @@
+"""Seeded-violation fixture: cycle mutations that skip the ledger.
+
+Never imported — the lint parses it and must flag every marked line.
+"""
+
+
+def fudge_total(cpu):
+    # VIOLATION sim-ledger-bypass: cycles invented with no category.
+    cpu.ledger.total += 2700
+
+
+def rewrite_history(cpu):
+    # VIOLATION sim-ledger-bypass: direct category assignment.
+    cpu.ledger.by_category["trap"] = 0
+
+
+def erase_breakdown(cpu):
+    # VIOLATION sim-ledger-bypass: mutating the breakdown dict.
+    cpu.ledger.by_category.clear()
+
+
+def sanctioned_paths(cpu):
+    # Charging through the API is the only legal mutation.
+    cpu.ledger.charge(2700, "trap")
+    cpu.ledger.reset()
+    # Reads are fine.
+    return cpu.ledger.total, dict(cpu.ledger.by_category)

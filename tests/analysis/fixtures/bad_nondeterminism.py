@@ -1,0 +1,38 @@
+"""Seeded-violation fixture: nondeterminism in the discrete-event core.
+
+Never imported — the lint parses it and must flag every marked line.
+"""
+
+import random
+import time
+from random import randint
+
+
+def jittered_delay(base):
+    # VIOLATION sim-nondeterminism: unseeded global generator.
+    return base + random.randint(0, 5)
+
+
+def imported_alias():
+    # VIOLATION sim-nondeterminism: same generator via from-import.
+    return randint(0, 5)
+
+
+def timestamp_results(results):
+    # VIOLATION sim-nondeterminism: wall-clock read.
+    results["when"] = time.time()
+    return results
+
+
+def drain_pending(pending):
+    # VIOLATION sim-nondeterminism: set iteration order.
+    for vcpu in set(pending):
+        vcpu.kick()
+
+
+def deterministic_paths(pending, seed):
+    # Sanctioned: a seeded private generator and sorted iteration.
+    rng = random.Random(seed)
+    for vcpu in sorted(pending, key=lambda v: v.cpu_id):
+        vcpu.kick()
+    return rng.random()

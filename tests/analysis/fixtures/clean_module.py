@@ -1,0 +1,25 @@
+"""Clean fixture: exercises constructs adjacent to every lint rule
+without violating any.  The lint must report zero findings here."""
+
+import random
+
+
+def charge_world_switch(cpu, count):
+    cpu.ledger.charge(count * cpu.costs.gpr_save_restore, "world_switch")
+    return cpu.ledger.total
+
+
+def trapping_write(cpu, value):
+    cpu.msr("CNTHCTL_EL2", value)
+    return cpu.mrs("CNTHCTL_EL2")
+
+
+def seeded_workload(seed, size):
+    rng = random.Random(seed)
+    return [rng.randrange(size) for _ in range(size)]
+
+
+def ordered_union(groups):
+    members = sorted({name for group in groups for name in group})
+    for name in members:
+        yield name

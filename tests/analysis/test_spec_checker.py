@@ -1,0 +1,125 @@
+"""The spec-conformance checker must pass the live registry and catch
+every class of seeded corruption."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.spec import SpecSnapshot, check_spec
+from repro.arch.registers import NeveBehavior, RegClass
+from repro.core.classification import (
+    TABLE4_CAPTION_COUNT,
+    TABLE4_ROW_COUNT,
+)
+
+
+@pytest.fixture
+def snapshot():
+    return SpecSnapshot.live()
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+def test_live_registry_is_clean():
+    assert check_spec() == []
+
+
+def test_caption_discrepancy_is_pinned():
+    assert TABLE4_ROW_COUNT == TABLE4_CAPTION_COUNT + 1
+
+
+def test_live_table_rows_match_constants(snapshot):
+    assert snapshot.table_rows == {"table3": 27, "table4": 18,
+                                   "table5": 30}
+
+
+def test_misclassified_register_is_caught(snapshot):
+    # An EL2 timer marked DEFER would hand the guest hypervisor stale
+    # hardware-updated values — the central Section 6.1 distinction.
+    bad = snapshot.corrupt("CNTHP_CTL_EL2", neve=NeveBehavior.DEFER)
+    assert "spec-misclassified" in rules_of(check_spec(bad))
+
+
+def test_duplicate_register_is_caught(snapshot):
+    dup = snapshot.registers[0]
+    bad = replace(snapshot, registers=snapshot.registers + (dup,))
+    findings = check_spec(bad)
+    assert "spec-duplicate-register" in rules_of(findings)
+
+
+def test_dropped_table4_row_changes_count(snapshot):
+    registers = tuple(reg for reg in snapshot.registers
+                      if reg.name != "MDCR_EL2")
+    bad = replace(snapshot, registers=registers)
+    count_findings = [f for f in check_spec(bad) if f.rule == "spec-count"]
+    assert any("table4" in f.message for f in count_findings)
+
+
+def test_redirect_without_counterpart_is_caught(snapshot):
+    bad = snapshot.corrupt("ESR_EL2", el1_counterpart=None)
+    assert "spec-redirect" in rules_of(check_spec(bad))
+
+
+def test_redirect_to_unknown_register_is_caught(snapshot):
+    bad = snapshot.corrupt("ESR_EL2", el1_counterpart="ESR_EL7")
+    findings = [f for f in check_spec(bad) if f.rule == "spec-redirect"]
+    assert any("ESR_EL7" in f.message for f in findings)
+
+
+def test_redirect_to_el2_register_is_caught(snapshot):
+    bad = snapshot.corrupt("ESR_EL2", el1_counterpart="FAR_EL2")
+    assert "spec-redirect" in rules_of(check_spec(bad))
+
+
+def test_missing_encoding_is_caught(snapshot):
+    encodings = dict(snapshot.encodings)
+    del encodings["HCR_EL2"]
+    bad = replace(snapshot, encodings=encodings)
+    assert "spec-encoding-missing" in rules_of(check_spec(bad))
+
+
+def test_duplicate_encoding_is_caught(snapshot):
+    encodings = dict(snapshot.encodings)
+    encodings["HCR_EL2"] = encodings["SCTLR_EL2"]
+    bad = replace(snapshot, encodings=encodings)
+    assert "spec-encoding-duplicate" in rules_of(check_spec(bad))
+
+
+def test_orphan_encoding_is_caught(snapshot):
+    encodings = dict(snapshot.encodings)
+    encodings["MADEUP_EL2"] = (3, 4, 9, 9, 7)
+    bad = replace(snapshot, encodings=encodings)
+    assert "spec-encoding-orphan" in rules_of(check_spec(bad))
+
+
+def test_vncr_slot_collision_is_caught(snapshot):
+    other = next(reg for reg in snapshot.registers
+                 if reg.name == "SCTLR_EL1")
+    bad = snapshot.corrupt("HCR_EL2", vncr_offset=other.vncr_offset)
+    assert "spec-vncr-layout" in rules_of(check_spec(bad))
+
+
+def test_deferred_register_without_slot_is_caught(snapshot):
+    bad = snapshot.corrupt("HCR_EL2", vncr_offset=None)
+    assert "spec-vncr-layout" in rules_of(check_spec(bad))
+
+
+def test_trap_register_with_slot_is_caught(snapshot):
+    bad = snapshot.corrupt("CNTHP_CTL_EL2", vncr_offset=0x800)
+    assert "spec-vncr-layout" in rules_of(check_spec(bad))
+
+
+def test_e2h_redirect_to_unknown_register_is_caught(snapshot):
+    redirects = dict(snapshot.e2h_redirects)
+    redirects["SCTLR_EL1"] = "SCTLR_EL9"
+    bad = replace(snapshot, e2h_redirects=redirects)
+    assert "spec-redirect" in rules_of(check_spec(bad))
+
+
+def test_misaligned_slot_is_caught(snapshot):
+    bad = snapshot.corrupt("HCR_EL2", vncr_offset=0x9)
+    findings = [f.message for f in check_spec(bad)
+                if f.rule == "spec-vncr-layout"]
+    assert any("aligned" in message for message in findings)

@@ -1,6 +1,11 @@
 """Classification-table tests (experiment E7)."""
 
 from repro.core.classification import (
+    TABLE3_ROW_COUNT,
+    TABLE4_CAPTION_COUNT,
+    TABLE4_REDIRECT_COUNT,
+    TABLE4_ROW_COUNT,
+    TABLE5_ROW_COUNT,
     classification_summary,
     extension_registers,
     table2_fields,
@@ -18,7 +23,8 @@ def test_table2_fields_match_paper():
 
 
 def test_table3_row_count_is_papers_27():
-    assert len(table3_vm_registers()) == 27
+    assert TABLE3_ROW_COUNT == 27
+    assert len(table3_vm_registers()) == TABLE3_ROW_COUNT
 
 
 def test_table3_groups():
@@ -28,9 +34,12 @@ def test_table3_groups():
 
 
 def test_table4_row_count_is_18():
-    """The paper's caption says 17 but the table enumerates 18 rows
+    """The paper's caption says 17 but the table enumerates 18 rows;
+    TABLE4_ROW_COUNT is the single constant pinning that discrepancy
     (see DESIGN.md fidelity notes)."""
-    assert len(table4_hyp_control_registers()) == 18
+    assert TABLE4_CAPTION_COUNT == 17
+    assert TABLE4_ROW_COUNT == TABLE4_CAPTION_COUNT + 1
+    assert len(table4_hyp_control_registers()) == TABLE4_ROW_COUNT
 
 
 def test_table4_techniques():
@@ -48,7 +57,7 @@ def test_table4_redirect_rows_name_counterparts():
 
 def test_table5_has_30_registers_all_trap_on_write():
     rows = table5_gic_registers()
-    assert len(rows) == 30
+    assert len(rows) == TABLE5_ROW_COUNT == 30
     assert all(row["technique"] == "Trap on write" for row in rows)
 
 
@@ -62,7 +71,7 @@ def test_extension_registers_documented():
 
 def test_summary_counts_are_consistent():
     summary = classification_summary()
-    assert summary["redirect"] == 12  # Table 4's two redirect groups
+    assert summary["redirect"] == TABLE4_REDIRECT_COUNT  # both groups
     assert summary["defer"] >= 26  # Table 3 plus prose extensions
     assert summary["cached_copy"] >= 30 + 4  # Table 5 + trap-on-write rows
     assert sum(summary.values()) > 80

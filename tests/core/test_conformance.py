@@ -4,7 +4,7 @@ from repro.arch.cpu import AccessKind
 from repro.arch.registers import lookup_register
 from repro.core.conformance import (
     ConformanceResult,
-    _expected_kind,
+    expected_access_kind,
     render_conformance,
     run_conformance,
 )
@@ -24,20 +24,20 @@ def test_matrix_covers_all_four_configurations():
 
 def test_oracle_spot_checks():
     hcr = lookup_register("HCR_EL2")
-    assert _expected_kind(hcr, True, neve=True, vhe=False) \
+    assert expected_access_kind(hcr, True, neve=True, vhe=False) \
         is AccessKind.DEFERRED_MEMORY
-    assert _expected_kind(hcr, True, neve=False, vhe=False) \
+    assert expected_access_kind(hcr, True, neve=False, vhe=False) \
         is AccessKind.TRAPPED
     vbar = lookup_register("VBAR_EL2")
-    assert _expected_kind(vbar, False, neve=True, vhe=False) \
+    assert expected_access_kind(vbar, False, neve=True, vhe=False) \
         is AccessKind.REDIRECTED_EL1
     lr = lookup_register("ICH_LR0_EL2")
-    assert _expected_kind(lr, True, neve=True, vhe=True) \
+    assert expected_access_kind(lr, True, neve=True, vhe=True) \
         is AccessKind.TRAPPED
-    assert _expected_kind(lr, False, neve=True, vhe=True) \
+    assert expected_access_kind(lr, False, neve=True, vhe=True) \
         is AccessKind.DEFERRED_MEMORY
     timer = lookup_register("CNTHP_CTL_EL2")
-    assert _expected_kind(timer, False, neve=True, vhe=False) \
+    assert expected_access_kind(timer, False, neve=True, vhe=False) \
         is AccessKind.TRAPPED
 
 
