@@ -5,6 +5,8 @@
 * ``python -m repro lint`` — run the spec-conformance checker, the
   simulator-invariant lint and the runtime-sanitizer smoke scenario
   (see :mod:`repro.analysis`).
+* ``python -m repro faults`` — run seeded fault-injection campaigns
+  with the recovery paths armed (see :mod:`repro.faults`).
 """
 
 import sys
@@ -15,8 +17,12 @@ def main(argv=None):
     if argv and argv[0] == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "faults":
+        from repro.faults.cli import main as faults_main
+        return faults_main(argv[1:])
     if argv:
-        print("usage: python -m repro [lint [options]]", file=sys.stderr)
+        print("usage: python -m repro [lint|faults [options]]",
+              file=sys.stderr)
         return 2
     from repro.harness.summary import main as summary_main
     return summary_main()

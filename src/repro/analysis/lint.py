@@ -70,6 +70,9 @@ class _InvariantVisitor(ast.NodeVisitor):
         self.findings = []
         # Names imported from time/random that alias nondeterminism.
         self._tainted_names = {}
+        # Local names currently bound to a set display/constructor, so
+        # ``s = {a, b} ... for x in s`` is flagged like the inline form.
+        self._set_vars = {}
 
     def _flag(self, rule, node, message):
         self.findings.append(Finding(rule, message, path=str(self.path),
@@ -164,15 +167,60 @@ class _InvariantVisitor(ast.NodeVisitor):
     def visit_Assign(self, node):
         for target in node.targets:
             self._check_store_target(target, node)
+        self._track_set_binding(node)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node):
         self._check_store_target(node.target, node)
+        if isinstance(node.target, ast.Name):
+            self._set_vars.pop(node.target.id, None)
         self.generic_visit(node)
+
+    # -- set-variable tracking -------------------------------------------
+
+    def _track_set_binding(self, node):
+        """Track simple local bindings to set values: ``s = {…}`` makes
+        ``s`` a known set until something else is assigned to it (a
+        later ``for x in s`` is just as hash-order dependent as the
+        inline form).  Aliases of known sets propagate; any other value
+        clears the name."""
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if self._is_set_value(value):
+                self._set_vars[target.id] = node.lineno
+            elif isinstance(value, ast.Name) and value.id in self._set_vars:
+                self._set_vars[target.id] = self._set_vars[value.id]
+            else:
+                self._set_vars.pop(target.id, None)
+
+    def _scoped_names(self, node):
+        """Names a function's own scope (re)binds: its parameters."""
+        args = node.args
+        names = [a.arg for a in args.posonlyargs + args.args
+                 + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def _visit_function(self, node):
+        saved = self._set_vars
+        self._set_vars = {name: line for name, line in saved.items()
+                          if name not in self._scoped_names(node)}
+        self.generic_visit(node)
+        self._set_vars = saved
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
 
     # -- loops -----------------------------------------------------------
 
-    def _iter_is_set(self, expr):
+    def _is_set_value(self, expr):
+        """Is *expr* syntactically a set (display, comprehension, or
+        ``set()``/``frozenset()`` constructor)?"""
         if isinstance(expr, (ast.Set, ast.SetComp)):
             return True
         if isinstance(expr, ast.Call):
@@ -180,12 +228,21 @@ class _InvariantVisitor(ast.NodeVisitor):
             return chain in (("set",), ("frozenset",))
         return False
 
+    def _iter_is_set(self, expr):
+        if self._is_set_value(expr):
+            return True
+        return (isinstance(expr, ast.Name)
+                and expr.id in self._set_vars)
+
     def visit_For(self, node):
         if self._iter_is_set(node.iter):
             self._flag("sim-nondeterminism", node,
                        "iterating a set makes ordering (and thus traces "
                        "and float accumulation) hash-order dependent; "
                        "sort it or use a list/dict")
+        if isinstance(node.target, ast.Name):
+            # The loop variable shadows any tracked set binding.
+            self._set_vars.pop(node.target.id, None)
         self.generic_visit(node)
 
 

@@ -28,7 +28,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.analysis.base import Finding
-from repro.arch.cpu import Encoding
+from repro.arch.cpu import AccessKind, Encoding
 from repro.arch.exceptions import ExceptionLevel
 from repro.arch.registers import RegClass, lookup_register
 from repro.core.conformance import expected_access_kind
@@ -105,20 +105,34 @@ class CpuSanitizer:
         # Snapshot the resolution inputs before the access runs: the
         # trap handler may world-switch and change them underneath us.
         at_vel2 = cpu.at_virtual_el2
+        at_el2 = cpu.current_el is ExceptionLevel.EL2
         neve = cpu.neve_enabled
         vhe = cpu.virtual_e2h
         result, kind = self._orig_sysreg_access(name, is_write,
                                                 value=value, enc=enc)
-        if at_vel2 and enc is Encoding.NORMAL and cpu.arch.has_nv:
+        if at_vel2 and cpu.arch.has_nv:
             reg = lookup_register(name)
             if reg.reg_class is not RegClass.SPECIAL:
-                expected = expected_access_kind(reg, is_write, neve, vhe)
+                expected = expected_access_kind(reg, is_write, neve, vhe,
+                                                enc=enc)
                 self.report.record(
                     kind is expected, "san-access-kind",
-                    "virtual-EL2 %s of %s resolved to %s, Tables 3-5 "
-                    "specify %s (neve=%s vhe=%s)"
-                    % ("write" if is_write else "read", name, kind.value,
-                       expected.value, neve, vhe))
+                    "virtual-EL2 %s of %s (enc=%s) resolved to %s, "
+                    "Tables 3-5 specify %s (neve=%s vhe=%s)"
+                    % ("write" if is_write else "read", name,
+                       enc.name.lower(), kind.value, expected.value,
+                       neve, vhe))
+        elif at_el2 and enc is not Encoding.NORMAL:
+            # A VHE host's *_EL12/*_EL02 alias at real EL2 reaches the
+            # hardware EL1 registers holding the VM's state — never a
+            # trap, never the page (the NV transformations apply only
+            # below EL2).
+            self.report.record(
+                kind is AccessKind.DIRECT_EL1, "san-host-alias",
+                "EL2 %s of %s via %s resolved to %s, expected a direct "
+                "EL1 access"
+                % ("write" if is_write else "read", name,
+                   enc.name.lower(), kind.value))
         return result, kind
 
     def _checked_deferred_access(self, reg, is_write, value):

@@ -139,6 +139,12 @@ class Cpu:
         self.gic = None  # GIC attached by the machine model
         self._in_host_handler = False
 
+        # Optional fault injector (repro.faults.points.FaultInjector).
+        # When attached, register accesses and deferred-page traffic are
+        # filtered through it so seeded campaigns can flip bits, tear
+        # writes and raise spurious SErrors at named points.
+        self.fault_hook = None
+
     # ------------------------------------------------------------------
     # Context management
     # ------------------------------------------------------------------
@@ -387,11 +393,28 @@ class Cpu:
         cost = self.costs.sysreg_write if is_write else self.costs.sysreg_read
         self.ledger.charge(cost, "sysreg")
 
+        hook = self.fault_hook
+        if hook is not None and is_write:
+            # A planned bit-flip corrupts the value in flight, before the
+            # access resolves (so the corruption lands wherever the
+            # access does — hardware register or deferred page).
+            value = hook.filter_sysreg_write(self, reg, value)
+
         if self.current_el == ExceptionLevel.EL2:
-            return self._access_at_el2(reg, is_write, value, enc)
-        if self.at_virtual_el2:
-            return self._access_at_virtual_el2(reg, is_write, value, enc)
-        return self._access_at_guest_el1(reg, is_write, value, enc)
+            result = self._access_at_el2(reg, is_write, value, enc)
+        elif self.at_virtual_el2:
+            result = self._access_at_virtual_el2(reg, is_write, value, enc)
+        else:
+            result = self._access_at_guest_el1(reg, is_write, value, enc)
+
+        if hook is not None:
+            if not is_write:
+                read_value, kind = result
+                result = (hook.filter_sysreg_read(self, reg, read_value),
+                          kind)
+            if hook.serror_pending(self):
+                self.deliver_serror()
+        return result
 
     # -- resolution per context -----------------------------------------
 
@@ -544,7 +567,14 @@ class Cpu:
         if reg.vncr_offset is None:
             raise RuntimeError("%s has no deferred-access slot" % reg.name)
         addr = self.vncr_baddr + reg.vncr_offset
+        hook = self.fault_hook
+        if hook is not None:
+            hook.on_deferred_access(self, reg, is_write)
         if is_write:
+            if hook is not None:
+                # A torn write: the store is interrupted mid-way and only
+                # part of the doubleword reaches the page.
+                value = hook.filter_deferred_store(self, reg, addr, value)
             self.store(addr, value, category="neve_deferred")
             return value, AccessKind.DEFERRED_MEMORY
         return (self.load(addr, category="neve_deferred"),
@@ -609,6 +639,15 @@ class Cpu:
         syndrome = Syndrome(ec=ExceptionClass.IRQ)
         self.ledger.charge(self.costs.irq_delivery_wire, "irq")
         return self._trap(syndrome, ExitReason.IRQ)
+
+    def deliver_serror(self):
+        """An SError (asynchronous external abort) becomes pending while a
+        guest runs.  HCR_EL2.AMO routes it to EL2, so it is taken to the
+        host hypervisor like any other exit — with an unknown syndrome,
+        which is what makes recovery policy (not decode) the hard part."""
+        syndrome = Syndrome(ec=ExceptionClass.SERROR)
+        self.ledger.charge(self.costs.irq_delivery_wire, "irq")
+        return self._trap(syndrome, ExitReason.SERROR)
 
 
 class CpuOps:

@@ -32,6 +32,7 @@ class ExceptionClass(enum.Enum):
     TLBI = "tlbi"  # trapped TLB maintenance (FEAT_NV)
     AT = "at"  # trapped address-translation instruction
     IRQ = "irq"  # asynchronous interrupt (pseudo-EC)
+    SERROR = "serror"  # system error (asynchronous external abort)
     FP_ACCESS = "fp"
     SVC = "svc"
 

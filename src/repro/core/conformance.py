@@ -11,7 +11,7 @@ Section 6.1 specify.  The report harness exposes it as
 
 from dataclasses import dataclass, field
 
-from repro.arch.cpu import AccessKind, Cpu
+from repro.arch.cpu import AccessKind, Cpu, Encoding
 from repro.arch.exceptions import ExceptionLevel
 from repro.arch.features import ARMV8_3, ARMV8_4
 from repro.arch.registers import (
@@ -39,14 +39,31 @@ class ConformanceResult:
             self.violations.append(description)
 
 
-def expected_access_kind(reg, is_write, neve, vhe):
+def expected_access_kind(reg, is_write, neve, vhe, enc=Encoding.NORMAL):
     """The specified behaviour for one access (the oracle, derived
     directly from the paper's tables rather than from the CPU code).
 
     Shared with the runtime sanitizer
     (:mod:`repro.analysis.sanitizer`), which checks live simulations
     against the same oracle the conformance matrix uses.
+
+    *enc* selects the encoding space: ``NORMAL`` for plain encodings,
+    ``EL12``/``EL02`` for the VHE alias encodings a VHE guest
+    hypervisor uses to reach its VM's state.  The alias rules at
+    virtual EL2 (Section 6.1): ``*_EL02`` always traps (the EL2
+    virtual timer discussion of Section 7.1); ``*_EL12`` is
+    transformed to a deferred memory access exactly when the target
+    register's value lives in the page — DEFER rows, and CACHED_COPY
+    rows for reads only — and traps otherwise.
     """
+    if enc is Encoding.EL02:
+        return AccessKind.TRAPPED
+    if enc is Encoding.EL12:
+        if neve and reg.neve is NeveBehavior.DEFER:
+            return AccessKind.DEFERRED_MEMORY
+        if neve and reg.neve is NeveBehavior.CACHED_COPY and not is_write:
+            return AccessKind.DEFERRED_MEMORY
+        return AccessKind.TRAPPED
     if reg.reg_class is RegClass.GIC_CPU:
         return (AccessKind.TRAPPED if reg.neve is NeveBehavior.TRAP
                 else AccessKind.DIRECT_EL1)

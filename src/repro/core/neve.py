@@ -29,8 +29,12 @@ class NeveRunner:
 
     def __init__(self, cpu, memory, baddr):
         self.cpu = cpu
+        self.memory = memory
         self.page = DeferredAccessPage(memory, baddr)
         self.vncr = VncrEl2.make(baddr, enable=False)
+        # Optional fault injector: may swallow cached-copy refreshes to
+        # model a stale deferred page (repro.faults).
+        self.fault_hook = None
 
     # -- enable / disable --------------------------------------------------
 
@@ -60,6 +64,10 @@ class NeveRunner:
     def write_cached_copy(self, reg_name, value):
         """Refresh one cached-copy entry after emulating a trapped write,
         so subsequent guest reads are served from memory."""
+        hook = self.fault_hook
+        if hook is not None and hook.drop_cached_copy(self, reg_name,
+                                                      value):
+            return  # injected fault: the refresh never reaches the page
         self.cpu.store(self.page.baddr
                        + _offset(reg_name), value, category="neve_host")
 
@@ -76,6 +84,28 @@ class NeveRunner:
         into the page before re-entering the guest hypervisor)."""
         self.cpu.store(self.page.baddr + _offset(reg_name), value,
                        category="neve_host")
+
+    # -- migration ----------------------------------------------------------
+
+    def relocate(self, new_baddr):
+        """Move the deferred access page to *new_baddr* (VM migration:
+        the destination host allocated a fresh page).
+
+        The host copies every slot, then reprograms the hardware
+        ``VNCR_EL2`` BADDR — preserving the current Enable bit — so the
+        guest hypervisor's next deferred access lands on the new page.
+        Must run at EL2.
+        """
+        old_baddr = self.page.baddr
+        for reg in deferred_registers():
+            value = self.cpu.load(old_baddr + reg.vncr_offset,
+                                  category="neve_host")
+            self.cpu.store(new_baddr + reg.vncr_offset, value,
+                           category="neve_host")
+        self.page = DeferredAccessPage(self.memory, new_baddr)
+        self.vncr = VncrEl2.make(new_baddr, enable=self.vncr.enabled)
+        self.cpu.msr("VNCR_EL2", self.vncr.value)
+        return old_baddr
 
 
 def _offset(reg_name):

@@ -1,0 +1,226 @@
+"""Seeded fault campaigns over the nested stack.
+
+``run_campaign(seed)`` derives a plan from the seed, boots the standard
+NEVE nested scenario under the runtime sanitizer with the injector
+armed, drives hypercalls, SGIs and (when planned) a virtio stream, then
+settles: every journalled fault must end *recovered* or *degraded* —
+a pending event at the end of the run is a silent failure and fails the
+campaign.  A final probe hypercall checks the survivor actually behaves
+like the mode it claims (NEVE's few exits, or the ARMv8.3 exit
+multiplication after degradation), and a three-level recursive pass
+exercises the per-level runner recovery path.
+
+Everything is a pure function of the seed; ``CampaignResult.digest``
+hashes the canonical outcome so replays can be compared bit for bit.
+"""
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.sanitizer import SanitizerReport, sanitized
+from repro.arch.features import ArchConfig, ArchVersion, GicVersion
+from repro.faults.plan import FaultClass, FaultPlan
+from repro.faults.points import FaultInjector
+from repro.faults.recovery import (
+    REKICK_COST,
+    REPAIR_COST,
+    IntegrityMonitor,
+    RecoveryManager,
+)
+from repro.hypervisor.kvm import Machine
+from repro.hypervisor.nested import GUEST_IPI_SGI
+from repro.hypervisor.recursive import RecursiveHost
+from repro.hypervisor.virtio import VirtioQueue
+from repro.metrics.counters import RecoveryEvent
+from repro.metrics.cycles import ARM_COSTS
+
+#: Hypercall rounds the scenario drives after boot.
+ROUNDS = 3
+
+#: Exit-count envelope for the probe hypercall: NEVE stays well under,
+#: a degraded (trap-and-emulate) vcpu lands well over.
+PROBE_NEVE_MAX = 60
+PROBE_DEGRADED_MIN = 60
+
+_VIRTIO_SERVICE = 800
+_VIRTIO_WAKEUP = 1200
+_VIRTIO_REKICK_TIMEOUT = 6000
+_VIRTIO_PACKETS = 40
+_VIRTIO_INTERVAL = 1000
+
+
+@dataclass
+class CampaignResult:
+    """Everything one seeded campaign produced."""
+
+    seed: int
+    plan: str
+    outcomes: list = field(default_factory=list)
+    recovery_counts: dict = field(default_factory=dict)
+    degraded: bool = False
+    degrade_reason: str = None
+    sanitizer_checks: int = 0
+    sanitizer_violations: int = 0
+    probe_traps: int = 0
+    probe_ok: bool = True
+    silent: list = field(default_factory=list)
+    total_cycles: int = 0
+    total_traps: int = 0
+
+    @property
+    def ok(self):
+        return (not self.silent and self.sanitizer_violations == 0
+                and self.probe_ok)
+
+    def canonical(self):
+        """Stable text form of the outcome, the digest input."""
+        lines = ["seed=%d" % self.seed, "plan=%s" % self.plan]
+        for entry in self.outcomes:
+            lines.append("fault %(fault_id)d %(class)s @%(point)s"
+                         "[%(trigger)d] fired=%(fired)s "
+                         "outcome=%(outcome)s recovery=%(recovery)s"
+                         % entry)
+        for name in sorted(self.recovery_counts):
+            lines.append("recovery %s=%d"
+                         % (name, self.recovery_counts[name]))
+        lines.append("degraded=%s reason=%s"
+                     % (self.degraded, self.degrade_reason))
+        lines.append("sanitizer=%d/%d" % (self.sanitizer_violations,
+                                          self.sanitizer_checks))
+        lines.append("probe=%d ok=%s" % (self.probe_traps, self.probe_ok))
+        lines.append("cycles=%d traps=%d" % (self.total_cycles,
+                                             self.total_traps))
+        return "\n".join(lines)
+
+    @property
+    def digest(self):
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+
+def run_campaign(seed):
+    """Run one seeded campaign end to end; returns a CampaignResult."""
+    plan = FaultPlan.generate(seed)
+    injector = FaultInjector(plan)
+    machine = Machine(
+        arch=ArchConfig(version=ArchVersion.V8_4, gic=GicVersion.V3),
+        num_cpus=1, costs=ARM_COSTS)
+    vm = machine.kvm.create_vm(num_vcpus=1, nested="neve")
+    vcpu = vm.vcpus[0]
+    cpu = vcpu.cpu
+    runner = vcpu.neve
+
+    monitor = IntegrityMonitor(machine.memory, runner.page.baddr).install()
+    recovery = RecoveryManager(machine, vcpu, monitor, injector)
+    machine.kvm.serror_policy = recovery.on_serror
+    cpu.fault_hook = injector
+    runner.fault_hook = injector
+
+    report = SanitizerReport()
+    with sanitized(cpus=machine.cpus, runners=[runner], report=report):
+        machine.kvm.boot_nested(vcpu)
+        for round_index in range(ROUNDS):
+            cpu.hvc(round_index)
+            cpu.msr("ICC_SGI1R_EL1", (GUEST_IPI_SGI << 24) | 0)
+            cpu.hvc(round_index)
+        _virtio_phase(machine, plan, injector)
+        recovery.settle(cpu)
+        # Disarm before probing: the probe measures the surviving
+        # configuration, it is not part of the fault schedule.
+        cpu.fault_hook = None
+        if vcpu.neve is not None:
+            vcpu.neve.fault_hook = None
+        probe_before = machine.traps.total
+        cpu.hvc(0)
+        probe_traps = machine.traps.total - probe_before
+
+    result = CampaignResult(seed=seed, plan=plan.describe())
+    result.degraded = recovery.degraded
+    result.degrade_reason = recovery.degrade_reason
+    result.probe_traps = probe_traps
+    if recovery.degraded:
+        result.probe_ok = probe_traps >= PROBE_DEGRADED_MIN
+    else:
+        result.probe_ok = probe_traps <= PROBE_NEVE_MAX
+    _collect_outcomes(result, plan, injector)
+    _recursive_phase(result, machine, seed, report)
+    result.recovery_counts = machine.recoveries.as_dict()
+    result.sanitizer_checks = report.checks
+    result.sanitizer_violations = len(report.violations)
+    result.total_cycles = machine.ledger.total
+    result.total_traps = machine.traps.total
+    return result
+
+
+def _virtio_phase(machine, plan, injector):
+    """Stream packets through a virtqueue with the injector attached;
+    lost notifications must be covered by a later kick or the watchdog
+    re-kick, both charged as recovery."""
+    if not plan.has_class(FaultClass.LOST_KICK):
+        return
+    queue = VirtioQueue(backend_service_cycles=_VIRTIO_SERVICE,
+                        wakeup_latency_cycles=_VIRTIO_WAKEUP,
+                        rekick_timeout_cycles=_VIRTIO_REKICK_TIMEOUT)
+    queue.fault_hook = injector
+    stats = queue.simulate([i * _VIRTIO_INTERVAL
+                            for i in range(_VIRTIO_PACKETS)])
+    if stats.recovered_by_kick != stats.lost_kicks:
+        raise RuntimeError("virtio stranded %d buffers unrecovered"
+                           % (stats.lost_kicks - stats.recovered_by_kick))
+    for _ in range(stats.recovery_kicks):
+        machine.ledger.charge(REKICK_COST, "recovery")
+        machine.recoveries.record(RecoveryEvent.VIRTIO_REKICK)
+    how = "rekicked" if stats.recovery_kicks else "piggybacked"
+    for event in injector.pending():
+        if event.fault.fault_class is FaultClass.LOST_KICK:
+            event.resolve("recovered", how)
+
+
+def _collect_outcomes(result, plan, injector):
+    """One outcome row per planned fault — including the ones whose
+    trigger the run never reached — plus the silent list."""
+    fired = {}
+    for event in injector.events:
+        fired.setdefault(event.fault.fault_id, event)
+    for fault in plan.faults:
+        event = fired.get(fault.fault_id)
+        result.outcomes.append({
+            "fault_id": fault.fault_id,
+            "class": fault.fault_class.value,
+            "point": fault.point,
+            "trigger": fault.trigger,
+            "fired": event is not None,
+            "outcome": event.outcome if event else "not-triggered",
+            "recovery": event.recovery if event else "-",
+        })
+    result.silent = [e.fault.describe() for e in injector.pending()]
+
+
+def _recursive_phase(result, machine, seed, report):
+    """Three-level pass: run the Section 6.2 fragment, corrupt one slot
+    of the *L2* hypervisor's deferred page, and repair it through the
+    per-level runner — the same audit-against-snapshot resync, one
+    nesting level deeper."""
+    rng = random.Random(seed * 2654435761 % (1 << 32))
+    host = RecursiveHost(neve=True)
+    with sanitized(cpus=[host.cpu], report=report):
+        host.run_l2_hypervisor_fragment()
+    snapshot = host.l2_runner.page.as_dict()
+    victim = rng.choice(["SCTLR_EL1", "TTBR0_EL1", "VTTBR_EL2"])
+    garbage = rng.getrandbits(48)
+    if garbage == snapshot[victim]:
+        garbage ^= 1
+    host.l2_runner.page.write_reg(victim, garbage)
+    # Audit against the snapshot and repair through the runner (the cpu
+    # is back at EL2 after the fragment).
+    repaired = []
+    for name in sorted(snapshot):
+        if host.l2_runner.page.read_reg(name) != snapshot[name]:
+            host.l2_runner.write_deferred(name, snapshot[name])
+            machine.ledger.charge(REPAIR_COST, "recovery")
+            machine.recoveries.record(RecoveryEvent.SLOT_REPAIR)
+            repaired.append(name)
+    machine.recoveries.record(RecoveryEvent.VNCR_RESYNC)
+    if repaired != [victim] \
+            or host.l2_runner.page.read_reg(victim) != snapshot[victim]:
+        result.silent.append("recursive resync failed for %s" % victim)

@@ -1,0 +1,90 @@
+"""``python -m repro faults`` — run seeded fault campaigns.
+
+Exit status 0 means every campaign was clean: every injected fault
+ended recovered or explicitly degraded, the sanitizer saw no invariant
+violations, and the post-recovery probe behaved like the surviving
+configuration.  Any silent fault fails the run.
+"""
+
+import argparse
+import sys
+
+from repro.faults.campaign import run_campaign
+from repro.faults.plan import FaultClass
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description="deterministic fault-injection campaigns over the "
+                    "nested stack")
+    parser.add_argument("--seeds", type=int, default=20, metavar="N",
+                        help="number of seeds to run (default 20)")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed (campaign i runs seed base+i)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print per-fault outcomes for every seed")
+    args = parser.parse_args(argv)
+
+    results = []
+    for index in range(args.seeds):
+        results.append(run_campaign(args.seed_base + index))
+
+    _print_class_table(results)
+    print()
+    failed = [r for r in results if not r.ok]
+    for result in results:
+        marker = "ok" if result.ok else "FAIL"
+        line = ("seed %4d  %s  degraded=%-5s probe=%3d  sanitizer %d/%d  "
+                "digest %s" % (result.seed, marker, result.degraded,
+                               result.probe_traps,
+                               result.sanitizer_violations,
+                               result.sanitizer_checks,
+                               result.digest[:16]))
+        if args.verbose or not result.ok:
+            print(line)
+            for entry in result.outcomes:
+                print("    #%(fault_id)d %(class)-18s @%(point)-17s"
+                      "[%(trigger)3d]  %(outcome)s (%(recovery)s)"
+                      % entry)
+            for silent in result.silent:
+                print("    SILENT: %s" % silent)
+        else:
+            print(line)
+
+    print()
+    print("%d/%d campaigns clean" % (len(results) - len(failed),
+                                     len(results)))
+    return 1 if failed else 0
+
+
+def _print_class_table(results):
+    """Aggregate per fault class: planned / fired / recovered / degraded
+    / not-triggered across all seeds."""
+    rows = {fc.value: {"planned": 0, "fired": 0, "recovered": 0,
+                       "degraded": 0, "not-triggered": 0}
+            for fc in FaultClass}
+    for result in results:
+        for entry in result.outcomes:
+            row = rows[entry["class"]]
+            row["planned"] += 1
+            if entry["fired"]:
+                row["fired"] += 1
+                if entry["outcome"] in row:
+                    row[entry["outcome"]] += 1
+            else:
+                row["not-triggered"] += 1
+    header = ("%-20s %8s %6s %10s %9s %8s"
+              % ("fault class", "planned", "fired", "recovered",
+                 "degraded", "missed"))
+    print(header)
+    print("-" * len(header))
+    for name in sorted(rows):
+        row = rows[name]
+        print("%-20s %8d %6d %10d %9d %8d"
+              % (name, row["planned"], row["fired"], row["recovered"],
+                 row["degraded"], row["not-triggered"]))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

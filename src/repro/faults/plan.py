@@ -1,0 +1,173 @@
+"""Seed-driven fault plans.
+
+A plan is generated *before* the scenario runs, entirely from
+``random.Random(seed)``: a list of :class:`PlannedFault` entries, each
+naming an injection point, the occurrence count at which it fires (the
+``trigger``), and class-specific parameters (which register, which bit,
+how many replays must fail).  Because the scenario itself is a
+deterministic discrete-event simulation, the same seed always produces
+the same faults at the same virtual instants — campaigns are replayable
+bit for bit, which the property tests assert.
+"""
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+
+class FaultClass(enum.Enum):
+    """What kind of damage a planned fault inflicts."""
+
+    SYSREG_BITFLIP = "sysreg_bitflip"  # msr value corrupted in flight
+    SERROR = "serror"  # spurious asynchronous external abort
+    PAGE_CORRUPTION = "page_corruption"  # deferred page slot overwritten
+    TORN_WRITE = "torn_write"  # deferred store commits only low half
+    STALE_CACHED_COPY = "stale_cached_copy"  # cached-copy refresh dropped
+    MIGRATION = "migration"  # VM migrated between save and restore
+    DROPPED_LR = "dropped_lr"  # vGIC list register lost during save
+    LOST_KICK = "lost_kick"  # virtio notification swallowed
+
+
+#: EL1 registers whose value is pure data along the save/restore flows:
+#: flipping a bit corrupts state the recovery layer must repair but does
+#: not derail the scenario's control flow (unlike, say, HCR_EL2.VM).
+SAFE_FLIP_REGS = (
+    "TTBR0_EL1",
+    "TTBR1_EL1",
+    "MAIR_EL1",
+    "AMAIR_EL1",
+    "FAR_EL1",
+    "TPIDR_EL1",
+    "CONTEXTIDR_EL1",
+    "AFSR0_EL1",
+    "AFSR1_EL1",
+    "PAR_EL1",
+)
+
+#: Deferred-page slots the scenario never rewrites after boot — a
+#: corruption there stays visible until the recovery layer repairs it.
+PERSISTENT_VICTIMS = ("PMUSERENR_EL0", "PMSELR_EL0")
+
+#: Slots rewritten by the normal flows — a corruption is usually
+#: *absorbed* (superseded by a later correct write), which the recovery
+#: layer must classify as such rather than double-repair.
+VOLATILE_VICTIMS = ("FAR_EL1", "TPIDR_EL1", "CONTEXTIDR_EL1", "PAR_EL1")
+
+#: EL2 control slots where corruption is NOT silently repairable: the
+#: guest hypervisor's execution may already have depended on the bad
+#: value, so the only honest recovery is degradation to trap-and-emulate.
+CRITICAL_VICTIMS = ("VNCR_EL2",)
+
+#: How often each point is reached in one campaign scenario (measured:
+#: e.g. ~190 msr, ~970 deferred accesses, ~350 world-switch saves);
+#: triggers are drawn from [1, N] with N below the measured count so
+#: most planned faults actually fire, while an early degradation can
+#: still legitimately leave a late trigger unreached.
+_TRIGGER_RANGES = {
+    "cpu.msr": 160,
+    "cpu.mrs": 150,
+    "cpu.serror": 1000,
+    "vncr.store": 400,
+    "vncr.page": 800,
+    "neve.cached-copy": 180,
+    "ws.after-save": 300,
+    "ws.before-restore": 300,
+    "ws.vgic-lr": 200,
+    "virtio.kick": 6,
+}
+
+_CLASS_POINTS = {
+    FaultClass.SYSREG_BITFLIP: "cpu.msr",
+    FaultClass.SERROR: "cpu.serror",
+    FaultClass.PAGE_CORRUPTION: "vncr.page",
+    FaultClass.TORN_WRITE: "vncr.store",
+    FaultClass.STALE_CACHED_COPY: "neve.cached-copy",
+    FaultClass.DROPPED_LR: "ws.vgic-lr",
+    FaultClass.LOST_KICK: "virtio.kick",
+}
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One armed fault: fires the ``trigger``-th time ``point`` is hit."""
+
+    fault_id: int
+    fault_class: FaultClass
+    point: str
+    trigger: int
+    params: dict = field(default_factory=dict)
+
+    def describe(self):
+        return "#%d %s @%s[%d]" % (self.fault_id, self.fault_class.value,
+                                   self.point, self.trigger)
+
+
+class FaultPlan:
+    """An ordered set of planned faults derived from one seed."""
+
+    def __init__(self, seed, faults):
+        self.seed = seed
+        self.faults = tuple(faults)
+
+    def by_point(self):
+        """point -> {trigger: fault} for the injector's dispatch."""
+        armed = {}
+        for fault in self.faults:
+            armed.setdefault(fault.point, {})[fault.trigger] = fault
+        return armed
+
+    def classes(self):
+        return sorted({f.fault_class.value for f in self.faults})
+
+    def has_class(self, fault_class):
+        return any(f.fault_class is fault_class for f in self.faults)
+
+    def describe(self):
+        return "; ".join(f.describe() for f in self.faults)
+
+    @classmethod
+    def generate(cls, seed):
+        """Derive a plan from *seed*: 3-6 faults of distinct classes."""
+        rng = random.Random(seed)
+        count = rng.randint(3, 6)
+        classes = rng.sample(list(FaultClass), count)
+        faults = []
+        taken = set()  # (point, trigger) pairs already armed
+        for fault_id, fault_class in enumerate(classes):
+            point = _CLASS_POINTS.get(fault_class)
+            if fault_class is FaultClass.MIGRATION:
+                point = rng.choice(["ws.after-save", "ws.before-restore"])
+            elif fault_class is FaultClass.SYSREG_BITFLIP:
+                point = rng.choice(["cpu.msr", "cpu.mrs"])
+            trigger = rng.randint(1, _TRIGGER_RANGES[point])
+            while (point, trigger) in taken:
+                trigger += 1
+            taken.add((point, trigger))
+            params = _params_for(rng, fault_class)
+            faults.append(PlannedFault(fault_id, fault_class, point,
+                                       trigger, params))
+        return cls(seed, faults)
+
+
+def _params_for(rng, fault_class):
+    if fault_class is FaultClass.SYSREG_BITFLIP:
+        return {"bit": rng.randint(0, 47)}
+    if fault_class is FaultClass.PAGE_CORRUPTION:
+        kind = rng.random()
+        if kind < 0.25:
+            victim = rng.choice(CRITICAL_VICTIMS)
+            critical = True
+        elif kind < 0.6:
+            victim = rng.choice(PERSISTENT_VICTIMS)
+            critical = False
+        else:
+            victim = rng.choice(VOLATILE_VICTIMS)
+            critical = False
+        return {"victim": victim, "critical": critical,
+                "garbage": rng.getrandbits(48)}
+    if fault_class in (FaultClass.TORN_WRITE, FaultClass.STALE_CACHED_COPY):
+        # With some probability the first replay attempts also fail,
+        # exercising the bounded-retry path and, at 3, its exhaustion.
+        weights = [0.55, 0.15, 0.15, 0.15]
+        return {"replay_failures": rng.choices(range(4), weights)[0]}
+    return {}

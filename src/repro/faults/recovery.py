@@ -1,0 +1,321 @@
+"""VNCR recovery paths: audit, resync, replay, degrade.
+
+Two cooperating pieces:
+
+* :class:`IntegrityMonitor` shadows the deferred access page.  It wraps
+  the physical memory's word store so every *legitimate* write inside
+  the page updates a reference copy; the injector's corruption goes
+  through :meth:`IntegrityMonitor.raw_write` and bypasses it.  An
+  ``audit()`` then reports exactly the slots that diverged — the model's
+  stand-in for the hash/ECC check a real host would run.
+
+* :class:`RecoveryManager` turns injector journal entries and audit
+  mismatches into explicit outcomes.  The ladder, cheapest first:
+
+  1. **Superseded** — the corrupt value was already overwritten by later
+     correct state (common for volatile slots); nothing to do but
+     classify.
+  2. **Repair / replay** — write the known-good value back, bounded at
+     ``MAX_REPLAY_TRIES`` attempts (a replay itself may fail).
+  3. **Degrade** — for critical control slots (``VNCR_EL2`` itself) or
+     replay exhaustion, tear NEVE down to ARMv8.3 trap-and-emulate:
+     slower (the exit multiplication returns) but correct.
+
+  Every action is charged to the cycle ledger under ``recovery`` and
+  counted in :class:`repro.metrics.counters.RecoveryCounter`, so
+  resilience has a visible price like everything else in the model.
+"""
+
+from repro.arch.registers import RegClass
+from repro.core.vncr import deferred_registers
+from repro.faults.plan import FaultClass
+from repro.memory.phys import PAGE_SIZE
+from repro.metrics.counters import RecoveryEvent
+
+#: Slots whose corruption may already have steered guest-hypervisor
+#: execution: silently rewriting them could hide a wrong decision, so
+#: the only honest recovery is degradation.
+CRITICAL_SLOTS = frozenset(["HCR_EL2", "VTTBR_EL2", "VNCR_EL2"])
+
+#: A replay (rewriting a slot from the journal) may itself fail; give up
+#: and degrade after this many attempts.
+MAX_REPLAY_TRIES = 3
+
+# Cycle prices for recovery actions (model costs, charged per action).
+AUDIT_COST = 900  # hash walk over the page
+REPAIR_COST = 120  # one slot rewrite + barrier
+REPLAY_COST = 180  # journal lookup + rewrite + verify
+MIGRATION_COST = 2600  # page copy + VNCR reprogram + TLB
+DEGRADE_COST = 5200  # full state evacuation + mode switch
+SERROR_TRIAGE_COST = 1500  # RAS syndrome triage at EL2
+REQUEUE_COST = 140  # re-inject one lost virtual interrupt
+REKICK_COST = 800  # watchdog-driven virtio notification
+
+
+class IntegrityMonitor:
+    """Reference copy of the deferred access page, offset-keyed.
+
+    Installing the monitor wraps ``memory.write_word``; writes inside
+    ``[baddr, baddr + PAGE_SIZE)`` update the reference.  Keying by
+    *offset* (not absolute address) makes migration cheap: after the
+    page moves, :meth:`rebase` re-aims the window and the reference
+    carries over unchanged.
+    """
+
+    def __init__(self, memory, baddr):
+        self.memory = memory
+        self.baddr = baddr
+        self.expected = {}  # page offset -> expected word
+        self._orig_write = None
+
+    @property
+    def installed(self):
+        return self._orig_write is not None
+
+    def install(self):
+        if self.installed:
+            raise RuntimeError("integrity monitor already installed")
+        for reg in deferred_registers():
+            self.expected[reg.vncr_offset] = self.memory.read_word(
+                self.baddr + reg.vncr_offset)
+        self._orig_write = self.memory.write_word
+        self.memory.write_word = self._tracked_write
+        return self
+
+    def uninstall(self):
+        if self.installed:
+            self.memory.write_word = self._orig_write
+            self._orig_write = None
+
+    def _tracked_write(self, addr, value):
+        self._orig_write(addr, value)
+        if self.baddr <= addr < self.baddr + PAGE_SIZE:
+            self.expected[addr - self.baddr] = value & 0xFFFFFFFFFFFFFFFF
+
+    def raw_write(self, addr, value):
+        """Corruption channel: hits memory without updating the
+        reference, so ``audit`` can see the divergence."""
+        (self._orig_write or self.memory.write_word)(addr, value)
+
+    def rebase(self, new_baddr):
+        """The page moved (migration): re-aim the tracked window."""
+        self.baddr = new_baddr
+
+    def audit(self):
+        """Return ``[(offset, expected, actual)]`` for diverged slots."""
+        mismatches = []
+        for offset in sorted(self.expected):
+            actual = self.memory.read_word(self.baddr + offset)
+            if actual != self.expected[offset]:
+                mismatches.append((offset, self.expected[offset], actual))
+        return mismatches
+
+
+def _offset_to_reg():
+    return {r.vncr_offset: r for r in deferred_registers()}
+
+
+class RecoveryManager:
+    """Drives every injected fault to an explicit outcome."""
+
+    def __init__(self, machine, vcpu, monitor, injector):
+        self.machine = machine
+        self.vcpu = vcpu
+        self.monitor = monitor
+        self.injector = injector
+        self.degraded = False
+        self.degrade_reason = None
+        injector.corrupt_word = monitor.raw_write
+        injector.on_migration = self.on_migration
+
+    # -- accounting --------------------------------------------------------
+
+    def _charge(self, cycles):
+        self.machine.ledger.charge(cycles, "recovery")
+
+    def _count(self, event):
+        self.machine.recoveries.record(event)
+
+    # -- slot access (page while NEVE lives, banked contexts after) --------
+
+    def _slot_read(self, cpu, reg_name):
+        reg = _reg(reg_name)
+        if not self.degraded:
+            return self.vcpu.neve.page.read_reg(reg_name)
+        if reg.reg_class is RegClass.GIC_HYP:
+            return self.vcpu.shadow_ich.peek(reg_name)
+        if reg.el == 2:
+            return self.vcpu.vel2_ctx.peek(reg_name)
+        return self.vcpu.vel1_shadow.peek(reg_name)
+
+    def _slot_write(self, cpu, reg_name, value):
+        reg = _reg(reg_name)
+        if not self.degraded:
+            with cpu.host_mode():
+                self.vcpu.neve.write_deferred(reg_name, value)
+            return
+        if reg.reg_class is RegClass.GIC_HYP:
+            self.vcpu.shadow_ich.poke(reg_name, value)
+        elif reg.el == 2:
+            self.vcpu.vel2_ctx.poke(reg_name, value)
+        else:
+            self.vcpu.vel1_shadow.poke(reg_name, value)
+
+    # -- the recovery paths ------------------------------------------------
+
+    def resync(self, cpu):
+        """Audit the page against the reference and repair divergences
+        (the VNCR flush/resync a host runs after migration or SError)."""
+        if self.degraded:
+            return
+        self._charge(AUDIT_COST)
+        by_offset = _offset_to_reg()
+        for offset, expected, _actual in self.monitor.audit():
+            reg = by_offset[offset]
+            if reg.name in CRITICAL_SLOTS:
+                self.degrade(cpu, "critical slot %s inconsistent"
+                             % reg.name)
+                return
+            self._slot_write(cpu, reg.name, expected)
+            self._charge(REPAIR_COST)
+            self._count(RecoveryEvent.SLOT_REPAIR)
+        self._count(RecoveryEvent.VNCR_RESYNC)
+
+    def on_migration(self, cpu, event):
+        """The VM migrated mid-world-switch: the destination host gives
+        the vcpu a fresh deferred access page, the runner copies the
+        slots across and reprograms VNCR_EL2, and a resync proves the
+        new page consistent before the guest hypervisor touches it."""
+        if self.degraded:
+            event.resolve("recovered", "migrated-degraded")
+            return
+        with cpu.host_mode():
+            new_baddr = self.machine.kvm.alloc_vncr_page()
+            self.vcpu.neve.relocate(new_baddr)
+        self.monitor.rebase(new_baddr)
+        self._charge(MIGRATION_COST)
+        self._count(RecoveryEvent.MIGRATION_FLUSH)
+        self.resync(cpu)
+        event.resolve("degraded" if self.degraded else "recovered",
+                      "migrated")
+
+    def on_serror(self, cpu, vcpu):
+        """``KvmHypervisor.serror_policy``: triage the SError, resync the
+        page, and mark the pending SError events survived."""
+        self._charge(SERROR_TRIAGE_COST)
+        if not self.degraded:
+            self.resync(cpu)
+        for event in self.injector.pending():
+            if event.fault.fault_class is FaultClass.SERROR:
+                event.resolve("recovered", "triaged")
+                self._count(RecoveryEvent.SERROR_RECOVERED)
+
+    def degrade(self, cpu, reason):
+        """Graceful degradation: tear NEVE down to ARMv8.3 trap-and-
+        emulate.  The page's last state is evacuated into the banked
+        software contexts (the GIC shadow interface is already
+        authoritative), VNCR_EL2.Enable is cleared, and the vcpu runs on
+        without the deferred access page — every vEL2 access traps
+        again, which is slow but cannot be silently corrupted."""
+        if self.degraded:
+            return
+        runner = self.vcpu.neve
+        with cpu.host_mode():
+            for reg in deferred_registers():
+                value = runner.page.read_reg(reg.name)
+                if reg.reg_class is RegClass.GIC_HYP:
+                    continue  # shadow_ich is authoritative
+                if reg.el == 2:
+                    self.vcpu.vel2_ctx.poke(reg.name, value)
+                else:
+                    self.vcpu.vel1_shadow.poke(reg.name, value)
+            runner.disable()
+        self.vcpu.neve = None
+        self.vcpu.vm.nested = "nv"
+        self.monitor.uninstall()
+        self.degraded = True
+        self.degrade_reason = reason
+        self._charge(DEGRADE_COST)
+        self._count(RecoveryEvent.NEVE_DEGRADE)
+
+    # -- end-of-run settlement ---------------------------------------------
+
+    def settle(self, cpu):
+        """Resolve every journalled fault that is still pending, then
+        prove the page consistent one last time."""
+        for event in list(self.injector.events):
+            if event.outcome != "pending":
+                continue
+            fc = event.fault.fault_class
+            if fc in (FaultClass.SYSREG_BITFLIP, FaultClass.TORN_WRITE,
+                      FaultClass.STALE_CACHED_COPY):
+                self._settle_replayable(cpu, event)
+            elif fc is FaultClass.PAGE_CORRUPTION:
+                self._settle_corruption(cpu, event)
+            elif fc is FaultClass.SERROR:
+                # The SError exit itself recovered it; classify.
+                event.resolve("recovered", "triaged")
+                self._count(RecoveryEvent.SERROR_RECOVERED)
+            elif fc is FaultClass.MIGRATION:
+                event.resolve("recovered", "migrated")
+            elif fc is FaultClass.DROPPED_LR:
+                # The interrupt the lost list register carried is
+                # re-injected through the normal pending queue.
+                self.vcpu.queue_virq(event.detail["vintid"])
+                self._charge(REQUEUE_COST)
+                self._count(RecoveryEvent.LR_REQUEUE)
+                event.resolve("recovered", "requeued")
+            # LOST_KICK is settled by the campaign's virtio phase, which
+            # owns the queue statistics.
+        if not self.degraded:
+            self.resync(cpu)
+
+    def _settle_replayable(self, cpu, event):
+        """Journal-based repair for faults the monitor cannot see (the
+        corrupt value arrived through a tracked write, so the reference
+        copy matches it): compare the slot against the journal."""
+        reg_name = event.detail["reg"]
+        intended = event.detail["intended"]
+        observed = event.detail["observed"]
+        current = self._slot_read(cpu, reg_name)
+        if current != observed:
+            # Later correct state already overwrote the damage.
+            event.resolve("recovered", "superseded")
+            return
+        failures_left = event.detail.get("replay_failures", 0)
+        for _attempt in range(MAX_REPLAY_TRIES):
+            self._charge(REPLAY_COST)
+            self._count(RecoveryEvent.REPLAY)
+            if failures_left > 0:
+                failures_left -= 1
+                continue  # this replay attempt itself failed
+            self._slot_write(cpu, reg_name, intended)
+            if self._slot_read(cpu, reg_name) == intended:
+                self._count(RecoveryEvent.SLOT_REPAIR)
+                event.resolve("recovered", "replayed")
+                return
+        self.degrade(cpu, "replay exhausted for %s" % reg_name)
+        event.resolve("degraded", "replay-exhausted")
+
+    def _settle_corruption(self, cpu, event):
+        reg_name = event.detail["reg"]
+        expected = event.detail["expected"]
+        observed = event.detail["observed"]
+        current = self._slot_read(cpu, reg_name)
+        if current != observed:
+            event.resolve("recovered", "superseded")
+            return
+        if event.detail.get("critical"):
+            if not self.degraded:
+                self.degrade(cpu, "critical slot %s corrupted" % reg_name)
+            event.resolve("degraded", "critical-corruption")
+            return
+        self._slot_write(cpu, reg_name, expected)
+        self._charge(REPAIR_COST)
+        self._count(RecoveryEvent.SLOT_REPAIR)
+        event.resolve("recovered", "repaired")
+
+
+def _reg(name):
+    from repro.arch.registers import lookup_register
+    return lookup_register(name)

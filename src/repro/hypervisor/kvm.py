@@ -31,7 +31,7 @@ from repro.hypervisor.vcpu import VcpuMode, VcpuState, VcpuStruct
 from repro.memory.pagetable import PageTable, Permission
 from repro.memory.phys import PAGE_SIZE, MemoryRegion, PhysicalMemory
 from repro.memory.shadow import ShadowStage2
-from repro.metrics.counters import ExitReason, TrapCounter
+from repro.metrics.counters import ExitReason, RecoveryCounter, TrapCounter
 from repro.metrics.cycles import ARM_COSTS, CycleLedger
 
 # Physical memory map of the simulated machine.
@@ -100,6 +100,7 @@ class Machine:
         self.costs = costs
         self.ledger = CycleLedger()
         self.traps = TrapCounter()
+        self.recoveries = RecoveryCounter()
 
         self.memory = PhysicalMemory()
         self.memory.add_region(MemoryRegion("ram", RAM_BASE, RAM_SIZE))
@@ -148,6 +149,9 @@ class KvmHypervisor:
         self._vncr_next = [VNCR_POOL_BASE]
         self.stats = {"forwards": 0, "vel2_sysreg": 0, "vel2_eret": 0,
                       "shadow_s2_faults": 0, "fp_switches": 0}
+        # Optional callback for SError exits: the fault-recovery layer
+        # (repro.faults.recovery) installs one to resync NEVE state.
+        self.serror_policy = None
         self.psci = PsciEmulator(self)
         for cpu in machine.cpus:
             cpu.trap_handler = self
@@ -189,12 +193,17 @@ class KvmHypervisor:
             vm.shadow_s2 = ShadowStage2(guest_s2, vm.stage2)
             if nested == "neve":
                 for vcpu in vcpus:
-                    baddr = self._vncr_next[0]
-                    self._vncr_next[0] += PAGE_SIZE
                     vcpu.neve = NeveRunner(vcpu.cpu, self.machine.memory,
-                                           baddr)
+                                           self.alloc_vncr_page())
                     vcpu.neve.init_page(vcpu.vel2_ctx.regs)
         return vm
+
+    def alloc_vncr_page(self):
+        """Allocate one deferred-access page from the VNCR pool (also
+        used to give a migrated vcpu a fresh page on the destination)."""
+        baddr = self._vncr_next[0]
+        self._vncr_next[0] += PAGE_SIZE
+        return baddr
 
     def run_vcpu(self, vcpu):
         """Initial entry into a vcpu from the host."""
@@ -250,6 +259,8 @@ class KvmHypervisor:
         ws.read_exit_context(
             ops, is_abort=(syndrome.ec is ExceptionClass.DABT_LOWER))
         try:
+            if syndrome.ec is ExceptionClass.SERROR:
+                return self._handle_serror(cpu, vcpu)
             if syndrome.ec is ExceptionClass.IRQ:
                 return self._handle_irq(cpu, vcpu)
             if syndrome.ec is ExceptionClass.FP_ACCESS:
@@ -830,6 +841,21 @@ class KvmHypervisor:
         else:
             self.running.pop(cpu.cpu_id, None)
         return result
+
+    def _handle_serror(self, cpu, vcpu):
+        """An asynchronous external abort (SError) taken from the guest.
+
+        Linux/KVM treats guest SErrors as potentially survivable: the
+        host inspects the syndrome, scrubs affected state and resumes.
+        The fault-recovery layer hooks in via ``serror_policy`` to audit
+        and resynchronize NEVE's deferred access page before re-entry.
+        """
+        self._switch_to_host(cpu, vcpu)
+        cpu.work(600, category="l0_serror")  # RAS triage, syndrome decode
+        if self.serror_policy is not None:
+            self.serror_policy(cpu, vcpu)
+        self._switch_to_guest(cpu, vcpu)
+        return None
 
     def _handle_irq(self, cpu, vcpu):
         self._switch_to_host(cpu, vcpu)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.arch.cpu import Cpu
 from repro.arch.exceptions import ExceptionClass, ExceptionLevel
 from repro.arch.features import ARMV8_3, ARMV8_4
+from repro.core.neve import NeveRunner
 from repro.core.vncr import DeferredAccessPage, VncrEl2
 from repro.hypervisor import world_switch as ws
 from repro.hypervisor.vcpu import VcpuStruct
@@ -105,7 +106,6 @@ class RecursiveHost:
         self.cpu = Cpu(arch=self.arch, memory=self.memory)
         self.cpu.trap_handler = self
         self.l1 = L1EmulationPath(vhe=l1_vhe)
-        self.l1_page = None  # L1's own deferred page (for its vEL2 state)
         self.stats = BoundaryStats()
         self._forwarding = False
 
@@ -114,9 +114,23 @@ class RecursiveHost:
         self.l1_stage2 = PageTable(stage=2, name="l1-s2")
         self.l1_stage2.map_page(L2_PAGE_IPA, L2_PAGE_PA)
 
+        # One NeveRunner per nesting level: ``l1_runner`` manages the
+        # page L0 gave the L1 guest hypervisor; ``l2_runner`` manages
+        # the translated page L0 programs on behalf of L1 for the L2
+        # hypervisor (created once the L1 BADDR is known).
+        self.l1_runner = None
+        self.l2_runner = None
+        self.l1_page = None  # L1's own deferred page (for its vEL2 state)
         if neve:
             # L0 gives the *L1* guest hypervisor NEVE as usual.
-            self.l1_page = DeferredAccessPage(self.memory, 0x7000_0000)
+            self.l1_runner = NeveRunner(self.cpu, self.memory, 0x7000_0000)
+            self.l1_page = self.l1_runner.page
+
+    @property
+    def runners(self):
+        """Live runners, for sanitizer attachment."""
+        return [r for r in (self.l1_runner, self.l2_runner)
+                if r is not None]
 
     # ------------------------------------------------------------------
     # Setup: the Section 6.2 workflow
@@ -141,16 +155,18 @@ class RecursiveHost:
         if self.neve:
             l1_vncr = VncrEl2(self.l1_page.read_reg("VNCR_EL2"))
             machine_baddr = self.l1_stage2.translate(l1_vncr.baddr)
-            hw = VncrEl2.make(machine_baddr, enable=True)
-            self.cpu.el2_regs.write("VNCR_EL2", hw.value)  # lint: allow(sim-sysreg-bypass)
+            if self.l2_runner is None \
+                    or self.l2_runner.page.baddr != machine_baddr:
+                self.l2_runner = NeveRunner(self.cpu, self.memory,
+                                            machine_baddr)
+            self.l2_runner.enable()
         self.cpu.enter_guest_context(ExceptionLevel.EL1, nv=True,
                                      virtual_e2h=False)
 
     def _enter_l1(self):
         if self.neve:
             # L1 runs with its own NEVE page active.
-            self.cpu.el2_regs.write(  # lint: allow(sim-sysreg-bypass)
-                "VNCR_EL2", VncrEl2.make(self.l1_page.baddr).value)
+            self.l1_runner.enable()
         self.cpu.enter_guest_context(ExceptionLevel.EL1, nv=True,
                                      virtual_e2h=False)
 
@@ -177,18 +193,21 @@ class RecursiveHost:
         ws.hyp_entry(cpu)
         cpu.work(430, category="l0_nested")
         self._forwarding = True
+        # While forwarding, L1 runs with ITS page, not L2's: L0 swaps
+        # the hardware VNCR_EL2 between the per-level runners.  The
+        # swaps happen here at EL2, before and after the guest call —
+        # VNCR_EL2 is host-hypervisor state.
+        swap = self.neve and self.l2_runner is not None
         try:
+            if swap:
+                self.l2_runner.disable()
+                self.l1_runner.enable()
             with cpu.guest_call(nv=True, virtual_e2h=self.l1.vhe):
-                # While forwarding, L1 runs with ITS page, not L2's.
-                if self.neve:
-                    saved = cpu.el2_regs.read("VNCR_EL2")
-                    cpu.el2_regs.write(  # lint: allow(sim-sysreg-bypass)
-                        "VNCR_EL2",
-                        VncrEl2.make(self.l1_page.baddr).value)
                 result = self.l1.emulate(cpu, syndrome)
-                if self.neve:
-                    cpu.el2_regs.write("VNCR_EL2", saved)  # lint: allow(sim-sysreg-bypass)
         finally:
+            if swap:
+                self.l1_runner.disable()
+                self.l2_runner.enable()
             self._forwarding = False
         ws.hyp_exit(cpu)
         return result

@@ -26,6 +26,11 @@ class QueueStats:
     suppressed: int = 0
     backend_wakeups: int = 0
     finish_time: int = 0
+    # Fault-injection accounting (repro.faults): notifications the
+    # injector swallowed, and the recovery kicks that flushed them.
+    lost_kicks: int = 0
+    recovery_kicks: int = 0
+    recovered_by_kick: int = 0  # stranded buffers a later kick covered
 
     @property
     def kick_ratio(self):
@@ -43,7 +48,7 @@ class VirtioQueue:
     """
 
     def __init__(self, backend_service_cycles, wakeup_latency_cycles=0,
-                 capacity=256):
+                 capacity=256, rekick_timeout_cycles=10000):
         if backend_service_cycles <= 0:
             raise ValueError("backend service time must be positive")
         if capacity <= 0:
@@ -51,6 +56,12 @@ class VirtioQueue:
         self.backend_service_cycles = backend_service_cycles
         self.wakeup_latency_cycles = wakeup_latency_cycles
         self.capacity = capacity
+        # Frontend watchdog: if a kick is lost (fault injection), the
+        # driver re-notifies after this long without backend progress —
+        # virtio-net's tx timeout, scaled to the simulation.
+        self.rekick_timeout_cycles = rekick_timeout_cycles
+        # Optional fault injector (repro.faults): may swallow kicks.
+        self.fault_hook = None
 
     def simulate(self, packet_times):
         """Run the queue over ascending enqueue timestamps (cycles).
@@ -58,10 +69,20 @@ class VirtioQueue:
         Returns :class:`QueueStats`.  The backend drains the whole queue
         once woken, then re-enables notifications; enqueues that land
         while it is draining are suppressed.
+
+        With a fault injector attached, a kick may be *lost*: the buffer
+        sits in the ring with the backend asleep.  Recovery is the real
+        driver's: the next successful kick wakes the backend, which
+        drains the whole ring including the stranded buffers; if the
+        stream ends with buffers still stranded, the frontend watchdog
+        fires a recovery kick after ``rekick_timeout_cycles``.  Either
+        way no packet is silently dropped — only delayed.
         """
         stats = QueueStats()
         backend_busy_until = 0  # backend is draining until this time
         queue_depth = 0
+        stranded = 0  # buffers enqueued whose kick was lost
+        stranded_since = 0
         last_time = None
         for t in packet_times:
             if last_time is not None and t < last_time:
@@ -69,18 +90,44 @@ class VirtioQueue:
             last_time = t
             stats.packets += 1
             if t >= backend_busy_until:
+                if self.fault_hook is not None \
+                        and self.fault_hook.drop_kick(self, t):
+                    # Notification lost: buffer queued, backend asleep.
+                    stats.lost_kicks += 1
+                    if not stranded:
+                        stranded_since = t
+                    stranded += 1
+                    queue_depth = min(queue_depth + 1, self.capacity)
+                    continue
                 # Queue idle and notifications enabled: kick required.
+                # A successful kick also covers any stranded buffers:
+                # the woken backend drains the whole ring.
                 stats.kicks += 1
                 stats.backend_wakeups += 1
-                queue_depth = 1
-                backend_busy_until = (t + self.wakeup_latency_cycles
-                                      + self.backend_service_cycles)
+                if stranded:
+                    stats.recovered_by_kick += stranded
+                queue_depth = 1 + stranded
+                backend_busy_until = (
+                    t + self.wakeup_latency_cycles
+                    + (1 + stranded) * self.backend_service_cycles)
+                stranded = 0
             else:
                 # Backend still draining: no notification needed, but the
                 # backend now has one more buffer to chew through.
                 stats.suppressed += 1
                 queue_depth = min(queue_depth + 1, self.capacity)
                 backend_busy_until += self.backend_service_cycles
+        if stranded:
+            # Stream ended with lost notifications outstanding: the
+            # frontend watchdog re-kicks and the backend drains the rest.
+            stats.recovery_kicks += 1
+            stats.backend_wakeups += 1
+            wake_at = max(backend_busy_until,
+                          stranded_since + self.rekick_timeout_cycles)
+            backend_busy_until = (
+                wake_at + self.wakeup_latency_cycles
+                + stranded * self.backend_service_cycles)
+            stats.recovered_by_kick += stranded
         stats.finish_time = backend_busy_until
         return stats
 

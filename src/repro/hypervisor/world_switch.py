@@ -72,6 +72,28 @@ def full_el1_context():
     return EL1_STATE + EL0_STATE + DEBUG_STATE
 
 
+def fault_point(cpu, name):
+    """Notify an attached fault injector that a named world-switch
+    boundary was crossed (no-op when no injector is attached).
+
+    The two interesting boundaries are *after* the EL1 context save and
+    *before* the restore: a preemption or migration landing between them
+    catches the vcpu state split across hardware and memory — exactly
+    where VNCR/deferred-page consistency must be re-established."""
+    hook = cpu.fault_hook
+    if hook is not None:
+        hook.at_point(cpu, name)
+
+
+def _filter_lr(cpu, name, value):
+    """Give an attached fault injector the chance to drop one list
+    register on the save path (a lost in-flight virtual interrupt)."""
+    hook = cpu.fault_hook
+    if hook is not None and value:
+        return hook.filter_lr_save(cpu, name, value)
+    return value
+
+
 # ---------------------------------------------------------------------------
 # EL1/EL0 context
 # ---------------------------------------------------------------------------
@@ -91,9 +113,11 @@ def save_el1_state(ops, ctx):
         # E2H-redirected); both hypervisor flavours use the plain EL0
         # encodings, which never trap from virtual EL2.
         ctx.save(name, ops.cpu.mrs(name))
+    fault_point(ops.cpu, "ws.after-save")
 
 
 def restore_el1_state(ops, ctx):
+    fault_point(ops.cpu, "ws.before-restore")
     for name in EL1_STATE + DEBUG_STATE:
         ops.write_vm(name, ctx.load(name))
     for name in EL0_STATE:
@@ -179,7 +203,7 @@ def vgic_save(ops, ctx, used_lrs):
         ctx.save("ICH_ELRSR_EL2", ops.read_hyp("ICH_ELRSR_EL2"))
         for index in range(used_lrs):
             name = "ICH_LR%d_EL2" % index
-            ctx.save(name, ops.read_hyp(name))
+            ctx.save(name, _filter_lr(ops.cpu, name, ops.read_hyp(name)))
             ops.write_hyp(name, 0)
         for name in ICH_AP_REGS:
             ctx.save(name, ops.read_hyp(name))
@@ -249,7 +273,7 @@ def vgic_save_mmio(cpu, ctx, used_lrs):
     ctx.save("ICH_VMCR_EL2", cpu.el2_regs.read("ICH_VMCR_EL2"))
     for index in range(used_lrs):
         name = "ICH_LR%d_EL2" % index
-        ctx.save(name, cpu.el2_regs.read(name))
+        ctx.save(name, _filter_lr(cpu, name, cpu.el2_regs.read(name)))
         cpu.el2_regs.write(name, 0)  # lint: allow(sim-sysreg-bypass)
     cpu.el2_regs.write("ICH_HCR_EL2", 0)  # lint: allow(sim-sysreg-bypass)
     if cpu.gic is not None:

@@ -1,10 +1,16 @@
-"""Trap and exit counters.
+"""Trap, exit and recovery counters.
 
 The paper's Table 7 reports "the average number of traps to the host
 hypervisor" per microbenchmark iteration.  :class:`TrapCounter` records each
 transition into the host hypervisor (L0) together with the reason, so the
 table — and the exit-multiplication analysis in Sections 5 and 7.1 — can be
 regenerated from the same run that produced the cycle counts.
+
+:class:`RecoveryCounter` is the same idea for the fault-injection
+subsystem (:mod:`repro.faults`): every recovery action the hypervisor
+takes in response to an injected fault — a VNCR resync, a journal replay,
+a degradation to trap-and-emulate — is recorded with a
+:class:`RecoveryEvent` reason so campaigns can report per-class outcomes.
 """
 
 import enum
@@ -33,6 +39,7 @@ class ExitReason(enum.Enum):
     MSR_ACCESS = "msr"
     APIC_ACCESS = "apic"
     EXTERNAL_INTERRUPT = "extint"
+    SERROR = "serror"  # system error (async external abort) routed to EL2
 
 
 @dataclass
@@ -71,3 +78,47 @@ class TrapCounter:
     def reset(self):
         self.total = 0
         self.by_reason.clear()
+
+
+class RecoveryEvent(enum.Enum):
+    """Which recovery action the hypervisor took (see repro.faults)."""
+
+    SERROR_RECOVERED = "serror_recovered"  # spurious SError absorbed
+    VNCR_RESYNC = "vncr_resync"  # full deferred-page audit + flush
+    SLOT_REPAIR = "slot_repair"  # one divergent page slot rewritten
+    REPLAY = "replay"  # journal replay attempt of a lost/torn write
+    MIGRATION_FLUSH = "migration_flush"  # page relocated + resynced
+    LR_REQUEUE = "lr_requeue"  # dropped list register re-queued
+    VIRTIO_REKICK = "virtio_rekick"  # lost notification re-kicked
+    NEVE_DEGRADE = "neve_degrade"  # NEVE torn down to trap-and-emulate
+
+
+@dataclass
+class RecoveryCounter:
+    """Counts recovery actions, by :class:`RecoveryEvent`."""
+
+    total: int = 0
+    by_event: dict = field(default_factory=dict)
+
+    def record(self, event):
+        if not isinstance(event, RecoveryEvent):
+            raise TypeError("event must be a RecoveryEvent, got %r"
+                            % (event,))
+        self.total += 1
+        self.by_event[event] = self.by_event.get(event, 0) + 1
+
+    def count(self, event):
+        return self.by_event.get(event, 0)
+
+    def snapshot(self):
+        return self.total, dict(self.by_event)
+
+    def as_dict(self):
+        """Stable name-keyed view (for reports and digests)."""
+        return {event.value: count
+                for event, count in sorted(self.by_event.items(),
+                                           key=lambda item: item[0].value)}
+
+    def reset(self):
+        self.total = 0
+        self.by_event.clear()

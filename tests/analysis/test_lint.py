@@ -80,6 +80,66 @@ def test_sorted_set_iteration_is_allowed():
     assert lint_source("for x in sorted(set(xs)):\n    pass\n") == []
 
 
+def test_set_variable_iteration_is_flagged():
+    findings = lint_source("s = {1, 2}\nfor x in s:\n    pass\n")
+    assert rules_of(findings) == ["sim-nondeterminism"]
+
+
+def test_set_constructor_variable_is_flagged():
+    findings = lint_source("s = set(xs)\nfor x in s:\n    pass\n")
+    assert rules_of(findings) == ["sim-nondeterminism"]
+
+
+def test_set_comprehension_variable_is_flagged():
+    findings = lint_source("s = {x for x in xs}\nfor y in s:\n    pass\n")
+    assert rules_of(findings) == ["sim-nondeterminism"]
+
+
+def test_alias_of_set_variable_is_flagged():
+    findings = lint_source("s = frozenset(xs)\nt = s\n"
+                           "for x in t:\n    pass\n")
+    assert rules_of(findings) == ["sim-nondeterminism"]
+
+
+def test_rebinding_to_sorted_clears_tracking():
+    assert lint_source("s = {1, 2}\ns = sorted(s)\n"
+                       "for x in s:\n    pass\n") == []
+
+
+def test_augassign_clears_tracking():
+    # After augmented assignment the lint no longer knows the shape;
+    # staying quiet beats a false positive.
+    assert lint_source("s = {1}\ns |= other\n"
+                       "for x in s:\n    pass\n") == []
+
+
+def test_function_parameter_shadows_tracked_set():
+    source = ("s = {1, 2}\n"
+              "def f(s):\n"
+              "    for x in s:\n"
+              "        pass\n")
+    assert lint_source(source) == []
+
+
+def test_tracked_set_is_visible_inside_function():
+    source = ("s = {1, 2}\n"
+              "def f():\n"
+              "    for x in s:\n"
+              "        pass\n")
+    assert rules_of(lint_source(source)) == ["sim-nondeterminism"]
+
+
+def test_loop_target_shadows_tracked_set():
+    source = ("s = {1, 2}\n"
+              "for s in rows:\n"
+              "    pass\n"
+              "for x in s:\n"
+              "    pass\n")
+    # The first loop rebinds ``s`` to row elements; the second loop
+    # iterates whatever a row was, not a set.
+    assert lint_source(source) == []
+
+
 # -- sim-ledger-bypass ----------------------------------------------------
 
 def test_total_augassign_is_flagged():

@@ -9,7 +9,7 @@ from repro.analysis.sanitizer import (
     run_sanitized_scenario,
     sanitized,
 )
-from repro.arch.cpu import AccessKind, Cpu
+from repro.arch.cpu import AccessKind, Cpu, Encoding
 from repro.arch.exceptions import ExceptionLevel
 from repro.arch.features import ARMV8_4
 from repro.arch.registers import lookup_register
@@ -132,3 +132,46 @@ def test_exit_multiplication_scenario_is_clean():
     report = run_sanitized_scenario()
     assert report.checks > 500
     report.assert_clean()
+
+
+def test_vhe_alias_encodings_are_checked_at_virtual_el2():
+    cpu = at_vel2(make_neve_cpu(), vhe=True)
+    with sanitized(cpus=[cpu]) as report:
+        cpu.msr("SCTLR_EL1", 0x30D0_0800, enc=Encoding.EL12)  # defer
+        assert cpu.mrs("SCTLR_EL1", enc=Encoding.EL12) == 0x30D0_0800
+        cpu.mrs("MDSCR_EL1", enc=Encoding.EL12)  # cached-copy read
+        cpu.msr("MDSCR_EL1", 1, enc=Encoding.EL12)  # write must trap
+        cpu.mrs("TPIDR_EL0", enc=Encoding.EL02)  # EL02 always traps
+    assert report.checks >= 5
+    report.assert_clean()
+
+
+def test_host_alias_access_reaches_hardware_el1():
+    cpu = make_neve_cpu()
+    cpu.host_e2h = True  # VHE host at real EL2
+    with sanitized(cpus=[cpu]) as report:
+        cpu.msr("SCTLR_EL1", 0x1234, enc=Encoding.EL12)
+        assert cpu.mrs("SCTLR_EL1", enc=Encoding.EL12) == 0x1234
+    assert report.checks >= 2
+    report.assert_clean()
+
+
+def test_buggy_host_alias_resolution_is_caught():
+    class BuggyCpu(Cpu):
+        """Model bug: a VHE host's *_EL12 alias lands on the EL2 bank
+        (i.e. the E2H redirect applied where the alias should have
+        bypassed it)."""
+
+        def _access_at_el2(self, reg, is_write, value, enc):
+            if enc is not Encoding.NORMAL:
+                return self._hw_access(self.el1_regs, reg.name, is_write,
+                                       value, AccessKind.DIRECT_EL2)
+            return super()._access_at_el2(reg, is_write, value, enc)
+
+    cpu = BuggyCpu(arch=ARMV8_4, memory=PhysicalMemory())
+    cpu.trap_handler = RecordingHandler()
+    cpu.host_e2h = True
+    with sanitized(cpus=[cpu]) as report:
+        cpu.msr("SCTLR_EL1", 1, enc=Encoding.EL12)
+    assert not report.passed
+    assert report.violations[0].rule == "san-host-alias"

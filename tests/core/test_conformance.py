@@ -1,6 +1,6 @@
 """Architecture conformance suite tests."""
 
-from repro.arch.cpu import AccessKind
+from repro.arch.cpu import AccessKind, Encoding
 from repro.arch.registers import lookup_register
 from repro.core.conformance import (
     ConformanceResult,
@@ -52,3 +52,35 @@ def test_result_accumulation():
 
 def test_render():
     assert "0 violations" in render_conformance()
+
+
+def test_oracle_el02_aliases_always_trap():
+    tpidr = lookup_register("TPIDR_EL0")
+    for neve in (False, True):
+        for vhe in (False, True):
+            for is_write in (False, True):
+                assert expected_access_kind(
+                    tpidr, is_write, neve=neve, vhe=vhe,
+                    enc=Encoding.EL02) is AccessKind.TRAPPED
+
+
+def test_oracle_el12_aliases_follow_page_residency():
+    sctlr = lookup_register("SCTLR_EL1")  # DEFER row
+    mdscr = lookup_register("MDSCR_EL1")  # CACHED_COPY row
+    # A DEFER row's value lives in the page: the alias transforms to a
+    # memory access in both directions.
+    assert expected_access_kind(sctlr, False, neve=True, vhe=True,
+                                enc=Encoding.EL12) \
+        is AccessKind.DEFERRED_MEMORY
+    assert expected_access_kind(sctlr, True, neve=True, vhe=True,
+                                enc=Encoding.EL12) \
+        is AccessKind.DEFERRED_MEMORY
+    # A cached-copy row only holds reads; alias writes must still trap.
+    assert expected_access_kind(mdscr, False, neve=True, vhe=True,
+                                enc=Encoding.EL12) \
+        is AccessKind.DEFERRED_MEMORY
+    assert expected_access_kind(mdscr, True, neve=True, vhe=True,
+                                enc=Encoding.EL12) is AccessKind.TRAPPED
+    # Without NEVE there is no page: every alias traps.
+    assert expected_access_kind(sctlr, False, neve=False, vhe=True,
+                                enc=Encoding.EL12) is AccessKind.TRAPPED

@@ -1,0 +1,22 @@
+"""The ``python -m repro faults`` entry point."""
+
+from repro.faults.cli import main
+
+
+def test_clean_campaigns_exit_zero(capsys):
+    assert main(["--seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 campaigns clean" in out
+    assert "fault class" in out  # the aggregate table header
+
+
+def test_seed_base_shifts_the_sweep(capsys):
+    assert main(["--seeds", "1", "--seed-base", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "seed    5" in out
+
+
+def test_verbose_prints_per_fault_outcomes(capsys):
+    assert main(["--seeds", "1", "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "@" in out and "(" in out  # outcome rows are present

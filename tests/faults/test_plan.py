@@ -1,0 +1,81 @@
+"""Fault-plan generation: deterministic, collision-free, well-formed."""
+
+from repro.faults.plan import (
+    CRITICAL_VICTIMS,
+    PERSISTENT_VICTIMS,
+    SAFE_FLIP_REGS,
+    VOLATILE_VICTIMS,
+    FaultClass,
+    FaultPlan,
+)
+
+
+def test_same_seed_same_plan():
+    a = FaultPlan.generate(42)
+    b = FaultPlan.generate(42)
+    assert a.faults == b.faults
+
+
+def test_different_seeds_differ_somewhere():
+    plans = [FaultPlan.generate(seed).describe() for seed in range(20)]
+    assert len(set(plans)) > 1
+
+
+def test_plan_size_and_distinct_classes():
+    for seed in range(30):
+        plan = FaultPlan.generate(seed)
+        assert 3 <= len(plan.faults) <= 6
+        classes = [f.fault_class for f in plan.faults]
+        assert len(classes) == len(set(classes))
+
+
+def test_no_point_trigger_collisions():
+    for seed in range(50):
+        plan = FaultPlan.generate(seed)
+        keys = [(f.point, f.trigger) for f in plan.faults]
+        assert len(keys) == len(set(keys))
+
+
+def test_by_point_covers_every_fault():
+    plan = FaultPlan.generate(7)
+    armed = plan.by_point()
+    count = sum(len(triggers) for triggers in armed.values())
+    assert count == len(plan.faults)
+    for fault in plan.faults:
+        assert armed[fault.point][fault.trigger] is fault
+
+
+def test_migration_faults_use_world_switch_points():
+    seen = set()
+    for seed in range(200):
+        for fault in FaultPlan.generate(seed).faults:
+            if fault.fault_class is FaultClass.MIGRATION:
+                seen.add(fault.point)
+                assert fault.point in ("ws.after-save",
+                                       "ws.before-restore")
+    assert len(seen) == 2  # both flanks get exercised across seeds
+
+
+def test_corruption_params_are_classified():
+    for seed in range(200):
+        for fault in FaultPlan.generate(seed).faults:
+            if fault.fault_class is FaultClass.PAGE_CORRUPTION:
+                victim = fault.params["victim"]
+                if fault.params["critical"]:
+                    assert victim in CRITICAL_VICTIMS
+                else:
+                    assert victim in PERSISTENT_VICTIMS + VOLATILE_VICTIMS
+
+
+def test_bitflip_targets_both_directions_across_seeds():
+    points = {f.point
+              for seed in range(200)
+              for f in FaultPlan.generate(seed).faults
+              if f.fault_class is FaultClass.SYSREG_BITFLIP}
+    assert points == {"cpu.msr", "cpu.mrs"}
+
+
+def test_safe_flip_regs_are_el1_data_registers():
+    from repro.arch.registers import lookup_register
+    for name in SAFE_FLIP_REGS:
+        assert lookup_register(name).el == 1
