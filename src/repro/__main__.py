@@ -7,6 +7,9 @@
   (see :mod:`repro.analysis`).
 * ``python -m repro faults`` — run seeded fault-injection campaigns
   with the recovery paths armed (see :mod:`repro.faults`).
+* ``python -m repro trace`` — run a microbenchmark under the causal
+  exit-multiplication tracer and export Chrome trace JSON plus text
+  breakdowns (see :mod:`repro.trace`).
 """
 
 import sys
@@ -20,8 +23,11 @@ def main(argv=None):
     if argv and argv[0] == "faults":
         from repro.faults.cli import main as faults_main
         return faults_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.trace.cli import main as trace_main
+        return trace_main(argv[1:])
     if argv:
-        print("usage: python -m repro [lint|faults [options]]",
+        print("usage: python -m repro [lint|faults|trace [options]]",
               file=sys.stderr)
         return 2
     from repro.harness.summary import main as summary_main

@@ -218,6 +218,25 @@ def sanitized(cpus=(), runners=(), strict=False, report=None):
             wrapper.uninstall()
 
 
+def check_trace_reconciliation(tracer, report=None):
+    """Sanitizer check for the causal tracer (:mod:`repro.trace`):
+    every cycle the ledger charged must be attributed to exactly one
+    span (or explicitly accounted as dropped/open/unattributed), so
+    ``sum(span.cycles) == ledger.total`` over the traced window.
+
+    Records one ``san-trace-reconcile`` check into *report* and returns
+    the report.
+    """
+    if report is None:
+        report = SanitizerReport()
+    rec = tracer.reconcile()
+    report.record(
+        rec.exact, "san-trace-reconcile",
+        "span cycle attribution does not reconcile against the ledger: "
+        + rec.describe())
+    return report
+
+
 def run_sanitized_scenario(modes=("nv", "neve"), hypercalls=2):
     """Run the exit-multiplication scenario (examples/
     exit_multiplication.py) under the sanitizer: boot a nested VM on the

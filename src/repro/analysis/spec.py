@@ -19,8 +19,9 @@ This pass cross-validates the three as *data*:
   Table 4 caption-vs-rows discrepancy pinned to
   :data:`repro.core.classification.TABLE4_ROW_COUNT`);
 * encodings are present, unique and free of orphans;
-* redirection targets (``el1_counterpart`` and the ``E2H_REDIRECTS``
-  map) name registers that exist at the right exception level;
+* redirection targets (``el1_counterpart`` and the registry's
+  ``e2h_redirect`` rows) name registers that exist at the right
+  exception level, and the E2H map is injective;
 * the deferred-access-page layout is consistent: a VNCR slot exists iff
   the behaviour stores the register in memory, offsets are unique,
   8-byte aligned and fit one page.
@@ -93,9 +94,8 @@ class SpecSnapshot:
 
     @classmethod
     def live(cls):
-        from repro.arch.cpu import E2H_REDIRECTS
         from repro.arch.encodings import SYSREG_ENCODINGS
-        from repro.arch.registers import iter_registers
+        from repro.arch.registers import e2h_redirects, iter_registers
         from repro.core.classification import (
             table3_vm_registers,
             table4_hyp_control_registers,
@@ -106,7 +106,7 @@ class SpecSnapshot:
         return cls(
             registers=tuple(iter_registers()),
             encodings=dict(SYSREG_ENCODINGS),
-            e2h_redirects=dict(E2H_REDIRECTS),
+            e2h_redirects=e2h_redirects(),
             table_rows={
                 "table3": len(table3_vm_registers()),
                 "table4": len(table4_hyp_control_registers()),
@@ -245,12 +245,31 @@ def _check_redirects(snapshot):
             yield Finding("spec-redirect",
                           "%s redirects to %s, which is itself an EL2 "
                           "register" % (reg.name, target))
-    for source, target in snapshot.e2h_redirects.items():
+    seen_targets = {}
+    for source, target in sorted(snapshot.e2h_redirects.items()):
+        unknown = False
         for name in (source, target):
             if name not in by_name:
                 yield Finding("spec-redirect",
-                              "E2H_REDIRECTS names unknown register %s "
+                              "E2H redirect names unknown register %s "
                               "(%s -> %s)" % (name, source, target))
+                unknown = True
+        if unknown:
+            continue
+        if by_name[source].el == 2:
+            yield Finding("spec-redirect",
+                          "E2H redirect source %s is itself an EL2 "
+                          "register" % source)
+        if by_name[target].el != 2:
+            yield Finding("spec-redirect",
+                          "E2H redirect %s -> %s targets a non-EL2 "
+                          "register" % (source, target))
+        if target in seen_targets:
+            yield Finding("spec-redirect",
+                          "E2H redirects %s and %s share target %s "
+                          "(map must be injective)"
+                          % (seen_targets[target], source, target))
+        seen_targets[target] = source
 
 
 def _check_vncr_layout(snapshot):

@@ -50,6 +50,7 @@ from repro.arch.registers import (
     NeveBehavior,
     RegClass,
     RegisterFile,
+    e2h_counterpart,
     lookup_register,
 )
 from repro.metrics.counters import ExitReason, TrapCounter
@@ -73,35 +74,6 @@ class AccessKind(enum.Enum):
     DEFERRED_MEMORY = "deferred"  # NEVE deferred access page
     TRAPPED = "trapped"
     UNDEFINED = "undefined"
-
-
-#: Register bases the VHE ``HCR_EL2.E2H`` bit redirects from the EL1
-#: encoding to the EL2 register when executing at EL2 (ARM ARM D5.x); used
-#: to model a VHE *host* hypervisor.  Cross-name pairs included.
-E2H_REDIRECTS = {
-    "SCTLR_EL1": "SCTLR_EL2",
-    "TTBR0_EL1": "TTBR0_EL2",
-    "TTBR1_EL1": "TTBR1_EL2",
-    "TCR_EL1": "TCR_EL2",
-    "AFSR0_EL1": "AFSR0_EL2",
-    "AFSR1_EL1": "AFSR1_EL2",
-    "ESR_EL1": "ESR_EL2",
-    "FAR_EL1": "FAR_EL2",
-    "MAIR_EL1": "MAIR_EL2",
-    "AMAIR_EL1": "AMAIR_EL2",
-    "VBAR_EL1": "VBAR_EL2",
-    "CONTEXTIDR_EL1": "CONTEXTIDR_EL2",
-    "CPACR_EL1": "CPTR_EL2",
-    "CNTKCTL_EL1": "CNTHCTL_EL2",
-    "ELR_EL1": "ELR_EL2",
-    "SPSR_EL1": "SPSR_EL2",
-    # At EL2 with E2H, the EL0 virtual-timer encodings access the EL2
-    # virtual timer — this is how a VHE hypervisor "directly accesses the
-    # EL1 virtual timer when it programs its EL2 virtual timer" when
-    # deprivileged (Section 7.1).
-    "CNTV_CTL_EL0": "CNTHV_CTL_EL2",
-    "CNTV_CVAL_EL0": "CNTHV_CVAL_EL2",
-}
 
 
 class Cpu:
@@ -144,6 +116,15 @@ class Cpu:
         # filtered through it so seeded campaigns can flip bits, tear
         # writes and raise spurious SErrors at named points.
         self.fault_hook = None
+
+        # Optional span tracer (repro.trace.spans.Tracer).  When
+        # attached, every trap opens a span whose children are the traps
+        # the host hypervisor's emulation causes in turn, so one nested
+        # exit renders as a causal tree (the exit-multiplication factor
+        # of Section 5 / Table 7).  The tracer only observes — it never
+        # charges the ledger — so the disabled path is a single
+        # attribute check.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Context management
@@ -428,10 +409,9 @@ class Cpu:
             return self._hw_access(self.el2_regs, reg.name, is_write, value,
                                    AccessKind.DIRECT_EL2)
         # EL1-encoded access at EL2.
-        if self.host_e2h and reg.name in E2H_REDIRECTS:
-            target = E2H_REDIRECTS[reg.name]
-            return self._hw_access(self.el2_regs, target, is_write, value,
-                                   AccessKind.DIRECT_EL2)
+        if self.host_e2h and reg.e2h_redirect is not None:
+            return self._hw_access(self.el2_regs, reg.e2h_redirect,
+                                   is_write, value, AccessKind.DIRECT_EL2)
         return self._hw_access(self.el1_regs, reg.name, is_write, value,
                                AccessKind.DIRECT_EL1)
 
@@ -477,7 +457,7 @@ class Cpu:
             # which the host keeps loaded with the guest hypervisor's
             # state (Section 5).
             if self.neve_enabled:
-                counterpart_name = E2H_REDIRECTS.get(reg.name)
+                counterpart_name = reg.e2h_redirect
                 if counterpart_name is not None:
                     counterpart = lookup_register(counterpart_name)
                     redirected = (counterpart.reg_class
@@ -567,6 +547,12 @@ class Cpu:
         if reg.vncr_offset is None:
             raise RuntimeError("%s has no deferred-access slot" % reg.name)
         addr = self.vncr_baddr + reg.vncr_offset
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("defer:%s" % reg.name, kind="vncr", cpu=self,
+                           detail={"register": reg.name,
+                                   "is_write": is_write,
+                                   "offset": reg.vncr_offset})
         hook = self.fault_hook
         if hook is not None:
             hook.on_deferred_access(self, reg, is_write)
@@ -612,27 +598,38 @@ class Cpu:
                 "recursive trap while handling a trap at EL2: %s"
                 % syndrome.describe())
         self.traps.record(reason)
-        self.ledger.charge(self.costs.trap_entry, "trap")
-        if self.trap_handler is None:
-            raise TrapToEl2(syndrome)
-        with self.host_mode():
-            result = self.trap_handler.handle_trap(self, syndrome)
-        # The handler may have switched worlds (entered a nested VM,
-        # emulated a virtual exception-level transition...).  Resume in
-        # whatever context the host hypervisor's bookkeeping says is now
-        # running; handlers without the hook keep the trapped context.
-        resume = getattr(self.trap_handler, "resume_context", None)
-        if resume is not None:
-            ctx = resume(self)
-            if ctx is None:
-                self.enter_host_context()
-            else:
-                self.enter_guest_context(
-                    ctx.get("el", ExceptionLevel.EL1),
-                    nv=ctx.get("nv", False),
-                    virtual_e2h=ctx.get("virtual_e2h", False))
-        self.ledger.charge(self.costs.trap_return, "trap")
-        return result
+        # One trap span per TrapCounter.record: traps the handler causes
+        # while emulating this one nest through the call stack, so the
+        # span tree's trap count is the exit-multiplication factor.
+        tracer = self.tracer
+        span = (tracer.begin_trap(self, syndrome, reason)
+                if tracer is not None else None)
+        try:
+            self.ledger.charge(self.costs.trap_entry, "trap")
+            if self.trap_handler is None:
+                raise TrapToEl2(syndrome)
+            with self.host_mode():
+                result = self.trap_handler.handle_trap(self, syndrome)
+            # The handler may have switched worlds (entered a nested VM,
+            # emulated a virtual exception-level transition...).  Resume
+            # in whatever context the host hypervisor's bookkeeping says
+            # is now running; handlers without the hook keep the trapped
+            # context.
+            resume = getattr(self.trap_handler, "resume_context", None)
+            if resume is not None:
+                ctx = resume(self)
+                if ctx is None:
+                    self.enter_host_context()
+                else:
+                    self.enter_guest_context(
+                        ctx.get("el", ExceptionLevel.EL1),
+                        nv=ctx.get("nv", False),
+                        virtual_e2h=ctx.get("virtual_e2h", False))
+            self.ledger.charge(self.costs.trap_return, "trap")
+            return result
+        finally:
+            if span is not None:
+                tracer.end(span)
 
     def deliver_interrupt(self):
         """A physical interrupt arrives while a guest runs: exit to EL2."""
@@ -708,12 +705,10 @@ class CpuOps:
         return self.cpu.msr(el0_name, value, enc)
 
 
-_E2H_REVERSE = None
-
-
 def _e2h_reverse(el2_name):
-    """EL1 encoding that E2H redirects to *el2_name*, or None."""
-    global _E2H_REVERSE
-    if _E2H_REVERSE is None:
-        _E2H_REVERSE = {v: k for k, v in E2H_REDIRECTS.items()}
-    return _E2H_REVERSE.get(el2_name)
+    """EL1 encoding that E2H redirects to *el2_name*, or None.
+
+    Thin wrapper over the registry's ``e2h_redirect`` rows (the VHE
+    redirect knowledge lives in :mod:`repro.arch.registers` so the spec
+    checker validates one source of truth)."""
+    return e2h_counterpart(el2_name)

@@ -70,6 +70,11 @@ class SysReg:
     vhe_only: bool = False  # register only exists with FEAT_VHE
     read_only: bool = False
     vncr_offset: int = None  # byte offset in the deferred access page
+    #: EL2 register the VHE ``HCR_EL2.E2H`` bit redirects this EL1/EL0
+    #: encoding to when executing at EL2 (ARM ARM D5.x).  Models a VHE
+    #: *host* hypervisor; the spec checker validates these pairs against
+    #: the same registry rows that carry ``el1_counterpart``.
+    e2h_redirect: str = None
 
     @property
     def is_vm_register(self):
@@ -100,7 +105,7 @@ _NEXT_VNCR_OFFSET = [0]
 
 
 def _define(name, el, reg_class, neve, description="", el1_counterpart=None,
-            vhe_only=False, read_only=False):
+            vhe_only=False, read_only=False, e2h_redirect=None):
     """Register *name* in the global registry, assigning a deferred-access
     page offset to every register NEVE stores in memory."""
     if name in _REGISTRY:
@@ -119,6 +124,7 @@ def _define(name, el, reg_class, neve, description="", el1_counterpart=None,
         vhe_only=vhe_only,
         read_only=read_only,
         vncr_offset=vncr_offset,
+        e2h_redirect=e2h_redirect,
     )
     _REGISTRY[name] = reg
     return reg
@@ -147,37 +153,52 @@ _define("VTTBR_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER,
         "Virtualization Translation Table Base")
 
 _define("AFSR0_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Auxiliary Fault Status 0")
+        "Auxiliary Fault Status 0",
+        e2h_redirect="AFSR0_EL2")
 _define("AFSR1_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Auxiliary Fault Status 1")
+        "Auxiliary Fault Status 1",
+        e2h_redirect="AFSR1_EL2")
 _define("AMAIR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Auxiliary Memory Attribute Indirection")
+        "Auxiliary Memory Attribute Indirection",
+        e2h_redirect="AMAIR_EL2")
 _define("CONTEXTIDR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Context ID")
+        "Context ID",
+        e2h_redirect="CONTEXTIDR_EL2")
 _define("CPACR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Architectural Feature Access Control")
+        "Architectural Feature Access Control",
+        e2h_redirect="CPTR_EL2")
 _define("ELR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Exception Link")
+        "Exception Link",
+        e2h_redirect="ELR_EL2")
 _define("ESR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Exception Syndrome")
+        "Exception Syndrome",
+        e2h_redirect="ESR_EL2")
 _define("FAR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Fault Address")
+        "Fault Address",
+        e2h_redirect="FAR_EL2")
 _define("MAIR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Memory Attribute Indirection")
+        "Memory Attribute Indirection",
+        e2h_redirect="MAIR_EL2")
 _define("SCTLR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "System Control")
+        "System Control",
+        e2h_redirect="SCTLR_EL2")
 _define("SP_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
         "Stack Pointer")
 _define("SPSR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Saved Program Status")
+        "Saved Program Status",
+        e2h_redirect="SPSR_EL2")
 _define("TCR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Translation Control")
+        "Translation Control",
+        e2h_redirect="TCR_EL2")
 _define("TTBR0_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Translation Table Base 0")
+        "Translation Table Base 0",
+        e2h_redirect="TTBR0_EL2")
 _define("TTBR1_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Translation Table Base 1")
+        "Translation Table Base 1",
+        e2h_redirect="TTBR1_EL2")
 _define("VBAR_EL1", 1, RegClass.VM_EXECUTION_CONTROL, NeveBehavior.DEFER,
-        "Vector Base Address")
+        "Vector Base Address",
+        e2h_redirect="VBAR_EL2")
 
 _define("TPIDR_EL2", 2, RegClass.THREAD_ID, NeveBehavior.DEFER,
         "EL2 Software Thread ID")
@@ -280,15 +301,18 @@ _define("CNTHV_CVAL_EL2", 2, RegClass.TIMER_EL2, NeveBehavior.TRAP,
 # Guest-owned timers (EL0-accessible): deferred like VM registers when the
 # guest hypervisor manipulates the *nested VM's* copies.
 _define("CNTV_CTL_EL0", 0, RegClass.TIMER_GUEST, NeveBehavior.DEFER,
-        "EL1 Virtual Timer Control")
+        "EL1 Virtual Timer Control",
+        e2h_redirect="CNTHV_CTL_EL2")
 _define("CNTV_CVAL_EL0", 0, RegClass.TIMER_GUEST, NeveBehavior.DEFER,
-        "EL1 Virtual Timer CompareValue")
+        "EL1 Virtual Timer CompareValue",
+        e2h_redirect="CNTHV_CVAL_EL2")
 _define("CNTP_CTL_EL0", 0, RegClass.TIMER_GUEST, NeveBehavior.DEFER,
         "EL1 Physical Timer Control")
 _define("CNTP_CVAL_EL0", 0, RegClass.TIMER_GUEST, NeveBehavior.DEFER,
         "EL1 Physical Timer CompareValue")
 _define("CNTKCTL_EL1", 1, RegClass.EL1_CONTEXT, NeveBehavior.DEFER,
-        "Kernel Counter-timer Control")
+        "Kernel Counter-timer Control",
+        e2h_redirect="CNTHCTL_EL2")
 _define("CNTVCT_EL0", 0, RegClass.TIMER_GUEST, NeveBehavior.NONE,
         "Virtual Count (reads hardware counter)", read_only=True)
 
@@ -367,6 +391,23 @@ def vm_register_names():
 def deferred_page_size():
     """Bytes of deferred-access page the registry currently uses."""
     return _NEXT_VNCR_OFFSET[0]
+
+
+def e2h_redirects():
+    """The VHE ``HCR_EL2.E2H`` redirection map, derived from the
+    registry rows: EL1/EL0-encoded name -> EL2 register reached when
+    executing at EL2 with E2H set."""
+    return {reg.name: reg.e2h_redirect for reg in _REGISTRY.values()
+            if reg.e2h_redirect is not None}
+
+
+_E2H_REVERSE = {reg.e2h_redirect: reg.name for reg in _REGISTRY.values()
+                if reg.e2h_redirect is not None}
+
+
+def e2h_counterpart(el2_name):
+    """EL1/EL0 encoding that E2H redirects to *el2_name*, or None."""
+    return _E2H_REVERSE.get(el2_name)
 
 
 class RegisterFile:

@@ -76,9 +76,8 @@ def expected_access_kind(reg, is_write, neve, vhe, enc=Encoding.NORMAL):
                 # CNTKCTL->CNTHCTL) are transformed to memory accesses
                 # like any other encoding of those registers; the
                 # redirect-or-trap rows stay on hardware under VHE.
-                from repro.arch.cpu import E2H_REDIRECTS
                 from repro.arch.registers import lookup_register
-                counterpart_name = E2H_REDIRECTS.get(reg.name)
+                counterpart_name = reg.e2h_redirect
                 if counterpart_name is not None:
                     counterpart = lookup_register(counterpart_name)
                     if (counterpart.vncr_offset is not None

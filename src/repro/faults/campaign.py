@@ -23,10 +23,9 @@ from repro.arch.features import ArchConfig, ArchVersion, GicVersion
 from repro.faults.plan import FaultClass, FaultPlan
 from repro.faults.points import FaultInjector
 from repro.faults.recovery import (
-    REKICK_COST,
-    REPAIR_COST,
     IntegrityMonitor,
     RecoveryManager,
+    derive_recovery_costs,
 )
 from repro.hypervisor.kvm import Machine
 from repro.hypervisor.nested import GUEST_IPI_SGI
@@ -98,8 +97,15 @@ class CampaignResult:
         return hashlib.sha256(self.canonical().encode()).hexdigest()
 
 
-def run_campaign(seed):
-    """Run one seeded campaign end to end; returns a CampaignResult."""
+def run_campaign(seed, trace=False):
+    """Run one seeded campaign end to end; returns a CampaignResult.
+
+    With ``trace=True`` a :class:`repro.trace.spans.Tracer` observes the
+    run (the result's ``tracer`` attribute holds it afterwards): every
+    trap, world-switch phase, recovery action and injected fault appears
+    in the causal trace.  Tracing never charges cycles, so the digest of
+    a traced run is bit-identical to the untraced one.
+    """
     plan = FaultPlan.generate(seed)
     injector = FaultInjector(plan)
     machine = Machine(
@@ -116,39 +122,55 @@ def run_campaign(seed):
     cpu.fault_hook = injector
     runner.fault_hook = injector
 
-    report = SanitizerReport()
-    with sanitized(cpus=machine.cpus, runners=[runner], report=report):
-        machine.kvm.boot_nested(vcpu)
-        for round_index in range(ROUNDS):
-            cpu.hvc(round_index)
-            cpu.msr("ICC_SGI1R_EL1", (GUEST_IPI_SGI << 24) | 0)
-            cpu.hvc(round_index)
-        _virtio_phase(machine, plan, injector)
-        recovery.settle(cpu)
-        # Disarm before probing: the probe measures the surviving
-        # configuration, it is not part of the fault schedule.
-        cpu.fault_hook = None
-        if vcpu.neve is not None:
-            vcpu.neve.fault_hook = None
-        probe_before = machine.traps.total
-        cpu.hvc(0)
-        probe_traps = machine.traps.total - probe_before
+    tracer = None
+    root = None
+    if trace:
+        from repro.trace.spans import Tracer
+        tracer = Tracer()
+        tracer.attach_machine(machine)
+        tracer.attach_to(injector)
+        root = tracer.begin("campaign/seed-%d" % seed, kind="root")
 
-    result = CampaignResult(seed=seed, plan=plan.describe())
-    result.degraded = recovery.degraded
-    result.degrade_reason = recovery.degrade_reason
-    result.probe_traps = probe_traps
-    if recovery.degraded:
-        result.probe_ok = probe_traps >= PROBE_DEGRADED_MIN
-    else:
-        result.probe_ok = probe_traps <= PROBE_NEVE_MAX
-    _collect_outcomes(result, plan, injector)
-    _recursive_phase(result, machine, seed, report)
-    result.recovery_counts = machine.recoveries.as_dict()
-    result.sanitizer_checks = report.checks
-    result.sanitizer_violations = len(report.violations)
-    result.total_cycles = machine.ledger.total
-    result.total_traps = machine.traps.total
+    try:
+        report = SanitizerReport()
+        with sanitized(cpus=machine.cpus, runners=[runner],
+                       report=report):
+            machine.kvm.boot_nested(vcpu)
+            for round_index in range(ROUNDS):
+                cpu.hvc(round_index)
+                cpu.msr("ICC_SGI1R_EL1", (GUEST_IPI_SGI << 24) | 0)
+                cpu.hvc(round_index)
+            _virtio_phase(machine, plan, injector)
+            recovery.settle(cpu)
+            # Disarm before probing: the probe measures the surviving
+            # configuration, it is not part of the fault schedule.
+            cpu.fault_hook = None
+            if vcpu.neve is not None:
+                vcpu.neve.fault_hook = None
+            probe_before = machine.traps.total
+            cpu.hvc(0)
+            probe_traps = machine.traps.total - probe_before
+
+        result = CampaignResult(seed=seed, plan=plan.describe())
+        result.degraded = recovery.degraded
+        result.degrade_reason = recovery.degrade_reason
+        result.probe_traps = probe_traps
+        if recovery.degraded:
+            result.probe_ok = probe_traps >= PROBE_DEGRADED_MIN
+        else:
+            result.probe_ok = probe_traps <= PROBE_NEVE_MAX
+        _collect_outcomes(result, plan, injector)
+        _recursive_phase(result, machine, seed, report)
+        result.recovery_counts = machine.recoveries.as_dict()
+        result.sanitizer_checks = report.checks
+        result.sanitizer_violations = len(report.violations)
+        result.total_cycles = machine.ledger.total
+        result.total_traps = machine.traps.total
+    finally:
+        if tracer is not None:
+            tracer.end(root)
+            tracer.stop()
+    result.tracer = tracer
     return result
 
 
@@ -167,8 +189,9 @@ def _virtio_phase(machine, plan, injector):
     if stats.recovered_by_kick != stats.lost_kicks:
         raise RuntimeError("virtio stranded %d buffers unrecovered"
                            % (stats.lost_kicks - stats.recovered_by_kick))
+    rekick_cost = derive_recovery_costs(machine.costs).rekick
     for _ in range(stats.recovery_kicks):
-        machine.ledger.charge(REKICK_COST, "recovery")
+        machine.ledger.charge(rekick_cost, "recovery")
         machine.recoveries.record(RecoveryEvent.VIRTIO_REKICK)
     how = "rekicked" if stats.recovery_kicks else "piggybacked"
     for event in injector.pending():
@@ -214,10 +237,11 @@ def _recursive_phase(result, machine, seed, report):
     # Audit against the snapshot and repair through the runner (the cpu
     # is back at EL2 after the fragment).
     repaired = []
+    repair_cost = derive_recovery_costs(machine.costs).repair
     for name in sorted(snapshot):
         if host.l2_runner.page.read_reg(name) != snapshot[name]:
             host.l2_runner.write_deferred(name, snapshot[name])
-            machine.ledger.charge(REPAIR_COST, "recovery")
+            machine.ledger.charge(repair_cost, "recovery")
             machine.recoveries.record(RecoveryEvent.SLOT_REPAIR)
             repaired.append(name)
     machine.recoveries.record(RecoveryEvent.VNCR_RESYNC)

@@ -24,11 +24,20 @@ def main(argv=None):
                         help="first seed (campaign i runs seed base+i)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print per-fault outcomes for every seed")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="run each campaign under the causal tracer "
+                             "and write per-seed Chrome trace JSON into "
+                             "DIR (injected faults appear as annotated "
+                             "events; digests are unaffected)")
     args = parser.parse_args(argv)
 
     results = []
     for index in range(args.seeds):
-        results.append(run_campaign(args.seed_base + index))
+        result = run_campaign(args.seed_base + index,
+                              trace=args.trace is not None)
+        if args.trace is not None:
+            _write_trace(args.trace, result)
+        results.append(result)
 
     _print_class_table(results)
     print()
@@ -56,6 +65,18 @@ def main(argv=None):
     print("%d/%d campaigns clean" % (len(results) - len(failed),
                                      len(results)))
     return 1 if failed else 0
+
+
+def _write_trace(out_dir, result):
+    import os
+
+    from repro.trace.export import write_chrome_trace
+
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "campaign-seed-%d.json" % result.seed)
+    write_chrome_trace(result.tracer, path,
+                       label="campaign/seed-%d" % result.seed)
+    return path
 
 
 def _print_class_table(results):

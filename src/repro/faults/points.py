@@ -62,6 +62,10 @@ class FaultInjector:
         # and a callback that performs the simulated migration.
         self.corrupt_word = None
         self.on_migration = None
+        # Optional tracer (repro.trace): fired faults become annotated
+        # instant events, so recovery ladders in the causal tree show
+        # which injected fault they answer.
+        self.tracer = None
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -75,6 +79,14 @@ class FaultInjector:
         event = FaultEvent(fault=fault, point=fault.point,
                            seq=len(self.events), detail=detail)
         self.events.append(event)
+        tracer = self.tracer
+        if tracer is not None:
+            annotated = {"point": fault.point, "seq": event.seq,
+                         "fault_class": fault.fault_class}
+            annotated.update(detail)
+            tracer.instant("fault:%s@%s"
+                           % (fault.fault_class.value, fault.point),
+                           kind="fault", detail=annotated)
         return event
 
     def pending(self):

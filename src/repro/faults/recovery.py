@@ -26,11 +26,14 @@ Two cooperating pieces:
   resilience has a visible price like everything else in the model.
 """
 
-from repro.arch.registers import RegClass
+from dataclasses import dataclass
+
+from repro.arch.registers import RegClass, deferred_page_size
 from repro.core.vncr import deferred_registers
 from repro.faults.plan import FaultClass
 from repro.memory.phys import PAGE_SIZE
 from repro.metrics.counters import RecoveryEvent
+from repro.trace.spans import cpu_span
 
 #: Slots whose corruption may already have steered guest-hypervisor
 #: execution: silently rewriting them could hide a wrong decision, so
@@ -41,15 +44,55 @@ CRITICAL_SLOTS = frozenset(["HCR_EL2", "VTTBR_EL2", "VNCR_EL2"])
 #: and degrade after this many attempts.
 MAX_REPLAY_TRIES = 3
 
-# Cycle prices for recovery actions (model costs, charged per action).
-AUDIT_COST = 900  # hash walk over the page
-REPAIR_COST = 120  # one slot rewrite + barrier
-REPLAY_COST = 180  # journal lookup + rewrite + verify
-MIGRATION_COST = 2600  # page copy + VNCR reprogram + TLB
-DEGRADE_COST = 5200  # full state evacuation + mode switch
-SERROR_TRIAGE_COST = 1500  # RAS syndrome triage at EL2
-REQUEUE_COST = 140  # re-inject one lost virtual interrupt
-REKICK_COST = 800  # watchdog-driven virtio notification
+
+@dataclass(frozen=True)
+class RecoveryCosts:
+    """Cycle prices for recovery actions, charged per action.
+
+    Derived from the platform :class:`~repro.metrics.cycles.CostModel`
+    by :func:`derive_recovery_costs` — the prices scale with the memory
+    costs and the deferred-page geometry instead of being free-standing
+    constants, so a recalibrated cost model recalibrates recovery too.
+    """
+
+    audit: int  # full walk over the page, one load per slot
+    repair: int  # one slot rewrite + verify read + barriers
+    replay: int  # journal lookup + repair + verify
+    migration: int  # page copy + VNCR reprogram + TLB maintenance
+    degrade: int  # evacuate live slots + mode switch + TLB
+    serror_triage: int  # RAS syndrome triage at EL2
+    requeue: int  # re-inject one lost virtual interrupt
+    rekick: int  # watchdog-driven virtio notification
+
+
+def derive_recovery_costs(costs, page_size=PAGE_SIZE):
+    """Price the recovery ladder from a platform cost model.
+
+    Every term is memory traffic over the deferred access page (8-byte
+    slots) plus the barriers/maintenance the operation architecturally
+    requires; the fixed instruction counts model the surrounding
+    dispatch code.
+    """
+    slots = page_size // 8  # 8-byte slots across the whole page
+    live_slots = deferred_page_size() // 8  # slots the registry uses
+    repair = (costs.mem_store + costs.mem_load + 2 * costs.dsb_isb
+              + 16 * costs.instr)
+    return RecoveryCosts(
+        audit=slots * costs.mem_load + costs.dsb_isb,
+        repair=repair,
+        replay=repair + 2 * costs.mem_load + 12 * costs.instr,
+        migration=(slots * (costs.mem_load + costs.mem_store)
+                   + costs.sysreg_write + costs.tlb_maintenance),
+        degrade=(live_slots * (costs.mem_load + costs.mem_store)
+                 + costs.sysreg_write + costs.tlb_maintenance
+                 + 2 * costs.dsb_isb + 256 * costs.instr),
+        serror_triage=(16 * costs.cache_miss + 32 * costs.instr
+                       + costs.dsb_isb),
+        requeue=(4 * (costs.mem_load + costs.mem_store)
+                 + 2 * costs.dsb_isb + 80 * costs.instr),
+        rekick=(costs.userspace_roundtrip + costs.irq_delivery_wire
+                + 100 * costs.instr),
+    )
 
 
 class IntegrityMonitor:
@@ -123,6 +166,7 @@ class RecoveryManager:
         self.vcpu = vcpu
         self.monitor = monitor
         self.injector = injector
+        self.costs = derive_recovery_costs(machine.costs)
         self.degraded = False
         self.degrade_reason = None
         injector.corrupt_word = monitor.raw_write
@@ -168,18 +212,19 @@ class RecoveryManager:
         (the VNCR flush/resync a host runs after migration or SError)."""
         if self.degraded:
             return
-        self._charge(AUDIT_COST)
-        by_offset = _offset_to_reg()
-        for offset, expected, _actual in self.monitor.audit():
-            reg = by_offset[offset]
-            if reg.name in CRITICAL_SLOTS:
-                self.degrade(cpu, "critical slot %s inconsistent"
-                             % reg.name)
-                return
-            self._slot_write(cpu, reg.name, expected)
-            self._charge(REPAIR_COST)
-            self._count(RecoveryEvent.SLOT_REPAIR)
-        self._count(RecoveryEvent.VNCR_RESYNC)
+        with cpu_span(cpu, "recovery.resync", kind="recovery"):
+            self._charge(self.costs.audit)
+            by_offset = _offset_to_reg()
+            for offset, expected, _actual in self.monitor.audit():
+                reg = by_offset[offset]
+                if reg.name in CRITICAL_SLOTS:
+                    self.degrade(cpu, "critical slot %s inconsistent"
+                                 % reg.name)
+                    return
+                self._slot_write(cpu, reg.name, expected)
+                self._charge(self.costs.repair)
+                self._count(RecoveryEvent.SLOT_REPAIR)
+            self._count(RecoveryEvent.VNCR_RESYNC)
 
     def on_migration(self, cpu, event):
         """The VM migrated mid-world-switch: the destination host gives
@@ -189,26 +234,28 @@ class RecoveryManager:
         if self.degraded:
             event.resolve("recovered", "migrated-degraded")
             return
-        with cpu.host_mode():
-            new_baddr = self.machine.kvm.alloc_vncr_page()
-            self.vcpu.neve.relocate(new_baddr)
-        self.monitor.rebase(new_baddr)
-        self._charge(MIGRATION_COST)
-        self._count(RecoveryEvent.MIGRATION_FLUSH)
-        self.resync(cpu)
+        with cpu_span(cpu, "recovery.migration", kind="recovery"):
+            with cpu.host_mode():
+                new_baddr = self.machine.kvm.alloc_vncr_page()
+                self.vcpu.neve.relocate(new_baddr)
+            self.monitor.rebase(new_baddr)
+            self._charge(self.costs.migration)
+            self._count(RecoveryEvent.MIGRATION_FLUSH)
+            self.resync(cpu)
         event.resolve("degraded" if self.degraded else "recovered",
                       "migrated")
 
     def on_serror(self, cpu, vcpu):
         """``KvmHypervisor.serror_policy``: triage the SError, resync the
         page, and mark the pending SError events survived."""
-        self._charge(SERROR_TRIAGE_COST)
-        if not self.degraded:
-            self.resync(cpu)
-        for event in self.injector.pending():
-            if event.fault.fault_class is FaultClass.SERROR:
-                event.resolve("recovered", "triaged")
-                self._count(RecoveryEvent.SERROR_RECOVERED)
+        with cpu_span(cpu, "recovery.serror_triage", kind="recovery"):
+            self._charge(self.costs.serror_triage)
+            if not self.degraded:
+                self.resync(cpu)
+            for event in self.injector.pending():
+                if event.fault.fault_class is FaultClass.SERROR:
+                    event.resolve("recovered", "triaged")
+                    self._count(RecoveryEvent.SERROR_RECOVERED)
 
     def degrade(self, cpu, reason):
         """Graceful degradation: tear NEVE down to ARMv8.3 trap-and-
@@ -219,56 +266,60 @@ class RecoveryManager:
         again, which is slow but cannot be silently corrupted."""
         if self.degraded:
             return
-        runner = self.vcpu.neve
-        with cpu.host_mode():
-            for reg in deferred_registers():
-                value = runner.page.read_reg(reg.name)
-                if reg.reg_class is RegClass.GIC_HYP:
-                    continue  # shadow_ich is authoritative
-                if reg.el == 2:
-                    self.vcpu.vel2_ctx.poke(reg.name, value)
-                else:
-                    self.vcpu.vel1_shadow.poke(reg.name, value)
-            runner.disable()
-        self.vcpu.neve = None
-        self.vcpu.vm.nested = "nv"
-        self.monitor.uninstall()
-        self.degraded = True
-        self.degrade_reason = reason
-        self._charge(DEGRADE_COST)
-        self._count(RecoveryEvent.NEVE_DEGRADE)
+        with cpu_span(cpu, "recovery.degrade", kind="recovery",
+                      reason=reason):
+            runner = self.vcpu.neve
+            with cpu.host_mode():
+                for reg in deferred_registers():
+                    value = runner.page.read_reg(reg.name)
+                    if reg.reg_class is RegClass.GIC_HYP:
+                        continue  # shadow_ich is authoritative
+                    if reg.el == 2:
+                        self.vcpu.vel2_ctx.poke(reg.name, value)
+                    else:
+                        self.vcpu.vel1_shadow.poke(reg.name, value)
+                runner.disable()
+            self.vcpu.neve = None
+            self.vcpu.vm.nested = "nv"
+            self.monitor.uninstall()
+            self.degraded = True
+            self.degrade_reason = reason
+            self._charge(self.costs.degrade)
+            self._count(RecoveryEvent.NEVE_DEGRADE)
 
     # -- end-of-run settlement ---------------------------------------------
 
     def settle(self, cpu):
         """Resolve every journalled fault that is still pending, then
         prove the page consistent one last time."""
-        for event in list(self.injector.events):
-            if event.outcome != "pending":
-                continue
-            fc = event.fault.fault_class
-            if fc in (FaultClass.SYSREG_BITFLIP, FaultClass.TORN_WRITE,
-                      FaultClass.STALE_CACHED_COPY):
-                self._settle_replayable(cpu, event)
-            elif fc is FaultClass.PAGE_CORRUPTION:
-                self._settle_corruption(cpu, event)
-            elif fc is FaultClass.SERROR:
-                # The SError exit itself recovered it; classify.
-                event.resolve("recovered", "triaged")
-                self._count(RecoveryEvent.SERROR_RECOVERED)
-            elif fc is FaultClass.MIGRATION:
-                event.resolve("recovered", "migrated")
-            elif fc is FaultClass.DROPPED_LR:
-                # The interrupt the lost list register carried is
-                # re-injected through the normal pending queue.
-                self.vcpu.queue_virq(event.detail["vintid"])
-                self._charge(REQUEUE_COST)
-                self._count(RecoveryEvent.LR_REQUEUE)
-                event.resolve("recovered", "requeued")
-            # LOST_KICK is settled by the campaign's virtio phase, which
-            # owns the queue statistics.
-        if not self.degraded:
-            self.resync(cpu)
+        with cpu_span(cpu, "recovery.settle", kind="recovery"):
+            for event in list(self.injector.events):
+                if event.outcome != "pending":
+                    continue
+                fc = event.fault.fault_class
+                if fc in (FaultClass.SYSREG_BITFLIP,
+                          FaultClass.TORN_WRITE,
+                          FaultClass.STALE_CACHED_COPY):
+                    self._settle_replayable(cpu, event)
+                elif fc is FaultClass.PAGE_CORRUPTION:
+                    self._settle_corruption(cpu, event)
+                elif fc is FaultClass.SERROR:
+                    # The SError exit itself recovered it; classify.
+                    event.resolve("recovered", "triaged")
+                    self._count(RecoveryEvent.SERROR_RECOVERED)
+                elif fc is FaultClass.MIGRATION:
+                    event.resolve("recovered", "migrated")
+                elif fc is FaultClass.DROPPED_LR:
+                    # The interrupt the lost list register carried is
+                    # re-injected through the normal pending queue.
+                    self.vcpu.queue_virq(event.detail["vintid"])
+                    self._charge(self.costs.requeue)
+                    self._count(RecoveryEvent.LR_REQUEUE)
+                    event.resolve("recovered", "requeued")
+                # LOST_KICK is settled by the campaign's virtio phase,
+                # which owns the queue statistics.
+            if not self.degraded:
+                self.resync(cpu)
 
     def _settle_replayable(self, cpu, event):
         """Journal-based repair for faults the monitor cannot see (the
@@ -284,7 +335,7 @@ class RecoveryManager:
             return
         failures_left = event.detail.get("replay_failures", 0)
         for _attempt in range(MAX_REPLAY_TRIES):
-            self._charge(REPLAY_COST)
+            self._charge(self.costs.replay)
             self._count(RecoveryEvent.REPLAY)
             if failures_left > 0:
                 failures_left -= 1
@@ -311,7 +362,7 @@ class RecoveryManager:
             event.resolve("degraded", "critical-corruption")
             return
         self._slot_write(cpu, reg_name, expected)
-        self._charge(REPAIR_COST)
+        self._charge(self.costs.repair)
         self._count(RecoveryEvent.SLOT_REPAIR)
         event.resolve("recovered", "repaired")
 

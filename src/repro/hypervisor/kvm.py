@@ -33,6 +33,7 @@ from repro.memory.phys import PAGE_SIZE, MemoryRegion, PhysicalMemory
 from repro.memory.shadow import ShadowStage2
 from repro.metrics.counters import ExitReason, RecoveryCounter, TrapCounter
 from repro.metrics.cycles import ARM_COSTS, CycleLedger
+from repro.trace.spans import cpu_span
 
 # Physical memory map of the simulated machine.
 RAM_BASE = 0x8000_0000
@@ -280,33 +281,35 @@ class KvmHypervisor:
     # ------------------------------------------------------------------
 
     def _switch_to_host(self, cpu, vcpu):
-        ops = ws.make_ops(cpu, self.vhe)
-        ws.save_el1_state(ops, vcpu.el1_ctx)
-        ws.timer_save(ops, vcpu.el1_ctx, self.vhe)
-        if self.gic_mmio:
-            ws.vgic_save_mmio(cpu, vcpu.el1_ctx, vcpu.used_lrs)
-        else:
-            ws.vgic_save(ops, vcpu.el1_ctx, vcpu.used_lrs)
-        self._recount_used_lrs(vcpu)
-        ws.deactivate_traps(ops, self.vhe)
-        ws.restore_el1_state(ops, self.host_ctx[cpu.cpu_id])
-        cpu.work(340, category="l0_kernel")  # ret to kernel, run-loop epilogue
+        with cpu_span(cpu, "l0.switch_to_host"):
+            ops = ws.make_ops(cpu, self.vhe)
+            ws.save_el1_state(ops, vcpu.el1_ctx)
+            ws.timer_save(ops, vcpu.el1_ctx, self.vhe)
+            if self.gic_mmio:
+                ws.vgic_save_mmio(cpu, vcpu.el1_ctx, vcpu.used_lrs)
+            else:
+                ws.vgic_save(ops, vcpu.el1_ctx, vcpu.used_lrs)
+            self._recount_used_lrs(vcpu)
+            ws.deactivate_traps(ops, self.vhe)
+            ws.restore_el1_state(ops, self.host_ctx[cpu.cpu_id])
+            cpu.work(340, category="l0_kernel")  # ret to kernel, run-loop epilogue
 
     def _switch_to_guest(self, cpu, vcpu):
-        cpu.work(210, category="l0_kernel")  # run-loop prologue
-        ops = ws.make_ops(cpu, self.vhe)
-        ws.save_el1_state(ops, self.host_ctx[cpu.cpu_id])
-        ws.activate_traps(ops, self.vhe, vttbr=self._vttbr_for(vcpu))
-        ws.timer_restore(ops, vcpu.el1_ctx, self.vhe)
-        self._l0_vgic_flush(cpu, vcpu)
-        if self.gic_mmio:
-            ws.vgic_restore_mmio(cpu, vcpu.el1_ctx, vcpu.used_lrs)
-        else:
-            ws.vgic_restore(ops, vcpu.el1_ctx, vcpu.used_lrs)
-        ws.restore_el1_state(ops, vcpu.el1_ctx)
-        cpu.fp_trap = True  # CPTR_EL2 re-armed: next FP use traps
-        cpu.barrier()
-        cpu.eret()
+        with cpu_span(cpu, "l0.switch_to_guest"):
+            cpu.work(210, category="l0_kernel")  # run-loop prologue
+            ops = ws.make_ops(cpu, self.vhe)
+            ws.save_el1_state(ops, self.host_ctx[cpu.cpu_id])
+            ws.activate_traps(ops, self.vhe, vttbr=self._vttbr_for(vcpu))
+            ws.timer_restore(ops, vcpu.el1_ctx, self.vhe)
+            self._l0_vgic_flush(cpu, vcpu)
+            if self.gic_mmio:
+                ws.vgic_restore_mmio(cpu, vcpu.el1_ctx, vcpu.used_lrs)
+            else:
+                ws.vgic_restore(ops, vcpu.el1_ctx, vcpu.used_lrs)
+            ws.restore_el1_state(ops, vcpu.el1_ctx)
+            cpu.fp_trap = True  # CPTR_EL2 re-armed: next FP use traps
+            cpu.barrier()
+            cpu.eret()
 
     def _vttbr_for(self, vcpu):
         vm = vcpu.vm
@@ -481,29 +484,30 @@ class KvmHypervisor:
     def _forward_to_vel2(self, cpu, vcpu, reason, payload):
         """Emulate an exception from the nested VM to virtual EL2 and run
         the guest hypervisor (Sections 4 and 6.1)."""
-        self.stats["forwards"] += 1
-        cpu.work(7000, category="l0_nested")  # nested exit routing, vcpu bookkeeping
-        cpu.ledger.charge(cpu.costs.tlb_maintenance, "l0_tlbi")  # re-tag stage-2
-        # 1. The L2 EL1 context just saved from hardware becomes the
-        #    virtual EL1 state the guest hypervisor will read — with NEVE
-        #    it is copied into the deferred access page.
-        self._save_loaded_el1_to_virtual(cpu, vcpu)
-        # 2. GIC: hardware list registers held L2's interface; hand them
-        #    to the guest hypervisor's view and load L1's own interface.
-        self._sync_l2_vgic_to_shadow(cpu, vcpu)
-        self._load_l1_vgic_image(cpu, vcpu)
-        # 3. Load virtual-EL2 execution state and the exception context.
-        self._load_vel2_exec_image(cpu, vcpu)
-        self._set_vel2_exception_context(cpu, vcpu, reason, payload)
-        if vcpu.neve is not None:
-            self._sync_neve_status_regs(cpu, vcpu)
-            vcpu.neve.enable()
-        vcpu.mode = VcpuMode.VEL2
-        self._switch_to_guest(cpu, vcpu)
-        with cpu.guest_call(nv=True, virtual_e2h=vcpu.virtual_e2h):
-            result = vcpu.vm.guest_hyp.handle_vm_exit(cpu, vcpu, reason,
-                                                      payload)
-        return result
+        with cpu_span(cpu, "l0.forward_to_vel2", reason=reason):
+            self.stats["forwards"] += 1
+            cpu.work(7000, category="l0_nested")  # nested exit routing, vcpu bookkeeping
+            cpu.ledger.charge(cpu.costs.tlb_maintenance, "l0_tlbi")  # re-tag stage-2
+            # 1. The L2 EL1 context just saved from hardware becomes the
+            #    virtual EL1 state the guest hypervisor will read — with NEVE
+            #    it is copied into the deferred access page.
+            self._save_loaded_el1_to_virtual(cpu, vcpu)
+            # 2. GIC: hardware list registers held L2's interface; hand them
+            #    to the guest hypervisor's view and load L1's own interface.
+            self._sync_l2_vgic_to_shadow(cpu, vcpu)
+            self._load_l1_vgic_image(cpu, vcpu)
+            # 3. Load virtual-EL2 execution state and the exception context.
+            self._load_vel2_exec_image(cpu, vcpu)
+            self._set_vel2_exception_context(cpu, vcpu, reason, payload)
+            if vcpu.neve is not None:
+                self._sync_neve_status_regs(cpu, vcpu)
+                vcpu.neve.enable()
+            vcpu.mode = VcpuMode.VEL2
+            self._switch_to_guest(cpu, vcpu)
+            with cpu.guest_call(nv=True, virtual_e2h=vcpu.virtual_e2h):
+                result = vcpu.vm.guest_hyp.handle_vm_exit(cpu, vcpu, reason,
+                                                          payload)
+            return result
 
     # ------------------------------------------------------------------
     # Traps from the guest hypervisor at virtual EL2
@@ -552,31 +556,32 @@ class KvmHypervisor:
         raise RuntimeError("unhandled vEL2 trap: %s" % syndrome.describe())
 
     def _emulate_vel2_sysreg(self, cpu, vcpu, syndrome):
-        self.stats["vel2_sysreg"] += 1
-        cpu.work(160, category="l0_nested")  # decode, dispatch to handler
-        reg = lookup_register(syndrome.register)
-        if reg.el == 2:
-            if reg.reg_class is RegClass.GIC_HYP:
-                target = vcpu.shadow_ich
+        with cpu_span(cpu, "l0.emulate_vel2_sysreg", register=syndrome.register, is_write=bool(syndrome.is_write)):
+            self.stats["vel2_sysreg"] += 1
+            cpu.work(160, category="l0_nested")  # decode, dispatch to handler
+            reg = lookup_register(syndrome.register)
+            if reg.el == 2:
+                if reg.reg_class is RegClass.GIC_HYP:
+                    target = vcpu.shadow_ich
+                else:
+                    target = vcpu.vel2_ctx
+                if reg.reg_class is RegClass.TIMER_EL2:
+                    cpu.work(130, category="l0_nested")  # (re)program hrtimer
             else:
-                target = vcpu.vel2_ctx
-            if reg.reg_class is RegClass.TIMER_EL2:
-                cpu.work(130, category="l0_nested")  # (re)program hrtimer
-        else:
-            target = vcpu.vel1_shadow
-            if reg.reg_class is RegClass.TIMER_GUEST:
-                # A trapped *_EL02 timer access: emulating the VM timer
-                # involves offset arithmetic and hrtimer reprogramming,
-                # which is why the VHE guest hypervisor's extra timer
-                # traps cost more than average (Section 7.1).
-                cpu.work(3800, category="l0_timer")
-        if syndrome.is_write:
-            target.save(reg.name, syndrome.value or 0)
-            if vcpu.neve is not None and reg.vncr_offset is not None:
-                # Keep the cached copy fresh so guest reads hit memory.
-                vcpu.neve.write_cached_copy(reg.name, syndrome.value or 0)
-            return None
-        return target.load(reg.name)
+                target = vcpu.vel1_shadow
+                if reg.reg_class is RegClass.TIMER_GUEST:
+                    # A trapped *_EL02 timer access: emulating the VM timer
+                    # involves offset arithmetic and hrtimer reprogramming,
+                    # which is why the VHE guest hypervisor's extra timer
+                    # traps cost more than average (Section 7.1).
+                    cpu.work(3800, category="l0_timer")
+            if syndrome.is_write:
+                target.save(reg.name, syndrome.value or 0)
+                if vcpu.neve is not None and reg.vncr_offset is not None:
+                    # Keep the cached copy fresh so guest reads hit memory.
+                    vcpu.neve.write_cached_copy(reg.name, syndrome.value or 0)
+                return None
+            return target.load(reg.name)
 
     def _emulate_vel2_gich(self, cpu, vcpu, syndrome):
         """A GICv2 guest hypervisor touched its (virtual) memory-mapped
@@ -615,15 +620,16 @@ class KvmHypervisor:
             shadow.invalidate_all()
 
     def _emulate_vel2_eret(self, cpu, vcpu):
-        self.stats["vel2_eret"] += 1
-        cpu.work(1100, category="l0_nested")
-        hcr = self._read_vel2_reg(cpu, vcpu, "HCR_EL2")
-        self._read_vel2_reg(cpu, vcpu, "ELR_EL2")
-        self._read_vel2_reg(cpu, vcpu, "SPSR_EL2")
-        if hcr & ws.HCR_VM:
-            self._enter_nested_vm(cpu, vcpu)
-        else:
-            self._transition_vel2_to_vel1(cpu, vcpu)
+        with cpu_span(cpu, "l0.emulate_vel2_eret"):
+            self.stats["vel2_eret"] += 1
+            cpu.work(1100, category="l0_nested")
+            hcr = self._read_vel2_reg(cpu, vcpu, "HCR_EL2")
+            self._read_vel2_reg(cpu, vcpu, "ELR_EL2")
+            self._read_vel2_reg(cpu, vcpu, "SPSR_EL2")
+            if hcr & ws.HCR_VM:
+                self._enter_nested_vm(cpu, vcpu)
+            else:
+                self._transition_vel2_to_vel1(cpu, vcpu)
 
     # ------------------------------------------------------------------
     # Virtual exception-level transitions
@@ -631,42 +637,45 @@ class KvmHypervisor:
 
     def _enter_nested_vm(self, cpu, vcpu):
         """eret with virtual HCR_EL2.VM set: run the L2 VM."""
-        cpu.work(7000, category="l0_nested")  # nested entry checks
-        cpu.ledger.charge(cpu.costs.tlb_maintenance, "l0_tlbi")
-        self._save_vel2_exec_image(cpu, vcpu)
-        # Build the L2 hardware context from the virtual EL1 state —
-        # "copies register values from the deferred access page to
-        # physical EL1 registers to run the nested VM" (Section 6.1).
-        for name in ws.full_el1_context() + EL1_TIMER_SAVE_LIST:
-            vcpu.el1_ctx.save(name, self._vel1_read(cpu, vcpu, name))
-        # GIC: save L1's own interface image, load what the guest
-        # hypervisor programmed for L2.
-        self._save_l1_vgic_image(cpu, vcpu)
-        self._load_shadow_ich(cpu, vcpu)
-        if vcpu.neve is not None:
-            vcpu.neve.disable()
-        vcpu.mode = VcpuMode.NESTED
+        with cpu_span(cpu, "l0.enter_nested_vm"):
+            cpu.work(7000, category="l0_nested")  # nested entry checks
+            cpu.ledger.charge(cpu.costs.tlb_maintenance, "l0_tlbi")
+            self._save_vel2_exec_image(cpu, vcpu)
+            # Build the L2 hardware context from the virtual EL1 state —
+            # "copies register values from the deferred access page to
+            # physical EL1 registers to run the nested VM" (Section 6.1).
+            for name in ws.full_el1_context() + EL1_TIMER_SAVE_LIST:
+                vcpu.el1_ctx.save(name, self._vel1_read(cpu, vcpu, name))
+            # GIC: save L1's own interface image, load what the guest
+            # hypervisor programmed for L2.
+            self._save_l1_vgic_image(cpu, vcpu)
+            self._load_shadow_ich(cpu, vcpu)
+            if vcpu.neve is not None:
+                vcpu.neve.disable()
+            vcpu.mode = VcpuMode.NESTED
 
     def _transition_vel2_to_vel1(self, cpu, vcpu):
         """eret without VM set: the split hypervisor returns to its
         kernel part at virtual EL1."""
-        cpu.work(2800, category="l0_nested")
-        self._save_vel2_exec_image(cpu, vcpu)
-        for name in ws.full_el1_context():
-            vcpu.el1_ctx.save(name, self._vel1_read(cpu, vcpu, name))
-        vcpu.mode = VcpuMode.VEL1
+        with cpu_span(cpu, "l0.transition_vel2_to_vel1"):
+            cpu.work(2800, category="l0_nested")
+            self._save_vel2_exec_image(cpu, vcpu)
+            for name in ws.full_el1_context():
+                vcpu.el1_ctx.save(name, self._vel1_read(cpu, vcpu, name))
+            vcpu.mode = VcpuMode.VEL1
 
     def _transition_vel1_to_vel2(self, cpu, vcpu, syndrome):
         """hvc from the kernel part: exception into virtual EL2."""
-        cpu.work(2800, category="l0_nested")
-        self._save_loaded_el1_to_virtual(cpu, vcpu)
-        self._load_vel2_exec_image(cpu, vcpu)
-        self._set_vel2_exception_context(cpu, vcpu, ExitReason.HVC,
-                                         {"imm": syndrome.imm})
-        if vcpu.neve is not None:
-            self._sync_neve_status_regs(cpu, vcpu)
-            vcpu.neve.enable()
-        vcpu.mode = VcpuMode.VEL2
+        with cpu_span(cpu, "l0.transition_vel1_to_vel2"):
+            cpu.work(2800, category="l0_nested")
+            self._save_loaded_el1_to_virtual(cpu, vcpu)
+            self._load_vel2_exec_image(cpu, vcpu)
+            self._set_vel2_exception_context(cpu, vcpu, ExitReason.HVC,
+                                             {"imm": syndrome.imm})
+            if vcpu.neve is not None:
+                self._sync_neve_status_regs(cpu, vcpu)
+                vcpu.neve.enable()
+            vcpu.mode = VcpuMode.VEL2
 
     # ------------------------------------------------------------------
     # Virtual state plumbing

@@ -16,6 +16,7 @@ individual operations trap into the host as the architecture dictates.
 from repro.hypervisor import world_switch as ws
 from repro.hypervisor.vcpu import VcpuStruct
 from repro.metrics.counters import ExitReason
+from repro.trace.spans import cpu_span
 
 #: hvc immediate the kernel part uses to re-enter the hyp part (KVM's
 #: __kvm_vcpu_run call through the hyp stub).
@@ -88,16 +89,18 @@ class GuestHypervisor:
         hardware (virtual, from this hypervisor's point of view) and eret.
         The eret traps to L0, which sees virtual HCR_EL2.VM set and world
         switches into the L2 guest."""
-        ops = ws.make_ops(cpu, self.vhe)
-        l2_ctx = self._ctx(self.l2_ctx, cpu, vcpu.vcpu_id)
-        ws.hyp_entry(cpu)
-        ws.activate_traps(ops, self.vhe, vttbr=0x8000_0001)
-        ws.timer_restore(ops, l2_ctx, self.vhe)
-        self._vgic_restore(cpu, ops, l2_ctx, used_lrs=0)
-        if self.design == "kvm":
-            ws.restore_el1_state(ops, l2_ctx)
-        ws.hyp_exit(cpu)
-        ws.prepare_exception_return(ops, elr=0x2000, spsr=0x5)
+        with cpu_span(cpu, "l1.launch_vm", kind="l1",
+                      vcpu=vcpu.vcpu_id, design=self.design):
+            ops = ws.make_ops(cpu, self.vhe)
+            l2_ctx = self._ctx(self.l2_ctx, cpu, vcpu.vcpu_id)
+            ws.hyp_entry(cpu)
+            ws.activate_traps(ops, self.vhe, vttbr=0x8000_0001)
+            ws.timer_restore(ops, l2_ctx, self.vhe)
+            self._vgic_restore(cpu, ops, l2_ctx, used_lrs=0)
+            if self.design == "kvm":
+                ws.restore_el1_state(ops, l2_ctx)
+            ws.hyp_exit(cpu)
+            ws.prepare_exception_return(ops, elr=0x2000, spsr=0x5)
 
     # ------------------------------------------------------------------
     # Main entry: an exception forwarded to virtual EL2
@@ -111,50 +114,55 @@ class GuestHypervisor:
         result), or None.
         """
         self.exits_handled += 1
-        ops = ws.make_ops(cpu, self.vhe)
-        l2_ctx = self._ctx(self.l2_ctx, cpu, vcpu.vcpu_id)
-        host_ctx = self._ctx(self.host_ctx, cpu, vcpu.vcpu_id)
-        is_abort = reason is ExitReason.MEM_ABORT
+        with cpu_span(cpu, "l1.handle_vm_exit", kind="l1", reason=reason,
+                      vcpu=vcpu.vcpu_id, design=self.design):
+            ops = ws.make_ops(cpu, self.vhe)
+            l2_ctx = self._ctx(self.l2_ctx, cpu, vcpu.vcpu_id)
+            host_ctx = self._ctx(self.host_ctx, cpu, vcpu.vcpu_id)
+            is_abort = reason is ExitReason.MEM_ABORT
 
-        # --- hyp entry: vectors, GPRs, syndrome ---------------------------
-        ws.hyp_entry(cpu)
-        ws.read_exit_context(ops, is_abort=is_abort)
-
-        # --- world switch: VM -> hypervisor/host --------------------------
-        if self.design == "kvm":
-            ws.save_el1_state(ops, l2_ctx)
-        ws.timer_save(ops, l2_ctx, self.vhe)
-        self._vgic_save(cpu, ops, l2_ctx, used_lrs=vcpu.l1_used_lrs)
-        vcpu.l1_used_lrs = 0
-        if self.design == "kvm" and not self.vhe:
-            ws.restore_el1_state(ops, host_ctx)
-        ws.deactivate_traps(ops, self.vhe)
-
-        # --- handle the exit in the kernel part ---------------------------
-        if not self.vhe and self.design == "kvm":
-            # Split mode: eret to the virtual-EL1 kernel (traps to L0,
-            # which switches us to vEL1), handle there, then hvc back in.
-            ws.prepare_exception_return(ops, elr=0x1000, spsr=0x5)
-            result = self._kernel_handle_exit(cpu, vcpu, reason, payload)
-            cpu.hvc(HVC_VCPU_RUN)
+            # --- hyp entry: vectors, GPRs, syndrome -----------------------
             ws.hyp_entry(cpu)
-        else:
-            result = self._kernel_handle_exit(cpu, vcpu, reason, payload)
+            ws.read_exit_context(ops, is_abort=is_abort)
 
-        # --- world switch: hypervisor/host -> VM ---------------------------
-        if self.design == "kvm" and not self.vhe:
-            ws.save_el1_state(ops, host_ctx)
-        ws.activate_traps(ops, self.vhe, vttbr=0x8000_0001)
-        ws.timer_restore(ops, l2_ctx, self.vhe)
-        self._vgic_flush(cpu, vcpu, l2_ctx)
-        self._vgic_restore(cpu, ops, l2_ctx, used_lrs=vcpu.l1_used_lrs)
-        if self.design == "kvm":
-            ws.restore_el1_state(ops, l2_ctx)
-        ws.hyp_exit(cpu)
-        ws.prepare_exception_return(ops, elr=0x2000, spsr=0x5)
-        # The eret trapped to L0, which has now world-switched into the
-        # nested VM; this frame simply unwinds back to it.
-        return result
+            # --- world switch: VM -> hypervisor/host ----------------------
+            if self.design == "kvm":
+                ws.save_el1_state(ops, l2_ctx)
+            ws.timer_save(ops, l2_ctx, self.vhe)
+            self._vgic_save(cpu, ops, l2_ctx, used_lrs=vcpu.l1_used_lrs)
+            vcpu.l1_used_lrs = 0
+            if self.design == "kvm" and not self.vhe:
+                ws.restore_el1_state(ops, host_ctx)
+            ws.deactivate_traps(ops, self.vhe)
+
+            # --- handle the exit in the kernel part -----------------------
+            if not self.vhe and self.design == "kvm":
+                # Split mode: eret to the virtual-EL1 kernel (traps to L0,
+                # which switches us to vEL1), handle there, then hvc back
+                # in.
+                ws.prepare_exception_return(ops, elr=0x1000, spsr=0x5)
+                result = self._kernel_handle_exit(cpu, vcpu, reason,
+                                                  payload)
+                cpu.hvc(HVC_VCPU_RUN)
+                ws.hyp_entry(cpu)
+            else:
+                result = self._kernel_handle_exit(cpu, vcpu, reason,
+                                                  payload)
+
+            # --- world switch: hypervisor/host -> VM ----------------------
+            if self.design == "kvm" and not self.vhe:
+                ws.save_el1_state(ops, host_ctx)
+            ws.activate_traps(ops, self.vhe, vttbr=0x8000_0001)
+            ws.timer_restore(ops, l2_ctx, self.vhe)
+            self._vgic_flush(cpu, vcpu, l2_ctx)
+            self._vgic_restore(cpu, ops, l2_ctx, used_lrs=vcpu.l1_used_lrs)
+            if self.design == "kvm":
+                ws.restore_el1_state(ops, l2_ctx)
+            ws.hyp_exit(cpu)
+            ws.prepare_exception_return(ops, elr=0x2000, spsr=0x5)
+            # The eret trapped to L0, which has now world-switched into the
+            # nested VM; this frame simply unwinds back to it.
+            return result
 
     # ------------------------------------------------------------------
     # vGIC access, by interface flavour
@@ -179,24 +187,26 @@ class GuestHypervisor:
     # ------------------------------------------------------------------
 
     def _kernel_handle_exit(self, cpu, vcpu, reason, payload):
-        cpu.work(260, category="l1_kernel")  # kvm handle_exit dispatch
-        if reason is ExitReason.HVC:
-            # kvm-unit-test hypercall: nothing to do, return to the VM.
-            cpu.work(90, category="l1_kernel")
-            return 0
-        if reason is ExitReason.MEM_ABORT:
-            return self._emulate_mmio(cpu, payload)
-        if reason is ExitReason.GIC_TRAP:
-            return self._emulate_sgi(cpu, vcpu, payload)
-        if reason is ExitReason.IRQ:
-            return self._kernel_handle_irq(cpu, vcpu)
-        if reason is ExitReason.WFI:
-            cpu.work(150, category="l1_kernel")
+        with cpu_span(cpu, "l1.kernel_handle_exit", kind="l1",
+                      reason=reason):
+            cpu.work(260, category="l1_kernel")  # kvm handle_exit dispatch
+            if reason is ExitReason.HVC:
+                # kvm-unit-test hypercall: nothing to do, return to the VM.
+                cpu.work(90, category="l1_kernel")
+                return 0
+            if reason is ExitReason.MEM_ABORT:
+                return self._emulate_mmio(cpu, payload)
+            if reason is ExitReason.GIC_TRAP:
+                return self._emulate_sgi(cpu, vcpu, payload)
+            if reason is ExitReason.IRQ:
+                return self._kernel_handle_irq(cpu, vcpu)
+            if reason is ExitReason.WFI:
+                cpu.work(150, category="l1_kernel")
+                return None
+            if reason is ExitReason.SMC:
+                return self._emulate_psci(cpu, vcpu, payload)
+            cpu.work(120, category="l1_kernel")
             return None
-        if reason is ExitReason.SMC:
-            return self._emulate_psci(cpu, vcpu, payload)
-        cpu.work(120, category="l1_kernel")
-        return None
 
     def _emulate_psci(self, cpu, vcpu, payload):
         """The nested VM made a PSCI call: the guest hypervisor's own
@@ -250,14 +260,15 @@ class GuestHypervisor:
         full Table 3 register traffic here, and still benefits from NEVE.
         """
         self.vm_switches += 1
-        ops = ws.make_ops(cpu, self.vhe)
-        ws.save_el1_state(ops, from_ctx)
-        ws.timer_save(ops, from_ctx, self.vhe)
-        self._vgic_save(cpu, ops, from_ctx, used_lrs=0)
-        ws.activate_traps(ops, self.vhe, vttbr=0x8000_0002)
-        ws.timer_restore(ops, to_ctx, self.vhe)
-        self._vgic_restore(cpu, ops, to_ctx, used_lrs=0)
-        ws.restore_el1_state(ops, to_ctx)
+        with cpu_span(cpu, "l1.switch_vm", kind="l1"):
+            ops = ws.make_ops(cpu, self.vhe)
+            ws.save_el1_state(ops, from_ctx)
+            ws.timer_save(ops, from_ctx, self.vhe)
+            self._vgic_save(cpu, ops, from_ctx, used_lrs=0)
+            ws.activate_traps(ops, self.vhe, vttbr=0x8000_0002)
+            ws.timer_restore(ops, to_ctx, self.vhe)
+            self._vgic_restore(cpu, ops, to_ctx, used_lrs=0)
+            ws.restore_el1_state(ops, to_ctx)
 
     def _emulate_sgi(self, cpu, vcpu, payload):
         """The nested VM sent an IPI: emulate the vGIC SGI.

@@ -32,6 +32,7 @@ from repro.hypervisor import world_switch as ws
 from repro.hypervisor.vcpu import VcpuStruct
 from repro.memory.pagetable import PageTable
 from repro.memory.phys import PhysicalMemory
+from repro.trace.spans import cpu_span
 
 #: Where the L1 guest hypervisor believes it placed the L2 hypervisor's
 #: deferred access page (an L1 intermediate physical address).
@@ -71,21 +72,24 @@ class L1EmulationPath:
         if self.l3_vel2_state is None:
             self.l3_vel2_state = VcpuStruct(cpu)
         self.handled += 1
-        ops = ws.make_ops(cpu, self.vhe)
-        ws.hyp_entry(cpu)
-        # Read the (virtual) exception context — traps on v8.3, free
-        # under NEVE thanks to redirection/deferral.
-        ws.read_exit_context(ops)
-        cpu.work(180, category="l1_nested")  # decode and dispatch
-        result = None
-        if syndrome.ec is ExceptionClass.SYSREG:
-            if syndrome.is_write:
-                self.l3_vel2_state.save(syndrome.register,
-                                        syndrome.value or 0)
-            else:
-                result = self.l3_vel2_state.load(syndrome.register)
-        ws.hyp_exit(cpu)
-        return result
+        with cpu_span(cpu, "l1.emulate", kind="l1",
+                      register=syndrome.register,
+                      is_write=bool(syndrome.is_write)):
+            ops = ws.make_ops(cpu, self.vhe)
+            ws.hyp_entry(cpu)
+            # Read the (virtual) exception context — traps on v8.3, free
+            # under NEVE thanks to redirection/deferral.
+            ws.read_exit_context(ops)
+            cpu.work(180, category="l1_nested")  # decode and dispatch
+            result = None
+            if syndrome.ec is ExceptionClass.SYSREG:
+                if syndrome.is_write:
+                    self.l3_vel2_state.save(syndrome.register,
+                                            syndrome.value or 0)
+                else:
+                    result = self.l3_vel2_state.load(syndrome.register)
+            ws.hyp_exit(cpu)
+            return result
 
 
 class RecursiveHost:
@@ -179,38 +183,42 @@ class RecursiveHost:
             # A trap taken by the L1 emulation path itself: L0 emulates
             # it against L1's virtual EL2 state (cheaply modelled).
             self.stats.l1_emulation_traps += 1
-            ws.hyp_entry(cpu)
-            cpu.work(160, category="l0_nested")
-            ws.hyp_exit(cpu)
-            if (syndrome.ec is ExceptionClass.SYSREG
-                    and not syndrome.is_write):
-                return 0
-            return None
+            with cpu_span(cpu, "l0.emulate_l1_trap", kind="l0",
+                          register=syndrome.register):
+                ws.hyp_entry(cpu)
+                cpu.work(160, category="l0_nested")
+                ws.hyp_exit(cpu)
+                if (syndrome.ec is ExceptionClass.SYSREG
+                        and not syndrome.is_write):
+                    return 0
+                return None
         # A trap from the L2 hypervisor: forward to L1 (Section 6.2:
         # "trap on hypervisor instructions to the L0 host hypervisor,
         # which can then forward it to the L1 guest hypervisor").
         self.stats.l2hyp_traps += 1
-        ws.hyp_entry(cpu)
-        cpu.work(430, category="l0_nested")
-        self._forwarding = True
-        # While forwarding, L1 runs with ITS page, not L2's: L0 swaps
-        # the hardware VNCR_EL2 between the per-level runners.  The
-        # swaps happen here at EL2, before and after the guest call —
-        # VNCR_EL2 is host-hypervisor state.
-        swap = self.neve and self.l2_runner is not None
-        try:
-            if swap:
-                self.l2_runner.disable()
-                self.l1_runner.enable()
-            with cpu.guest_call(nv=True, virtual_e2h=self.l1.vhe):
-                result = self.l1.emulate(cpu, syndrome)
-        finally:
-            if swap:
-                self.l1_runner.disable()
-                self.l2_runner.enable()
-            self._forwarding = False
-        ws.hyp_exit(cpu)
-        return result
+        with cpu_span(cpu, "l0.forward_to_l1", kind="l0",
+                      register=syndrome.register):
+            ws.hyp_entry(cpu)
+            cpu.work(430, category="l0_nested")
+            self._forwarding = True
+            # While forwarding, L1 runs with ITS page, not L2's: L0 swaps
+            # the hardware VNCR_EL2 between the per-level runners.  The
+            # swaps happen here at EL2, before and after the guest call —
+            # VNCR_EL2 is host-hypervisor state.
+            swap = self.neve and self.l2_runner is not None
+            try:
+                if swap:
+                    self.l2_runner.disable()
+                    self.l1_runner.enable()
+                with cpu.guest_call(nv=True, virtual_e2h=self.l1.vhe):
+                    result = self.l1.emulate(cpu, syndrome)
+            finally:
+                if swap:
+                    self.l1_runner.disable()
+                    self.l2_runner.enable()
+                self._forwarding = False
+            ws.hyp_exit(cpu)
+            return result
 
     # ------------------------------------------------------------------
     # The experiment

@@ -13,6 +13,7 @@ configurations (Section 6.5 discusses exactly these design variants).
 """
 
 from repro.arch.cpu import CpuOps
+from repro.trace.spans import cpu_span
 
 # HCR_EL2 bits (the subset the model uses; values follow the ARM ARM).
 HCR_VM = 1 << 0
@@ -106,22 +107,24 @@ def save_el1_state(ops, ctx):
     virtual EL2 both variants trap on ARMv8.3 and are deferred to memory
     by NEVE (Table 3).
     """
-    for name in EL1_STATE + DEBUG_STATE:
-        ctx.save(name, ops.read_vm(name))
-    for name in EL0_STATE:
-        # EL0 user state has no *_EL02 aliases (only the timers are
-        # E2H-redirected); both hypervisor flavours use the plain EL0
-        # encodings, which never trap from virtual EL2.
-        ctx.save(name, ops.cpu.mrs(name))
+    with cpu_span(ops.cpu, "ws.save_el1_state"):
+        for name in EL1_STATE + DEBUG_STATE:
+            ctx.save(name, ops.read_vm(name))
+        for name in EL0_STATE:
+            # EL0 user state has no *_EL02 aliases (only the timers are
+            # E2H-redirected); both hypervisor flavours use the plain EL0
+            # encodings, which never trap from virtual EL2.
+            ctx.save(name, ops.cpu.mrs(name))
     fault_point(ops.cpu, "ws.after-save")
 
 
 def restore_el1_state(ops, ctx):
     fault_point(ops.cpu, "ws.before-restore")
-    for name in EL1_STATE + DEBUG_STATE:
-        ops.write_vm(name, ctx.load(name))
-    for name in EL0_STATE:
-        ops.cpu.msr(name, ctx.load(name))
+    with cpu_span(ops.cpu, "ws.restore_el1_state"):
+        for name in EL1_STATE + DEBUG_STATE:
+            ops.write_vm(name, ctx.load(name))
+        for name in EL0_STATE:
+            ops.cpu.msr(name, ctx.load(name))
 
 
 # ---------------------------------------------------------------------------
@@ -136,17 +139,18 @@ def read_exit_context(ops, is_abort=False):
     The per-cpu pointer (TPIDR_EL2) and the HCR (pending-vSError check)
     are also read on every entry; under NEVE both are deferred.
     """
-    exit_ctx = {
-        "esr": ops.read_hyp("ESR_EL2"),
-        "elr": ops.read_hyp("ELR_EL2"),
-        "spsr": ops.read_hyp("SPSR_EL2"),
-        "percpu": ops.cpu.mrs("TPIDR_EL2"),
-        "hcr": ops.cpu.mrs("HCR_EL2"),
-    }
-    if is_abort:
-        exit_ctx["far"] = ops.read_hyp("FAR_EL2")
-        exit_ctx["hpfar"] = ops.read_hyp("HPFAR_EL2")
-    return exit_ctx
+    with cpu_span(ops.cpu, "ws.read_exit_context", is_abort=is_abort):
+        exit_ctx = {
+            "esr": ops.read_hyp("ESR_EL2"),
+            "elr": ops.read_hyp("ELR_EL2"),
+            "spsr": ops.read_hyp("SPSR_EL2"),
+            "percpu": ops.cpu.mrs("TPIDR_EL2"),
+            "hcr": ops.cpu.mrs("HCR_EL2"),
+        }
+        if is_abort:
+            exit_ctx["far"] = ops.read_hyp("FAR_EL2")
+            exit_ctx["hpfar"] = ops.read_hyp("HPFAR_EL2")
+        return exit_ctx
 
 
 def prepare_exception_return(ops, elr, spsr):
@@ -165,29 +169,31 @@ def activate_traps(ops, vhe, vttbr, guest_hcr=HCR_GUEST_FLAGS):
     """Configure the hardware to run a VM (KVM's __activate_traps +
     __activate_vm): trap controls, stage-2 base, virtual CPU identity and
     the per-vcpu pointer."""
-    ops.cpu.mrs("HCR_EL2")  # read-modify-write of the VSE/VI bits
-    ops.write_hyp("HCR_EL2", guest_hcr)
-    ops.write_hyp("CPTR_EL2", 1)  # trap FP/SIMD until first use
-    ops.write_hyp("MDCR_EL2", 1)  # trap debug
-    ops.write_hyp("HSTR_EL2", 0)
-    ops.write_hyp("VTTBR_EL2", vttbr)
-    ops.write_hyp("VTCR_EL2", 1)
-    ops.cpu.msr("VMPIDR_EL2", 0x8000_0000)  # virtual MPIDR for the vcpu
-    ops.cpu.msr("VPIDR_EL2", 0x410F_D070)
-    ops.cpu.msr("TPIDR_EL2", 0x1000)  # per-vcpu context pointer
-    ops.cpu.barrier()
+    with cpu_span(ops.cpu, "ws.activate_traps"):
+        ops.cpu.mrs("HCR_EL2")  # read-modify-write of the VSE/VI bits
+        ops.write_hyp("HCR_EL2", guest_hcr)
+        ops.write_hyp("CPTR_EL2", 1)  # trap FP/SIMD until first use
+        ops.write_hyp("MDCR_EL2", 1)  # trap debug
+        ops.write_hyp("HSTR_EL2", 0)
+        ops.write_hyp("VTTBR_EL2", vttbr)
+        ops.write_hyp("VTCR_EL2", 1)
+        ops.cpu.msr("VMPIDR_EL2", 0x8000_0000)  # virtual MPIDR for the vcpu
+        ops.cpu.msr("VPIDR_EL2", 0x410F_D070)
+        ops.cpu.msr("TPIDR_EL2", 0x1000)  # per-vcpu context pointer
+        ops.cpu.barrier()
 
 
 def deactivate_traps(ops, vhe, host_hcr=HCR_HOST_FLAGS):
     """Undo trap configuration on the way back to the host."""
-    ops.cpu.mrs("HCR_EL2")
-    ops.cpu.mrs("VTTBR_EL2")  # record which VM was loaded (vmid bookkeeping)
-    hcr = host_hcr | (HCR_E2H if vhe else 0)
-    ops.write_hyp("HCR_EL2", hcr)
-    ops.write_hyp("CPTR_EL2", 0)
-    ops.write_hyp("MDCR_EL2", 0)
-    ops.write_hyp("VTTBR_EL2", 0)
-    ops.cpu.barrier()
+    with cpu_span(ops.cpu, "ws.deactivate_traps"):
+        ops.cpu.mrs("HCR_EL2")
+        ops.cpu.mrs("VTTBR_EL2")  # which VM was loaded (vmid bookkeeping)
+        hcr = host_hcr | (HCR_E2H if vhe else 0)
+        ops.write_hyp("HCR_EL2", hcr)
+        ops.write_hyp("CPTR_EL2", 0)
+        ops.write_hyp("MDCR_EL2", 0)
+        ops.write_hyp("VTTBR_EL2", 0)
+        ops.cpu.barrier()
 
 
 # ---------------------------------------------------------------------------
@@ -196,31 +202,34 @@ def deactivate_traps(ops, vhe, host_hcr=HCR_HOST_FLAGS):
 
 def vgic_save(ops, ctx, used_lrs):
     """Save the GIC virtual interface state (vgic-v3-sr.c save path)."""
-    ops.cpu.mrs("ICH_VTR_EL2")  # implementation query (cached copy: free)
-    ops.cpu.mrs("ICH_HCR_EL2")  # current enable/maintenance bits
-    ctx.save("ICH_VMCR_EL2", ops.read_hyp("ICH_VMCR_EL2"))
-    if used_lrs:
-        ctx.save("ICH_ELRSR_EL2", ops.read_hyp("ICH_ELRSR_EL2"))
-        for index in range(used_lrs):
-            name = "ICH_LR%d_EL2" % index
-            ctx.save(name, _filter_lr(ops.cpu, name, ops.read_hyp(name)))
-            ops.write_hyp(name, 0)
-        for name in ICH_AP_REGS:
-            ctx.save(name, ops.read_hyp(name))
-    ops.write_hyp("ICH_HCR_EL2", 0)
+    with cpu_span(ops.cpu, "ws.vgic_save", used_lrs=used_lrs):
+        ops.cpu.mrs("ICH_VTR_EL2")  # implementation query (cached: free)
+        ops.cpu.mrs("ICH_HCR_EL2")  # current enable/maintenance bits
+        ctx.save("ICH_VMCR_EL2", ops.read_hyp("ICH_VMCR_EL2"))
+        if used_lrs:
+            ctx.save("ICH_ELRSR_EL2", ops.read_hyp("ICH_ELRSR_EL2"))
+            for index in range(used_lrs):
+                name = "ICH_LR%d_EL2" % index
+                ctx.save(name,
+                         _filter_lr(ops.cpu, name, ops.read_hyp(name)))
+                ops.write_hyp(name, 0)
+            for name in ICH_AP_REGS:
+                ctx.save(name, ops.read_hyp(name))
+        ops.write_hyp("ICH_HCR_EL2", 0)
 
 
 def vgic_restore(ops, ctx, used_lrs):
     """Restore the GIC virtual interface state before entering a VM."""
-    ops.cpu.mrs("ICH_HCR_EL2")
-    ops.write_hyp("ICH_VMCR_EL2", ctx.load("ICH_VMCR_EL2"))
-    ops.write_hyp("ICH_HCR_EL2", 1)  # En
-    for index in range(used_lrs):
-        name = "ICH_LR%d_EL2" % index
-        ops.write_hyp(name, ctx.load(name))
-    if used_lrs:
-        for name in ICH_AP_REGS:
+    with cpu_span(ops.cpu, "ws.vgic_restore", used_lrs=used_lrs):
+        ops.cpu.mrs("ICH_HCR_EL2")
+        ops.write_hyp("ICH_VMCR_EL2", ctx.load("ICH_VMCR_EL2"))
+        ops.write_hyp("ICH_HCR_EL2", 1)  # En
+        for index in range(used_lrs):
+            name = "ICH_LR%d_EL2" % index
             ops.write_hyp(name, ctx.load(name))
+        if used_lrs:
+            for name in ICH_AP_REGS:
+                ops.write_hyp(name, ctx.load(name))
 
 
 def vgic_save_v2(cpu, ctx, used_lrs, gich_base):
@@ -234,17 +243,18 @@ def vgic_save_v2(cpu, ctx, used_lrs, gich_base):
     def off(name):
         return gich_base + gich_reg_to_offset(name)
 
-    cpu.mmio_read(off("ICH_VTR_EL2"))
-    cpu.mmio_read(off("ICH_HCR_EL2"))
-    ctx.save("ICH_VMCR_EL2", cpu.mmio_read(off("ICH_VMCR_EL2")))
-    if used_lrs:
-        cpu.mmio_read(off("ICH_ELRSR_EL2"))
-        for index in range(used_lrs):
-            name = "ICH_LR%d_EL2" % index
-            ctx.save(name, cpu.mmio_read(off(name)))
-            cpu.mmio_write(off(name), 0)
-        ctx.save("ICH_AP0R0_EL2", cpu.mmio_read(off("ICH_AP0R0_EL2")))
-    cpu.mmio_write(off("ICH_HCR_EL2"), 0)
+    with cpu_span(cpu, "ws.vgic_save_v2", used_lrs=used_lrs):
+        cpu.mmio_read(off("ICH_VTR_EL2"))
+        cpu.mmio_read(off("ICH_HCR_EL2"))
+        ctx.save("ICH_VMCR_EL2", cpu.mmio_read(off("ICH_VMCR_EL2")))
+        if used_lrs:
+            cpu.mmio_read(off("ICH_ELRSR_EL2"))
+            for index in range(used_lrs):
+                name = "ICH_LR%d_EL2" % index
+                ctx.save(name, cpu.mmio_read(off(name)))
+                cpu.mmio_write(off(name), 0)
+            ctx.save("ICH_AP0R0_EL2", cpu.mmio_read(off("ICH_AP0R0_EL2")))
+        cpu.mmio_write(off("ICH_HCR_EL2"), 0)
 
 
 def vgic_restore_v2(cpu, ctx, used_lrs, gich_base):
@@ -253,14 +263,16 @@ def vgic_restore_v2(cpu, ctx, used_lrs, gich_base):
     def off(name):
         return gich_base + gich_reg_to_offset(name)
 
-    cpu.mmio_read(off("ICH_HCR_EL2"))
-    cpu.mmio_write(off("ICH_VMCR_EL2"), ctx.load("ICH_VMCR_EL2"))
-    cpu.mmio_write(off("ICH_HCR_EL2"), 1)
-    for index in range(used_lrs):
-        name = "ICH_LR%d_EL2" % index
-        cpu.mmio_write(off(name), ctx.load(name))
-    if used_lrs:
-        cpu.mmio_write(off("ICH_AP0R0_EL2"), ctx.load("ICH_AP0R0_EL2"))
+    with cpu_span(cpu, "ws.vgic_restore_v2", used_lrs=used_lrs):
+        cpu.mmio_read(off("ICH_HCR_EL2"))
+        cpu.mmio_write(off("ICH_VMCR_EL2"), ctx.load("ICH_VMCR_EL2"))
+        cpu.mmio_write(off("ICH_HCR_EL2"), 1)
+        for index in range(used_lrs):
+            name = "ICH_LR%d_EL2" % index
+            cpu.mmio_write(off(name), ctx.load(name))
+        if used_lrs:
+            cpu.mmio_write(off("ICH_AP0R0_EL2"),
+                           ctx.load("ICH_AP0R0_EL2"))
 
 
 def vgic_save_mmio(cpu, ctx, used_lrs):
@@ -268,28 +280,30 @@ def vgic_save_mmio(cpu, ctx, used_lrs):
     access pays a device-memory round trip instead of an MSR/MRS.  Used by
     the L0 host hypervisor on the paper's GICv2 testbed; the extra cost is
     a large part of why ARM exits cost ~2,700 cycles."""
-    accesses = 2 + (1 + used_lrs + len(ICH_AP_REGS) if used_lrs else 0)
-    cpu.ledger.charge(accesses * cpu.costs.vgic_mmio_access, "vgic_mmio")
-    ctx.save("ICH_VMCR_EL2", cpu.el2_regs.read("ICH_VMCR_EL2"))
-    for index in range(used_lrs):
-        name = "ICH_LR%d_EL2" % index
-        ctx.save(name, _filter_lr(cpu, name, cpu.el2_regs.read(name)))
-        cpu.el2_regs.write(name, 0)  # lint: allow(sim-sysreg-bypass)
-    cpu.el2_regs.write("ICH_HCR_EL2", 0)  # lint: allow(sim-sysreg-bypass)
-    if cpu.gic is not None:
-        cpu.gic.sync_status(cpu)
+    with cpu_span(cpu, "ws.vgic_save_mmio", used_lrs=used_lrs):
+        accesses = 2 + (1 + used_lrs + len(ICH_AP_REGS) if used_lrs else 0)
+        cpu.ledger.charge(accesses * cpu.costs.vgic_mmio_access, "vgic_mmio")
+        ctx.save("ICH_VMCR_EL2", cpu.el2_regs.read("ICH_VMCR_EL2"))
+        for index in range(used_lrs):
+            name = "ICH_LR%d_EL2" % index
+            ctx.save(name, _filter_lr(cpu, name, cpu.el2_regs.read(name)))
+            cpu.el2_regs.write(name, 0)  # lint: allow(sim-sysreg-bypass)
+        cpu.el2_regs.write("ICH_HCR_EL2", 0)  # lint: allow(sim-sysreg-bypass)
+        if cpu.gic is not None:
+            cpu.gic.sync_status(cpu)
 
 
 def vgic_restore_mmio(cpu, ctx, used_lrs):
-    accesses = 2 + used_lrs + (len(ICH_AP_REGS) if used_lrs else 0)
-    cpu.ledger.charge(accesses * cpu.costs.vgic_mmio_access, "vgic_mmio")
-    cpu.el2_regs.write("ICH_VMCR_EL2", ctx.load("ICH_VMCR_EL2"))  # lint: allow(sim-sysreg-bypass)
-    cpu.el2_regs.write("ICH_HCR_EL2", 1)  # lint: allow(sim-sysreg-bypass)
-    for index in range(used_lrs):
-        name = "ICH_LR%d_EL2" % index
-        cpu.el2_regs.write(name, ctx.load(name))  # lint: allow(sim-sysreg-bypass)
-    if cpu.gic is not None:
-        cpu.gic.sync_status(cpu)
+    with cpu_span(cpu, "ws.vgic_restore_mmio", used_lrs=used_lrs):
+        accesses = 2 + used_lrs + (len(ICH_AP_REGS) if used_lrs else 0)
+        cpu.ledger.charge(accesses * cpu.costs.vgic_mmio_access, "vgic_mmio")
+        cpu.el2_regs.write("ICH_VMCR_EL2", ctx.load("ICH_VMCR_EL2"))  # lint: allow(sim-sysreg-bypass)
+        cpu.el2_regs.write("ICH_HCR_EL2", 1)  # lint: allow(sim-sysreg-bypass)
+        for index in range(used_lrs):
+            name = "ICH_LR%d_EL2" % index
+            cpu.el2_regs.write(name, ctx.load(name))  # lint: allow(sim-sysreg-bypass)
+        if cpu.gic is not None:
+            cpu.gic.sync_status(cpu)
 
 
 # ---------------------------------------------------------------------------
@@ -303,26 +317,28 @@ def timer_save(ops, ctx, vhe):
     EL02-encoded for a VHE hypervisor — the latter *always* trap at
     virtual EL2, even with NEVE (Section 7.1).
     """
-    ctx.save("CNTV_CTL_EL0", ops.read_vm_el0("CNTV_CTL_EL0"))
-    ctx.save("CNTV_CVAL_EL0", ops.read_vm_el0("CNTV_CVAL_EL0"))
-    ops.write_vm_el0("CNTV_CTL_EL0", 0)  # mask while the VM is out
-    ops.cpu.mrs("CNTHCTL_EL2")  # read-modify-write (cached copy: free)
-    ops.write_hyp("CNTHCTL_EL2", 3)  # host: EL1 counter/timer access on
-    if vhe:
-        # The VHE hypervisor also runs its own EL2 virtual timer, reached
-        # through the EL0 encodings thanks to E2H redirection: no trap.
-        ops.cpu.mrs("CNTV_CTL_EL0")
+    with cpu_span(ops.cpu, "ws.timer_save"):
+        ctx.save("CNTV_CTL_EL0", ops.read_vm_el0("CNTV_CTL_EL0"))
+        ctx.save("CNTV_CVAL_EL0", ops.read_vm_el0("CNTV_CVAL_EL0"))
+        ops.write_vm_el0("CNTV_CTL_EL0", 0)  # mask while the VM is out
+        ops.cpu.mrs("CNTHCTL_EL2")  # read-modify-write (cached copy: free)
+        ops.write_hyp("CNTHCTL_EL2", 3)  # host: EL1 counter/timer access on
+        if vhe:
+            # The VHE hypervisor also runs its own EL2 virtual timer, reached
+            # through the EL0 encodings thanks to E2H redirection: no trap.
+            ops.cpu.mrs("CNTV_CTL_EL0")
 
 
 def timer_restore(ops, ctx, vhe):
-    ops.cpu.mrs("CNTVOFF_EL2")  # compare against the VM's offset
-    ops.write_hyp("CNTVOFF_EL2", 0x1000)
-    ops.cpu.mrs("CNTHCTL_EL2")
-    ops.write_hyp("CNTHCTL_EL2", 0)  # guest: trap EL1 physical timer
-    ops.write_vm_el0("CNTV_CVAL_EL0", ctx.load("CNTV_CVAL_EL0"))
-    ops.write_vm_el0("CNTV_CTL_EL0", ctx.load("CNTV_CTL_EL0"))
-    if vhe:
-        ops.cpu.msr("CNTV_CTL_EL0", 1)
+    with cpu_span(ops.cpu, "ws.timer_restore"):
+        ops.cpu.mrs("CNTVOFF_EL2")  # compare against the VM's offset
+        ops.write_hyp("CNTVOFF_EL2", 0x1000)
+        ops.cpu.mrs("CNTHCTL_EL2")
+        ops.write_hyp("CNTHCTL_EL2", 0)  # guest: trap EL1 physical timer
+        ops.write_vm_el0("CNTV_CVAL_EL0", ctx.load("CNTV_CVAL_EL0"))
+        ops.write_vm_el0("CNTV_CTL_EL0", ctx.load("CNTV_CTL_EL0"))
+        if vhe:
+            ops.cpu.msr("CNTV_CTL_EL0", 1)
 
 
 # ---------------------------------------------------------------------------

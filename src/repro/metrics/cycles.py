@@ -84,10 +84,16 @@ class CycleLedger:
     Categories are free-form strings such as ``"trap"``, ``"world_switch"``,
     ``"emulation"``, ``"guest"``; the totals drive Tables 1 and 6 while the
     breakdown feeds the analysis sections of EXPERIMENTS.md.
+
+    ``observer``, when set, is called as ``observer(cycles, category)``
+    on every charge — this is the single attribution point the tracer
+    (:mod:`repro.trace`) hooks so per-span cycles reconcile exactly
+    against ``total``.  The observer must never charge the ledger.
     """
 
     total: int = 0
     by_category: dict = field(default_factory=dict)
+    observer: object = field(default=None, repr=False, compare=False)
 
     def charge(self, cycles, category="other"):
         """Add *cycles* to the ledger under *category*."""
@@ -95,6 +101,8 @@ class CycleLedger:
             raise ValueError("cannot charge negative cycles: %r" % cycles)
         self.total += cycles
         self.by_category[category] = self.by_category.get(category, 0) + cycles
+        if self.observer is not None:
+            self.observer(cycles, category)
 
     def snapshot(self):
         """Return ``(total, dict-copy)`` for later differencing."""

@@ -1,0 +1,267 @@
+"""Trace artifacts: Chrome ``trace_event`` JSON, breakdown tree,
+per-``ExitReason`` latency histograms.
+
+The JSON export follows the Trace Event Format's *JSON Object Format*
+(``{"traceEvents": [...]}``) using complete events (``ph: "X"``) for
+spans and instant events (``ph: "i"``) for point annotations, so the
+file loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  Timestamps are **virtual cycles** (the ledger
+total relative to tracer attach), not microseconds — the timeline is
+deterministic, and byte-identical across runs of the same seed and
+workload (``sort_keys`` + fixed separators, sequential span ids, no
+wall clock anywhere).
+"""
+
+import json
+
+#: Keys the Trace Event Format requires on every event we emit.
+REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+def _tid(cpu_id):
+    return 0 if cpu_id is None else cpu_id
+
+
+def trace_events(tracer):
+    """The tracer's buffers as a list of trace_event dicts."""
+    events = []
+    for span in tracer.spans():
+        args = {"span_id": span.span_id, "self_cycles": span.self_cycles}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.el is not None:
+            args["el"] = span.el
+        if span.reason is not None:
+            args["reason"] = span.reason
+        if span.detail:
+            args.update(span.detail)
+        events.append({
+            "name": span.name,
+            "cat": span.kind,
+            "ph": "X",
+            "ts": span.start_cycle,
+            "dur": span.duration,
+            "pid": 0,
+            "tid": _tid(span.cpu_id),
+            "args": args,
+        })
+    for event in tracer.instants():
+        args = {"event_id": event.event_id}
+        if event.parent_id is not None:
+            args["parent_id"] = event.parent_id
+        if event.detail:
+            args.update(event.detail)
+        events.append({
+            "name": event.name,
+            "cat": event.kind,
+            "ph": "i",
+            "s": "t",
+            "ts": event.ts,
+            "pid": 0,
+            "tid": _tid(event.cpu_id),
+            "args": args,
+        })
+    events.sort(key=lambda ev: (ev["ts"], ev["args"].get("span_id",
+                                ev["args"].get("event_id", -1))))
+    return events
+
+
+def chrome_trace(tracer, label=None):
+    """The full JSON-object-format document."""
+    recon = tracer.reconcile()
+    meta = {
+        "cycles_total": recon.ledger_delta,
+        "recorded_cycles": recon.recorded_cycles,
+        "dropped_spans": tracer.dropped_spans,
+        "dropped_cycles": tracer.dropped_cycles,
+        "unattributed_cycles": recon.unattributed_cycles,
+        "reconciled": recon.exact,
+        "clock": "virtual-cycles",
+    }
+    if label is not None:
+        meta["label"] = label
+    return {
+        "traceEvents": trace_events(tracer),
+        "displayTimeUnit": "ns",
+        "otherData": meta,
+    }
+
+
+def chrome_trace_json(tracer, label=None):
+    """Deterministic serialization (byte-identical for identical runs)."""
+    return json.dumps(chrome_trace(tracer, label=label), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def write_chrome_trace(tracer, path, label=None):
+    payload = chrome_trace_json(tracer, label=label)
+    with open(path, "w") as fh:
+        fh.write(payload)
+        fh.write("\n")
+    return path
+
+
+def validate_chrome_trace(document):
+    """Check *document* (a parsed JSON object) against the format's
+    required keys; returns ``{"events": n, "spans": n, "instants": n}``
+    or raises ``ValueError``."""
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a JSON-object-format trace: missing "
+                         "'traceEvents'")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    spans = instants = 0
+    for index, event in enumerate(events):
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise ValueError("event %d missing required key %r"
+                                 % (index, key))
+        if event["ph"] == "X":
+            if "dur" not in event:
+                raise ValueError("complete event %d missing 'dur'" % index)
+            spans += 1
+        elif event["ph"] == "i":
+            instants += 1
+        else:
+            raise ValueError("event %d has unexpected phase %r"
+                             % (index, event["ph"]))
+    return {"events": len(events), "spans": spans, "instants": instants}
+
+
+# -- breakdown tree -------------------------------------------------
+
+
+def build_tree(tracer):
+    """Rebuild the causal forest from the span buffer.
+
+    Returns ``(roots, children)`` where *children* maps span id to the
+    child spans in id (creation) order.  Spans whose parent was evicted
+    from the ring buffer surface as extra roots.
+    """
+    spans = sorted(tracer.spans(), key=lambda span: span.span_id)
+    by_id = {span.span_id: span for span in spans}
+    children = {}
+    roots = []
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in by_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+    return roots, children
+
+
+def trap_stats(tracer):
+    """Trap-span counts: the exit-multiplication factor.
+
+    ``trap_spans`` counts every trap to the host hypervisor in the
+    buffer (one span per ``TrapCounter.record``); ``leaf_traps`` counts
+    trap spans with no trap descendants (the tree's leaves).
+    """
+    roots, children = build_tree(tracer)
+    trap_spans = [span for span in tracer.spans() if span.kind == "trap"]
+
+    def has_trap_descendant(span):
+        for child in children.get(span.span_id, []):
+            if child.kind == "trap" or has_trap_descendant(child):
+                return True
+        return False
+
+    leaves = [span for span in trap_spans if not has_trap_descendant(span)]
+    by_reason = {}
+    for span in trap_spans:
+        by_reason[span.reason] = by_reason.get(span.reason, 0) + 1
+    return {
+        "trap_spans": len(trap_spans),
+        "leaf_traps": len(leaves),
+        "by_reason": by_reason,
+    }
+
+
+def render_breakdown(tracer, max_depth=None):
+    """Text rendering of the causal tree with per-span cycles."""
+    roots, children = build_tree(tracer)
+    recon = tracer.reconcile()
+    stats = trap_stats(tracer)
+    lines = []
+    lines.append("trace breakdown (cycles = span extent; self = cycles "
+                 "charged in the span itself)")
+
+    def walk(span, depth):
+        if max_depth is not None and depth > max_depth:
+            return
+        label = span.name
+        if span.kind not in ("trap",) and span.kind != "span":
+            label = "%s [%s]" % (label, span.kind)
+        extra = ""
+        if span.el is not None:
+            extra += "  el=%s" % span.el
+        lines.append("%s%s  cycles=%d self=%d%s"
+                     % ("  " * depth, label, span.duration,
+                        span.self_cycles, extra))
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    if tracer.dropped_spans:
+        lines.append("(... %d older spans evicted from the ring buffer, "
+                     "%d cycles)" % (tracer.dropped_spans,
+                                     tracer.dropped_cycles))
+    reasons = ", ".join("%s=%d" % (reason, count) for reason, count in
+                        sorted(stats["by_reason"].items(),
+                               key=lambda item: (-item[1], str(item[0]))))
+    lines.append("traps to host hypervisor: %d (%d leaves)%s"
+                 % (stats["trap_spans"], stats["leaf_traps"],
+                    "  [%s]" % reasons if reasons else ""))
+    lines.append(recon.describe())
+    return "\n".join(lines)
+
+
+# -- latency histograms ---------------------------------------------
+
+
+def latency_histograms(tracer):
+    """Per-``ExitReason`` latency (span extent, cycles) of trap spans.
+
+    Buckets are powers of two: bucket *k* holds durations in
+    ``[2**k, 2**(k+1))`` (bucket 0 holds 0- and 1-cycle spans).
+    """
+    out = {}
+    for span in tracer.spans():
+        if span.kind != "trap":
+            continue
+        stats = out.setdefault(span.reason, {
+            "count": 0, "total": 0, "min": None, "max": None,
+            "buckets": {},
+        })
+        duration = span.duration
+        stats["count"] += 1
+        stats["total"] += duration
+        stats["min"] = (duration if stats["min"] is None
+                        else min(stats["min"], duration))
+        stats["max"] = (duration if stats["max"] is None
+                        else max(stats["max"], duration))
+        bucket = max(duration, 1).bit_length() - 1
+        stats["buckets"][bucket] = stats["buckets"].get(bucket, 0) + 1
+    return out
+
+
+def render_histograms(tracer):
+    histograms = latency_histograms(tracer)
+    if not histograms:
+        return "per-ExitReason latency: no trap spans recorded"
+    lines = ["per-ExitReason trap latency (cycles):"]
+    widest = max(len(str(reason)) for reason in histograms)
+    for reason in sorted(histograms, key=str):
+        stats = histograms[reason]
+        mean = stats["total"] // stats["count"]
+        lines.append("  %-*s  n=%-5d min=%-7d avg=%-7d max=%d"
+                     % (widest, reason, stats["count"], stats["min"],
+                        mean, stats["max"]))
+        for bucket in sorted(stats["buckets"]):
+            count = stats["buckets"][bucket]
+            lines.append("  %-*s    [%7d, %7d)  %-4d %s"
+                         % (widest, "", 1 << bucket, 1 << (bucket + 1),
+                            count, "#" * min(count, 40)))
+    return "\n".join(lines)

@@ -221,3 +221,23 @@ def test_iter_registers_filter_by_neve():
     names = {r.name for r in trapping}
     assert "CNTHP_CTL_EL2" in names
     assert "ICC_SGI1R_EL1" in names
+
+
+def test_e2h_redirects_live_in_the_registry():
+    from repro.arch.registers import e2h_counterpart, e2h_redirects
+
+    redirects = e2h_redirects()
+    assert len(redirects) == 18
+    assert redirects["SCTLR_EL1"] == "SCTLR_EL2"
+    assert redirects["CPACR_EL1"] == "CPTR_EL2"
+    assert redirects["CNTKCTL_EL1"] == "CNTHCTL_EL2"
+    assert redirects["CNTV_CTL_EL0"] == "CNTHV_CTL_EL2"
+    # Every source is an EL1/EL0 register, every target EL2, and the
+    # map is injective (the spec checker enforces the same).
+    from repro.arch.registers import lookup_register
+    assert len(set(redirects.values())) == len(redirects)
+    for source, target in redirects.items():
+        assert lookup_register(source).el in (0, 1)
+        assert lookup_register(target).el == 2
+        assert e2h_counterpart(target) == source
+    assert e2h_counterpart("VTTBR_EL2") is None

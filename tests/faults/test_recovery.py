@@ -188,3 +188,41 @@ def test_degraded_vcpu_runs_on():
     vcpu.cpu.hvc(0)
     # The exit multiplication is back: trap-and-emulate territory.
     assert machine.traps.total - before > 60
+
+
+def test_recovery_costs_derive_from_the_cost_model():
+    from dataclasses import replace
+
+    from repro.faults.recovery import derive_recovery_costs
+
+    costs = derive_recovery_costs(ARM_COSTS)
+    # Audit walks every 8-byte slot of the page.
+    assert costs.audit == (4096 // 8) * ARM_COSTS.mem_load \
+        + ARM_COSTS.dsb_isb
+    # Replay = repair + journal lookup, so it is strictly costlier.
+    assert costs.replay > costs.repair
+    # Degrade and migration both pay the TLB maintenance price.
+    assert costs.migration > ARM_COSTS.tlb_maintenance
+    assert costs.degrade > ARM_COSTS.tlb_maintenance
+    # The rekick is a userspace round trip plus wire delivery.
+    assert costs.rekick == (ARM_COSTS.userspace_roundtrip
+                            + ARM_COSTS.irq_delivery_wire
+                            + 100 * ARM_COSTS.instr)
+    # Scaling the memory costs scales the derived prices.
+    doubled = derive_recovery_costs(
+        replace(ARM_COSTS, mem_load=2 * ARM_COSTS.mem_load,
+                mem_store=2 * ARM_COSTS.mem_store))
+    assert doubled.audit > costs.audit
+    assert doubled.migration > costs.migration
+
+
+def test_recovery_manager_uses_derived_costs():
+    from repro.faults.recovery import derive_recovery_costs
+
+    machine, vcpu = _nested_machine()
+    _monitor, recovery = _manager(machine, vcpu)
+    assert recovery.costs == derive_recovery_costs(machine.costs)
+    before = machine.ledger.by_category.get("recovery", 0)
+    recovery.resync(vcpu.cpu)
+    charged = machine.ledger.by_category.get("recovery", 0) - before
+    assert charged >= recovery.costs.audit

@@ -1,0 +1,65 @@
+"""Satellite guarantees: byte-identical exports, exact reconciliation on
+every benchmark config, zero added cycles from the tracer."""
+
+import pytest
+
+from repro.analysis.sanitizer import check_trace_reconciliation
+from repro.harness.configs import ALL_CONFIGS, make_microbench
+from repro.trace.cli import trace_microbench
+from repro.trace.export import chrome_trace_json
+
+ARM_CONFIGS = [name for name, config in ALL_CONFIGS.items()
+               if config.platform == "arm"]
+
+
+def test_same_workload_produces_byte_identical_trace_json():
+    first = trace_microbench("neve-nested", "hypercall")[1]
+    second = trace_microbench("neve-nested", "hypercall")[1]
+    assert (chrome_trace_json(first, label="x")
+            == chrome_trace_json(second, label="x"))
+
+
+@pytest.mark.parametrize("config", ARM_CONFIGS)
+@pytest.mark.parametrize("workload", ["hypercall", "virtual_eoi"])
+def test_reconciliation_exact_on_every_config(config, workload):
+    _suite, tracer = trace_microbench(config, workload)
+    recon = tracer.assert_reconciled()
+    assert recon.exact
+    report = check_trace_reconciliation(tracer)
+    assert report.passed and report.checks == 1
+
+
+@pytest.mark.parametrize("config", ["neve-nested", "arm-nested"])
+def test_disabled_tracer_adds_zero_cycles(config):
+    def total_cycles(traced):
+        suite = make_microbench(config)
+        suite.hypercall_once()  # warm up
+        if traced:
+            from repro.trace.spans import Tracer
+            tracer = Tracer().attach_machine(suite.machine)
+            with tracer.span("root", kind="root"):
+                suite.hypercall_once()
+            tracer.stop()
+        else:
+            suite.hypercall_once()
+        return suite.machine.ledger.total
+
+    assert total_cycles(traced=False) == total_cycles(traced=True)
+
+
+def test_traced_campaign_digest_matches_untraced():
+    from repro.faults.campaign import run_campaign
+
+    untraced = run_campaign(3)
+    traced = run_campaign(3, trace=True)
+    assert traced.digest == untraced.digest
+    assert traced.tracer is not None
+    assert traced.tracer.assert_reconciled().exact
+    # Fired faults appear as annotated instants.
+    fired = [e for e in traced.tracer.instants() if e.kind == "fault"]
+    assert len(fired) == len(
+        [e for e in _events_of(traced)]), (fired, traced.outcomes)
+
+
+def _events_of(result):
+    return [entry for entry in result.outcomes if entry["fired"]]

@@ -1,0 +1,99 @@
+"""Trace artifacts: Chrome JSON validity, tree/trap stats, histograms."""
+
+import json
+
+import pytest
+
+from repro.metrics.cycles import CycleLedger
+from repro.trace.export import (
+    REQUIRED_EVENT_KEYS,
+    build_tree,
+    chrome_trace,
+    chrome_trace_json,
+    latency_histograms,
+    render_breakdown,
+    render_histograms,
+    trap_stats,
+    validate_chrome_trace,
+)
+from repro.trace.spans import Tracer
+
+
+class FakeSyndrome:
+    ec = None
+    register = None
+    is_write = None
+    imm = None
+    fault_ipa = None
+
+
+def populated_tracer():
+    ledger = CycleLedger()
+    tracer = Tracer().attach(ledger)
+    with tracer.span("root", kind="root"):
+        syndrome = FakeSyndrome()
+        syndrome.register = "HCR_EL2"
+        outer = tracer.begin_trap(None, syndrome, "sysreg")
+        ledger.charge(100, "trap")
+        inner = tracer.begin_trap(None, FakeSyndrome(), "hvc")
+        ledger.charge(30, "trap")
+        tracer.end(inner)
+        tracer.end(outer)
+        tracer.instant("fault:x@y", kind="fault")
+    return tracer
+
+
+def test_chrome_trace_validates_and_counts():
+    tracer = populated_tracer()
+    document = chrome_trace(tracer, label="unit")
+    counts = validate_chrome_trace(document)
+    assert counts["spans"] == 3
+    assert counts["instants"] == 1
+    assert counts["events"] == 4
+    assert document["otherData"]["reconciled"] is True
+    assert document["otherData"]["label"] == "unit"
+    for event in document["traceEvents"]:
+        for key in REQUIRED_EVENT_KEYS:
+            assert key in event
+
+
+def test_chrome_trace_json_round_trips():
+    tracer = populated_tracer()
+    payload = chrome_trace_json(tracer)
+    assert validate_chrome_trace(json.loads(payload))["events"] == 4
+
+
+def test_validate_rejects_malformed_documents():
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"no": "traceEvents"})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [{"name": "x"}]})
+
+
+def test_tree_and_trap_stats():
+    tracer = populated_tracer()
+    roots, children = build_tree(tracer)
+    assert [span.name for span in roots] == ["root"]
+    stats = trap_stats(tracer)
+    assert stats["trap_spans"] == 2
+    assert stats["leaf_traps"] == 1  # the hvc trap nests under sysreg
+    assert stats["by_reason"] == {"sysreg": 1, "hvc": 1}
+
+
+def test_renderers_mention_traps_and_reconciliation():
+    tracer = populated_tracer()
+    breakdown = render_breakdown(tracer)
+    assert "trap:sysreg:HCR_EL2" in breakdown
+    assert "traps to host hypervisor: 2 (1 leaves)" in breakdown
+    assert "exact" in breakdown
+    histograms = render_histograms(tracer)
+    assert "per-ExitReason trap latency" in histograms
+    assert "sysreg" in histograms
+
+
+def test_latency_histograms_bucket_by_power_of_two():
+    tracer = populated_tracer()
+    stats = latency_histograms(tracer)
+    assert stats["hvc"]["count"] == 1
+    assert stats["hvc"]["min"] == stats["hvc"]["max"] == 30
+    assert stats["hvc"]["buckets"] == {4: 1}  # 30 in [16, 32)
