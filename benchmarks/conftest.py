@@ -11,17 +11,27 @@ import pytest
 
 from repro.harness.configs import make_microbench
 
+#: The one suite cache for the whole benchmark harness.  Keys are free
+#: tuples (config name, design, shadowing flag, ...) — every benchmark
+#: file shares this dict through :func:`cached_suite` instead of growing
+#: its own module-level copy.
 _SUITES = {}
+
+
+def cached_suite(key, factory):
+    """The suite cached under *key*, building it with ``factory()`` on
+    first use (machine construction is costly)."""
+    if key not in _SUITES:
+        _SUITES[key] = factory()
+    return _SUITES[key]
 
 
 @pytest.fixture
 def suite_for():
-    """Cached microbenchmark suites (machine construction is costly)."""
+    """Cached microbenchmark suites, keyed by config name."""
 
     def get(config):
-        if config not in _SUITES:
-            _SUITES[config] = make_microbench(config)
-        return _SUITES[config]
+        return cached_suite(config, lambda: make_microbench(config))
 
     return get
 

@@ -10,21 +10,21 @@ import pytest
 from repro.harness.configs import ALL_CONFIGS, arm_arch_for
 from repro.workloads.microbench import ArmMicrobench
 
-from conftest import record_simulated
+from conftest import cached_suite, record_simulated
 
-_SUITES = {}
+
+def _build(nested, guest_vhe, design):
+    config = ALL_CONFIGS["arm-nested" if nested == "nv"
+                         else "neve-nested"]
+    bench = ArmMicrobench(nested=nested, guest_vhe=guest_vhe,
+                          arch=arm_arch_for(config))
+    bench.vm.guest_hyp.design = design
+    return bench
 
 
 def suite(nested, guest_vhe, design):
-    key = (nested, guest_vhe, design)
-    if key not in _SUITES:
-        config = ALL_CONFIGS["arm-nested" if nested == "nv"
-                             else "neve-nested"]
-        bench = ArmMicrobench(nested=nested, guest_vhe=guest_vhe,
-                              arch=arm_arch_for(config))
-        bench.vm.guest_hyp.design = design
-        _SUITES[key] = bench
-    return _SUITES[key]
+    return cached_suite(("design", nested, guest_vhe, design),
+                        lambda: _build(nested, guest_vhe, design))
 
 
 @pytest.mark.parametrize("nested", ["nv", "neve"])

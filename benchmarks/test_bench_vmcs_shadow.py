@@ -4,16 +4,13 @@ import pytest
 
 from repro.workloads.microbench import X86Microbench
 
-from conftest import record_simulated
-
-_SUITES = {}
+from conftest import cached_suite, record_simulated
 
 
 def suite(shadowing):
-    if shadowing not in _SUITES:
-        _SUITES[shadowing] = X86Microbench(nested=True,
-                                           shadowing=shadowing)
-    return _SUITES[shadowing]
+    return cached_suite(("vmcs-shadow", shadowing),
+                        lambda: X86Microbench(nested=True,
+                                              shadowing=shadowing))
 
 
 @pytest.mark.parametrize("shadowing", [True, False],

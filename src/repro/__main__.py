@@ -1,34 +1,55 @@
 """``python -m repro``: the one-shot reproduction verdict, plus tools.
 
-* ``python -m repro`` — run the verification layers and print the
-  PASS/FAIL verdict per paper claim.
-* ``python -m repro lint`` — run the spec-conformance checker, the
-  simulator-invariant lint and the runtime-sanitizer smoke scenario
-  (see :mod:`repro.analysis`).
-* ``python -m repro faults`` — run seeded fault-injection campaigns
-  with the recovery paths armed (see :mod:`repro.faults`).
-* ``python -m repro trace`` — run a microbenchmark under the causal
-  exit-multiplication tracer and export Chrome trace JSON plus text
-  breakdowns (see :mod:`repro.trace`).
+Run with no arguments for the verification layers and the PASS/FAIL
+verdict per paper claim; run a subcommand from the table below for the
+individual tools.  The usage string is generated from the table, so
+adding a tool is one line.
 """
 
+import importlib
 import sys
+
+#: (name, module with a ``main(argv)``, one-line description).
+SUBCOMMANDS = (
+    ("lint", "repro.analysis.cli",
+     "spec-conformance checker, simulator-invariant lint and the "
+     "runtime-sanitizer scenario"),
+    ("faults", "repro.faults.cli",
+     "seeded fault-injection campaigns with the recovery paths armed"),
+    ("trace", "repro.trace.cli",
+     "causal exit-multiplication tracer (Chrome trace JSON + breakdowns)"),
+    ("bench", "repro.harness.bench",
+     "benchmark trajectory: run the suites, diff against BENCH_*.json "
+     "and the goldens"),
+    ("metrics", "repro.metrics.cli",
+     "run a scenario and export the telemetry registry "
+     "(Prometheus/JSON)"),
+)
+
+
+def usage():
+    lines = ["usage: python -m repro [%s] [options]"
+             % "|".join(name for name, _, _ in SUBCOMMANDS),
+             "",
+             "With no subcommand: run the verification layers and print",
+             "the reproduction verdict.  Subcommands:",
+             ""]
+    for name, _, description in SUBCOMMANDS:
+        lines.append("  %-8s %s" % (name, description))
+    return "\n".join(lines)
 
 
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "lint":
-        from repro.analysis.cli import main as lint_main
-        return lint_main(argv[1:])
-    if argv and argv[0] == "faults":
-        from repro.faults.cli import main as faults_main
-        return faults_main(argv[1:])
-    if argv and argv[0] == "trace":
-        from repro.trace.cli import main as trace_main
-        return trace_main(argv[1:])
+    if argv and argv[0] in ("-h", "--help"):
+        print(usage())
+        return 0
     if argv:
-        print("usage: python -m repro [lint|faults|trace [options]]",
-              file=sys.stderr)
+        for name, module_name, _ in SUBCOMMANDS:
+            if argv[0] == name:
+                module = importlib.import_module(module_name)
+                return module.main(argv[1:])
+        print(usage(), file=sys.stderr)
         return 2
     from repro.harness.summary import main as summary_main
     return summary_main()

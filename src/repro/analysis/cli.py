@@ -1,15 +1,18 @@
 """``python -m repro lint``: run the analysis passes and report.
 
-Default run (no arguments) executes all three passes against the live
-tree: the spec-conformance checker, the AST lint over the ``repro``
-package sources, and the sanitized exit-multiplication smoke scenario.
-Any finding fails the run (exit status 1), which is what CI keys on.
+Default run (no arguments) executes every pass against the live tree:
+the spec-conformance checker, the AST lint over the ``repro`` package
+sources, the sanitized exit-multiplication smoke scenario, and the
+telemetry-registry checks (``san-metrics-reconcile``,
+``san-metrics-ledger``).  Any finding fails the run (exit status 1),
+which is what CI keys on.
 
 Usage::
 
     python -m repro lint                  # full clean-tree check
     python -m repro lint path/to/file.py  # lint specific files/dirs
     python -m repro lint --no-sanitize    # skip the runtime scenario
+    python -m repro lint --no-metrics     # skip the registry checks
 """
 
 import argparse
@@ -39,6 +42,9 @@ def build_parser():
     parser.add_argument("--no-sanitize", action="store_true",
                         help="skip the sanitized exit-multiplication "
                              "scenario")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="skip the telemetry-registry checks "
+                             "(san-metrics-reconcile, san-metrics-ledger)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="print findings only, no summary")
     return parser
@@ -74,6 +80,13 @@ def main(argv=None):
         report = run_sanitized_scenario()
         findings.extend(report.violations)
         passes.append(("sanitizer[%d checks]" % report.checks,
+                       len(report.violations)))
+
+    if not args.no_metrics:
+        from repro.analysis.sanitizer import run_metrics_checks
+        report = run_metrics_checks()
+        findings.extend(report.violations)
+        passes.append(("metrics[%d checks]" % report.checks,
                        len(report.violations)))
 
     for finding in findings:

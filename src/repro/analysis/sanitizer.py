@@ -263,3 +263,115 @@ def run_sanitized_scenario(modes=("nv", "neve"), hypercalls=2):
             for _ in range(hypercalls):
                 vm.vcpus[0].cpu.hvc(0)
     return report
+
+
+def _metrics_scenario(mode, hypercalls, attach_metrics):
+    """One nested boot + hypercall scenario, optionally under metrics.
+
+    Returns ``(machine, metrics_or_None)``; the outcome tuple the
+    metrics checks compare is read off the machine's legacy counters.
+    """
+    from repro.harness.configs import ALL_CONFIGS, arm_arch_for
+    from repro.hypervisor.kvm import Machine
+    from repro.metrics.cycles import ARM_COSTS
+    from repro.metrics.instrument import MachineMetrics
+
+    config = ALL_CONFIGS["arm-nested" if mode == "nv" else "neve-nested"]
+    machine = Machine(arch=arm_arch_for(config), costs=ARM_COSTS)
+    metrics = None
+    if attach_metrics:
+        metrics = MachineMetrics(config=config.name)
+        metrics.attach_machine(machine)
+        metrics.registry.clock = lambda: machine.ledger.total
+    vm = machine.kvm.create_vm(num_vcpus=1, nested=mode)
+    machine.kvm.boot_nested(vm.vcpus[0])
+    for _ in range(hypercalls):
+        vm.vcpus[0].cpu.hvc(0)
+    return machine, metrics
+
+
+def check_metrics_reconcile(machine, metrics, report=None):
+    """``san-metrics-reconcile``: the registry mirrors must agree with
+    the legacy counters they were migrated from — ``TrapCounter.total``
+    equals the trap counter family's sum (and per reason), and
+    ``CycleLedger.total`` equals the cycle counter family's sum (and per
+    category).  Only meaningful when *metrics* was attached before the
+    machine did any work.
+    """
+    if report is None:
+        report = SanitizerReport()
+    registry = metrics.registry
+    traps = registry.get("repro_traps_total")
+    report.record(
+        traps is not None and traps.total() == machine.traps.total,
+        "san-metrics-reconcile",
+        "trap mirror diverged: TrapCounter.total=%d, registry sum=%s"
+        % (machine.traps.total,
+           traps.total() if traps is not None else None))
+    for reason, count in sorted(machine.traps.by_reason.items(),
+                                key=lambda item: item[0].value):
+        mirrored = traps.labels(metrics.config, reason).value
+        report.record(
+            mirrored == count, "san-metrics-reconcile",
+            "trap mirror diverged for %s: counter=%d, registry=%d"
+            % (reason.value, count, mirrored))
+    cycles = registry.get("repro_cycles_total")
+    report.record(
+        cycles is not None and cycles.total() == machine.ledger.total,
+        "san-metrics-reconcile",
+        "cycle mirror diverged: ledger.total=%d, registry sum=%s"
+        % (machine.ledger.total,
+           cycles.total() if cycles is not None else None))
+    for category, count in sorted(machine.ledger.by_category.items()):
+        mirrored = cycles.labels(metrics.config, category).value
+        report.record(
+            mirrored == count, "san-metrics-reconcile",
+            "cycle mirror diverged for %s: ledger=%d, registry=%d"
+            % (category, count, mirrored))
+    return report
+
+
+def check_metrics_ledger(report=None, mode="neve", hypercalls=2):
+    """``san-metrics-ledger``: telemetry must be free in simulated time.
+
+    Runs the same seeded scenario twice — metrics attached and detached
+    — and demands identical ledger totals and trap counts (the disabled
+    path adds zero cycles, the enabled path never charges); then exports
+    both formats and demands the ledger did not move.
+    """
+    if report is None:
+        report = SanitizerReport()
+    bare_machine, _ = _metrics_scenario(mode, hypercalls,
+                                        attach_metrics=False)
+    machine, metrics = _metrics_scenario(mode, hypercalls,
+                                         attach_metrics=True)
+    report.record(
+        machine.ledger.total == bare_machine.ledger.total,
+        "san-metrics-ledger",
+        "metrics changed simulated time: ledger %d with metrics, "
+        "%d without" % (machine.ledger.total, bare_machine.ledger.total))
+    report.record(
+        machine.traps.total == bare_machine.traps.total,
+        "san-metrics-ledger",
+        "metrics changed trap behaviour: %d traps with metrics, "
+        "%d without" % (machine.traps.total, bare_machine.traps.total))
+    mark = machine.ledger.snapshot()
+    metrics.registry.prometheus_text()
+    metrics.registry.json_snapshot()
+    report.record(
+        machine.ledger.since(mark) == 0, "san-metrics-ledger",
+        "exporting metrics charged the ledger: +%d cycles"
+        % machine.ledger.since(mark))
+    return report
+
+
+def run_metrics_checks(modes=("nv", "neve"), hypercalls=2):
+    """Run both metrics sanitizer checks over the standard scenario;
+    returns the combined report (wired into ``python -m repro lint``)."""
+    report = SanitizerReport()
+    for mode in modes:
+        machine, metrics = _metrics_scenario(mode, hypercalls,
+                                             attach_metrics=True)
+        check_metrics_reconcile(machine, metrics, report=report)
+    check_metrics_ledger(report=report, hypercalls=hypercalls)
+    return report

@@ -126,6 +126,12 @@ class Cpu:
         # attribute check.
         self.tracer = None
 
+        # Optional telemetry facade (repro.metrics.instrument
+        # .MachineMetrics).  Same contract as the tracer: observe-only,
+        # never charges the ledger, disabled path is one attribute check
+        # (enforced by san-metrics-ledger).
+        self.metrics = None
+
     # ------------------------------------------------------------------
     # Context management
     # ------------------------------------------------------------------
@@ -553,6 +559,9 @@ class Cpu:
                            detail={"register": reg.name,
                                    "is_write": is_write,
                                    "offset": reg.vncr_offset})
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.count_deferred(reg.name, is_write)
         hook = self.fault_hook
         if hook is not None:
             hook.on_deferred_access(self, reg, is_write)
@@ -604,6 +613,14 @@ class Cpu:
         tracer = self.tracer
         span = (tracer.begin_trap(self, syndrome, reason)
                 if tracer is not None else None)
+        # The histogram covers the whole round trip (entry + emulation +
+        # return), labelled with the exception level the trap
+        # interrupted — captured now, before the handler switches worlds.
+        metrics = self.metrics
+        trap_timer = (metrics.trap_span(self, reason)
+                      if metrics is not None else None)
+        if trap_timer is not None:
+            trap_timer.__enter__()
         try:
             self.ledger.charge(self.costs.trap_entry, "trap")
             if self.trap_handler is None:
@@ -628,6 +645,8 @@ class Cpu:
             self.ledger.charge(self.costs.trap_return, "trap")
             return result
         finally:
+            if trap_timer is not None:
+                trap_timer.__exit__(None, None, None)
             if span is not None:
                 tracer.end(span)
 

@@ -176,6 +176,9 @@ class RecoveryManager:
 
     def _charge(self, cycles):
         self.machine.ledger.charge(cycles, "recovery")
+        metrics = getattr(self.machine, "metrics", None)
+        if metrics is not None:
+            metrics.observe_recovery_cycles(cycles)
 
     def _count(self, event):
         self.machine.recoveries.record(event)

@@ -18,7 +18,10 @@ name                   meaning
 from dataclasses import dataclass
 
 from repro.arch.features import ArchConfig, ArchVersion, GicVersion
+from repro.hypervisor.kvm import Machine
+from repro.metrics.instrument import MachineMetrics
 from repro.workloads.microbench import ArmMicrobench, X86Microbench
+from repro.x86.kvm_x86 import X86Machine
 
 
 @dataclass(frozen=True)
@@ -76,12 +79,28 @@ def arm_arch_for(config):
     return ArchConfig(version=ArchVersion.V8_3, gic=GicVersion.V3)
 
 
-def make_microbench(name):
-    """Build a ready-to-run microbenchmark suite for a configuration."""
+def make_microbench(name, costs=None, registry=None):
+    """Build a ready-to-run microbenchmark suite for a configuration.
+
+    ``costs`` overrides the platform's calibrated :class:`CostModel`
+    (the bench pipeline's regression tests perturb it).  ``registry``,
+    when given, attaches a :class:`MachineMetrics` facade (config label =
+    *name*) to the machine *before* it boots, so the registry mirrors
+    reconcile exactly with the legacy counters.
+    """
     config = ALL_CONFIGS[name]
     if config.platform == "arm":
-        return ArmMicrobench(nested=config.nested,
-                             guest_vhe=config.guest_vhe,
-                             arch=arm_arch_for(config))
-    return X86Microbench(nested=config.is_nested,
+        machine = (Machine(arch=arm_arch_for(config))
+                   if costs is None
+                   else Machine(arch=arm_arch_for(config), costs=costs))
+        if registry is not None:
+            MachineMetrics(registry, config=name).attach_machine(machine)
+        return ArmMicrobench(machine=machine,
+                             nested=config.nested,
+                             guest_vhe=config.guest_vhe)
+    machine = X86Machine(costs=costs)
+    if registry is not None:
+        MachineMetrics(registry, config=name).attach_machine(machine)
+    return X86Microbench(machine=machine,
+                         nested=config.is_nested,
                          shadowing=config.shadowing)

@@ -102,6 +102,10 @@ class Machine:
         self.ledger = CycleLedger()
         self.traps = TrapCounter()
         self.recoveries = RecoveryCounter()
+        # Optional telemetry facade (repro.metrics.instrument
+        # .MachineMetrics.attach_machine sets it).  Observe-only: sites
+        # gate on ``is None`` so the disabled path costs nothing.
+        self.metrics = None
 
         self.memory = PhysicalMemory()
         self.memory.add_region(MemoryRegion("ram", RAM_BASE, RAM_SIZE))
@@ -216,6 +220,15 @@ class KvmHypervisor:
                 vcpu.neve.enable()
         self._switch_to_guest(cpu, vcpu)
         self._apply_resume(cpu)
+        self._note_depth(cpu, vcpu)
+
+    def _note_depth(self, cpu, vcpu):
+        """Telemetry: the nesting depth this cpu is now executing at
+        (1 = a VM or its guest hypervisor, 2 = the nested VM)."""
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.set_depth(cpu.cpu_id,
+                              2 if vcpu.mode is VcpuMode.NESTED else 1)
 
     def boot_nested(self, vcpu):
         """Boot the nested VM: the guest hypervisor launches its guest
@@ -503,6 +516,7 @@ class KvmHypervisor:
                 self._sync_neve_status_regs(cpu, vcpu)
                 vcpu.neve.enable()
             vcpu.mode = VcpuMode.VEL2
+            self._note_depth(cpu, vcpu)
             self._switch_to_guest(cpu, vcpu)
             with cpu.guest_call(nv=True, virtual_e2h=vcpu.virtual_e2h):
                 result = vcpu.vm.guest_hyp.handle_vm_exit(cpu, vcpu, reason,
@@ -653,6 +667,7 @@ class KvmHypervisor:
             if vcpu.neve is not None:
                 vcpu.neve.disable()
             vcpu.mode = VcpuMode.NESTED
+            self._note_depth(cpu, vcpu)
 
     def _transition_vel2_to_vel1(self, cpu, vcpu):
         """eret without VM set: the split hypervisor returns to its
@@ -663,6 +678,7 @@ class KvmHypervisor:
             for name in ws.full_el1_context():
                 vcpu.el1_ctx.save(name, self._vel1_read(cpu, vcpu, name))
             vcpu.mode = VcpuMode.VEL1
+            self._note_depth(cpu, vcpu)
 
     def _transition_vel1_to_vel2(self, cpu, vcpu, syndrome):
         """hvc from the kernel part: exception into virtual EL2."""
@@ -676,6 +692,7 @@ class KvmHypervisor:
                 self._sync_neve_status_regs(cpu, vcpu)
                 vcpu.neve.enable()
             vcpu.mode = VcpuMode.VEL2
+            self._note_depth(cpu, vcpu)
 
     # ------------------------------------------------------------------
     # Virtual state plumbing

@@ -200,8 +200,16 @@ def deactivate_traps(ops, vhe, host_hcr=HCR_HOST_FLAGS):
 # vGIC (GICv3 system-register interface)
 # ---------------------------------------------------------------------------
 
+def _note_lrs(cpu, used_lrs):
+    """Telemetry: list registers in flight at this save/restore."""
+    metrics = getattr(cpu, "metrics", None)
+    if metrics is not None:
+        metrics.set_used_lrs(cpu.cpu_id, used_lrs)
+
+
 def vgic_save(ops, ctx, used_lrs):
     """Save the GIC virtual interface state (vgic-v3-sr.c save path)."""
+    _note_lrs(ops.cpu, used_lrs)
     with cpu_span(ops.cpu, "ws.vgic_save", used_lrs=used_lrs):
         ops.cpu.mrs("ICH_VTR_EL2")  # implementation query (cached: free)
         ops.cpu.mrs("ICH_HCR_EL2")  # current enable/maintenance bits
@@ -220,6 +228,7 @@ def vgic_save(ops, ctx, used_lrs):
 
 def vgic_restore(ops, ctx, used_lrs):
     """Restore the GIC virtual interface state before entering a VM."""
+    _note_lrs(ops.cpu, used_lrs)
     with cpu_span(ops.cpu, "ws.vgic_restore", used_lrs=used_lrs):
         ops.cpu.mrs("ICH_HCR_EL2")
         ops.write_hyp("ICH_VMCR_EL2", ctx.load("ICH_VMCR_EL2"))
@@ -243,6 +252,7 @@ def vgic_save_v2(cpu, ctx, used_lrs, gich_base):
     def off(name):
         return gich_base + gich_reg_to_offset(name)
 
+    _note_lrs(cpu, used_lrs)
     with cpu_span(cpu, "ws.vgic_save_v2", used_lrs=used_lrs):
         cpu.mmio_read(off("ICH_VTR_EL2"))
         cpu.mmio_read(off("ICH_HCR_EL2"))
@@ -263,6 +273,7 @@ def vgic_restore_v2(cpu, ctx, used_lrs, gich_base):
     def off(name):
         return gich_base + gich_reg_to_offset(name)
 
+    _note_lrs(cpu, used_lrs)
     with cpu_span(cpu, "ws.vgic_restore_v2", used_lrs=used_lrs):
         cpu.mmio_read(off("ICH_HCR_EL2"))
         cpu.mmio_write(off("ICH_VMCR_EL2"), ctx.load("ICH_VMCR_EL2"))

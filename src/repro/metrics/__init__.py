@@ -1,20 +1,38 @@
-"""Cycle accounting and trap/exit counters.
+"""Cycle accounting, trap/exit counters and the telemetry registry.
 
 Everything the simulated hardware and hypervisors do is charged to a
 :class:`~repro.metrics.cycles.CycleLedger` using the named constants in
 :class:`~repro.metrics.cycles.CostModel`, and every transition into a host
 hypervisor is recorded in a :class:`~repro.metrics.counters.TrapCounter`.
 The paper's Tables 1, 6 and 7 are read directly off these two objects.
+
+The unified registry (:mod:`repro.metrics.registry`) gives those islands
+one labelled, exportable home — Prometheus text exposition and JSON
+snapshots, byte-identical per seed because timestamps are virtual cycles
+— and :class:`~repro.metrics.instrument.MachineMetrics` wires it through
+the hot layers without ever charging the ledger.
 """
 
-from repro.metrics.counters import ExitReason, TrapCounter
+from repro.metrics.counters import (ExitReason, RecoveryCounter,
+                                    RecoveryEvent, TrapCounter)
 from repro.metrics.cycles import ARM_COSTS, X86_COSTS, CostModel, CycleLedger
+from repro.metrics.instrument import MachineMetrics
+from repro.metrics.registry import (CYCLE_BUCKETS, Counter, Gauge, Histogram,
+                                    MetricsRegistry)
 
 __all__ = [
     "ARM_COSTS",
     "X86_COSTS",
+    "CYCLE_BUCKETS",
     "CostModel",
+    "Counter",
     "CycleLedger",
     "ExitReason",
+    "Gauge",
+    "Histogram",
+    "MachineMetrics",
+    "MetricsRegistry",
+    "RecoveryCounter",
+    "RecoveryEvent",
     "TrapCounter",
 ]

@@ -89,11 +89,18 @@ class CycleLedger:
     on every charge — this is the single attribution point the tracer
     (:mod:`repro.trace`) hooks so per-span cycles reconcile exactly
     against ``total``.  The observer must never charge the ledger.
+
+    ``metrics_sink`` is a second, independent hook with the same
+    signature, reserved for the telemetry registry
+    (:mod:`repro.metrics.instrument`) so metrics and the tracer can ride
+    the same run without fighting over the ``observer`` slot.  Like the
+    observer, it must never charge the ledger.
     """
 
     total: int = 0
     by_category: dict = field(default_factory=dict)
     observer: object = field(default=None, repr=False, compare=False)
+    metrics_sink: object = field(default=None, repr=False, compare=False)
 
     def charge(self, cycles, category="other"):
         """Add *cycles* to the ledger under *category*."""
@@ -103,6 +110,8 @@ class CycleLedger:
         self.by_category[category] = self.by_category.get(category, 0) + cycles
         if self.observer is not None:
             self.observer(cycles, category)
+        if self.metrics_sink is not None:
+            self.metrics_sink(cycles, category)
 
     def snapshot(self):
         """Return ``(total, dict-copy)`` for later differencing."""

@@ -1,0 +1,194 @@
+"""Wiring between the simulation's hot layers and the telemetry registry.
+
+:class:`MachineMetrics` owns the metric families for one machine (one
+``config`` label value) and attaches itself to the three legacy counting
+islands without changing their APIs:
+
+* :class:`~repro.metrics.cycles.CycleLedger` — via the ``metrics_sink``
+  hook (the ``observer`` slot stays reserved for the tracer);
+* :class:`~repro.metrics.counters.TrapCounter` and
+  :class:`~repro.metrics.counters.RecoveryCounter` — via their ``sink``
+  hooks, so ``TrapCounter.total`` always equals the registry counter sum
+  (the migration-parity invariant ``san-metrics-reconcile`` checks);
+* the hot code paths — via a ``cpu.metrics`` / ``machine.metrics``
+  attribute that defaults to ``None``; every instrumentation site gates
+  on a plain ``is None`` check, exactly like the tracer's ``cpu.tracer``,
+  so the disabled path adds zero simulated cycles.
+
+Everything here only *reads* the ledger (for histogram spans and the
+virtual-cycle clock); nothing ever charges it — enforced by
+``san-metrics-ledger``.
+"""
+
+from repro.metrics.registry import MetricsRegistry
+
+
+class _PhaseTimer:
+    """Context manager observing one phase's ledger delta into a
+    histogram child.  Cycles are read from the shared ledger — never
+    charged — so timing a phase is free in simulated time."""
+
+    __slots__ = ("ledger", "child", "mark")
+
+    def __init__(self, ledger, child):
+        self.ledger = ledger
+        self.child = child
+        self.mark = 0
+
+    def __enter__(self):
+        self.mark = self.ledger.total
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.child.observe(self.ledger.total - self.mark)
+        return False
+
+
+class MachineMetrics:
+    """The registry-backed telemetry facade for one machine/config.
+
+    Several instances may share one :class:`MetricsRegistry` (the bench
+    pipeline gives every config its own ``MachineMetrics`` over a single
+    registry); re-registration is idempotent because every instance asks
+    for the same family schemas.
+    """
+
+    def __init__(self, registry=None, config="default"):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.config = config
+        reg = self.registry
+        self.traps = reg.counter(
+            "repro_traps_total",
+            "Traps to the host hypervisor (mirror of TrapCounter)",
+            ("config", "reason"))
+        self.trap_cycles = reg.histogram(
+            "repro_trap_cycles",
+            "Simulated cycles per trap round trip, by exit reason and the "
+            "exception level the trap interrupted",
+            ("config", "reason", "el"))
+        self.cycles = reg.counter(
+            "repro_cycles_total",
+            "Simulated cycles charged to the ledger, by category",
+            ("config", "category"))
+        self.phase_cycles = reg.histogram(
+            "repro_phase_cycles",
+            "Simulated cycles per traced phase (world switch, L0/L1 "
+            "handlers, recovery ladder)",
+            ("config", "phase"))
+        self.vncr_deferred = reg.counter(
+            "repro_vncr_deferred_total",
+            "EL2 system-register accesses resolved against the VNCR "
+            "deferred access page instead of trapping",
+            ("config", "register", "op"))
+        self.recoveries = reg.counter(
+            "repro_recoveries_total",
+            "Recovery-ladder actions (mirror of RecoveryCounter)",
+            ("config", "event"))
+        self.recovery_cycles = reg.histogram(
+            "repro_recovery_cycles",
+            "Simulated cycles charged per recovery-ladder action",
+            ("config",))
+        self.nesting_depth = reg.gauge(
+            "repro_nesting_depth",
+            "Current virtualization nesting depth per cpu "
+            "(0 host, 1 VM or guest hypervisor, 2 nested VM)",
+            ("config", "cpu"))
+        self.depth_entries = reg.counter(
+            "repro_depth_entries_total",
+            "Guest entries by the nesting depth entered",
+            ("config", "depth"))
+        self.vgic_used_lrs = reg.gauge(
+            "repro_vgic_used_lrs",
+            "List registers in use at the last vGIC save/restore",
+            ("config", "cpu"))
+        self.vel2_exits = reg.counter(
+            "repro_vel2_exits_total",
+            "VM exits handled by the guest hypervisor at virtual EL2",
+            ("config", "reason"))
+        self.boundary_traps = reg.counter(
+            "repro_boundary_traps_total",
+            "Traps crossing a recursive-stack boundary, by disposition",
+            ("config", "boundary"))
+
+    # -- attachment ------------------------------------------------------
+
+    def attach_cpu(self, cpu):
+        """Hook one cpu (and its shared ledger/trap counter)."""
+        cpu.metrics = self
+        cpu.ledger.metrics_sink = self._on_charge
+        cpu.traps.sink = self._on_trap
+        return self
+
+    def attach_machine(self, machine):
+        """Hook a whole machine: ledger, trap/recovery counters, every
+        cpu.  Attach before running a workload if you want the registry
+        mirrors to reconcile exactly with the legacy counters."""
+        machine.metrics = self
+        machine.ledger.metrics_sink = self._on_charge
+        machine.traps.sink = self._on_trap
+        recoveries = getattr(machine, "recoveries", None)
+        if recoveries is not None:
+            recoveries.sink = self._on_recovery
+        for cpu in machine.cpus:
+            cpu.metrics = self
+        return self
+
+    def detach_machine(self, machine):
+        """Undo :meth:`attach_machine` (registry contents survive)."""
+        machine.metrics = None
+        machine.ledger.metrics_sink = None
+        machine.traps.sink = None
+        recoveries = getattr(machine, "recoveries", None)
+        if recoveries is not None:
+            recoveries.sink = None
+        for cpu in machine.cpus:
+            cpu.metrics = None
+
+    # -- sinks (mirrors of the legacy counters) --------------------------
+
+    def _on_charge(self, cycles, category):
+        self.cycles.labels(self.config, category).inc(cycles)
+
+    def _on_trap(self, reason):
+        self.traps.labels(self.config, reason).inc()
+
+    def _on_recovery(self, event):
+        self.recoveries.labels(self.config, event).inc()
+
+    # -- hot-path hooks (all gated by ``x.metrics is None`` at the site) -
+
+    def phase(self, cpu, name):
+        """A context manager observing the phase's ledger delta into
+        ``repro_phase_cycles`` (used by ``cpu_span``)."""
+        return _PhaseTimer(cpu.ledger,
+                           self.phase_cycles.labels(self.config, name))
+
+    def trap_span(self, cpu, reason):
+        """Timer for one trap round trip; labels carry the exception
+        level the trap interrupted (``vel2`` for virtual EL2)."""
+        if getattr(cpu, "at_virtual_el2", False):
+            el = "vel2"
+        else:
+            el = str(getattr(cpu.current_el, "name", cpu.current_el)).lower()
+        child = self.trap_cycles.labels(self.config, reason, el)
+        return _PhaseTimer(cpu.ledger, child)
+
+    def count_deferred(self, register, is_write):
+        self.vncr_deferred.labels(self.config, register,
+                                  "write" if is_write else "read").inc()
+
+    def set_depth(self, cpu_id, depth):
+        self.nesting_depth.labels(self.config, str(cpu_id)).set(depth)
+        self.depth_entries.labels(self.config, str(depth)).inc()
+
+    def set_used_lrs(self, cpu_id, used_lrs):
+        self.vgic_used_lrs.labels(self.config, str(cpu_id)).set(used_lrs)
+
+    def observe_recovery_cycles(self, cycles):
+        self.recovery_cycles.labels(self.config).observe(cycles)
+
+    def count_vel2_exit(self, reason):
+        self.vel2_exits.labels(self.config, reason).inc()
+
+    def count_boundary_trap(self, boundary):
+        self.boundary_traps.labels(self.config, boundary).inc()

@@ -1,0 +1,379 @@
+"""Unified telemetry registry: labelled counters, gauges and histograms.
+
+The paper's argument is quantitative — trap counts and cycle costs per
+exit class (Tables 1, 6, 7) — and until now the repo's counters lived in
+three disconnected islands (:class:`~repro.metrics.counters.TrapCounter`,
+:class:`~repro.metrics.counters.RecoveryCounter`, the
+:class:`~repro.metrics.cycles.CycleLedger` categories) with no common
+export.  The registry gives them one home with machine-readable exports:
+
+* **Primitives.**  :class:`Counter`, :class:`Gauge` and
+  :class:`Histogram` families, each with a fixed tuple of label names
+  (the conventional dimensions: ``config``, exception level ``el``,
+  ``reason`` (:class:`~repro.metrics.counters.ExitReason`), recovery
+  ``event``, nesting ``depth``).  Children are created on first use per
+  label-value tuple.
+
+* **Determinism.**  Families iterate in registration order; children
+  iterate sorted by label values.  Timestamps are *virtual* — the cycle
+  ledger total via the registry's ``clock`` — never the wall clock, so
+  the Prometheus text exposition and the JSON snapshot are byte-identical
+  across runs of the same seeded scenario.
+
+* **Cost.**  The registry only ever *reads* the ledger (through the
+  clock callable); it never charges it.  Instrumentation sites gate on a
+  plain ``is None`` attribute check, so the disabled path adds zero
+  simulated cycles — enforced by the ``san-metrics-ledger`` sanitizer
+  check (:func:`repro.analysis.sanitizer.check_metrics_ledger`).
+
+This module deliberately imports nothing from :mod:`repro` so the hot
+layers can use it without import cycles.
+"""
+
+import json
+import math
+
+
+def format_value(value):
+    """Prometheus-style number formatting, deterministic across runs:
+    integral values print without a fraction, infinities as ``+Inf``."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float)
+                                  and value == int(value)):
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+def escape_label_value(value):
+    """Escape a label value per the Prometheus text exposition format."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _label_text(names, values):
+    return ",".join('%s="%s"' % (name, escape_label_value(value))
+                    for name, value in zip(names, values))
+
+
+class _Child:
+    """Base for one labelled time series inside a family."""
+
+    __slots__ = ("label_values",)
+
+    def __init__(self, label_values):
+        self.label_values = label_values
+
+
+class CounterValue(_Child):
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, label_values):
+        super().__init__(label_values)
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters only go up; got %r" % (amount,))
+        self.value += amount
+
+    def get(self):
+        return self.value
+
+
+class GaugeValue(_Child):
+    """A value that can go up and down (depth, queue length, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, label_values):
+        super().__init__(label_values)
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+    def get(self):
+        return self.value
+
+
+class HistogramValue(_Child):
+    """Cumulative-bucket histogram of observations."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, label_values, buckets):
+        super().__init__(label_values)
+        self.buckets = buckets  # upper bounds, ascending, +Inf last
+        self.counts = [0] * len(buckets)
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value):
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+
+    def get(self):
+        return {"sum": self.sum, "count": self.count,
+                "buckets": list(self.counts)}
+
+
+#: Default histogram buckets for simulated-cycle observations: spans
+#: the range from a bare trap entry (~72 cycles) to a full ARMv8.3
+#: nested exit (~413k cycles, Table 1).
+CYCLE_BUCKETS = (100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000,
+                 50_000, 100_000, 250_000, 500_000, 1_000_000, math.inf)
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and many children."""
+
+    kind = None  # "counter" | "gauge" | "histogram"
+
+    def __init__(self, name, help_text="", labelnames=()):
+        _validate_name(name)
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            _validate_name(label)
+        self._children = {}  # label-values tuple -> child
+
+    def _make_child(self, values):
+        raise NotImplementedError
+
+    def labels(self, *values, **kwargs):
+        """The child for one label-value combination (created on first
+        use).  Positional values follow ``labelnames`` order; keyword
+        values may come in any order."""
+        if kwargs:
+            if values:
+                raise ValueError("pass labels positionally or by "
+                                 "keyword, not both")
+            try:
+                values = tuple(kwargs.pop(name) for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError("missing label %s for %s"
+                                 % (exc, self.name))
+            if kwargs:
+                raise ValueError("unknown label(s) %s for %s"
+                                 % (sorted(kwargs), self.name))
+        values = tuple(_label_str(value) for value in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError("%s takes %d label(s) %r, got %r"
+                             % (self.name, len(self.labelnames),
+                                self.labelnames, values))
+        child = self._children.get(values)
+        if child is None:
+            child = self._make_child(values)
+            self._children[values] = child
+        return child
+
+    def children(self):
+        """Children sorted by label values — the deterministic order
+        every exporter uses."""
+        return [self._children[key] for key in sorted(self._children)]
+
+    def reset(self):
+        self._children.clear()
+
+    @property
+    def signature(self):
+        return (self.kind, self.labelnames)
+
+
+class Counter(MetricFamily):
+    kind = "counter"
+
+    def _make_child(self, values):
+        return CounterValue(values)
+
+    def total(self):
+        """Sum across all children (migration-parity checks)."""
+        return sum(child.value for child in self._children.values())
+
+
+class Gauge(MetricFamily):
+    kind = "gauge"
+
+    def _make_child(self, values):
+        return GaugeValue(values)
+
+
+class Histogram(MetricFamily):
+    kind = "histogram"
+
+    def __init__(self, name, help_text="", labelnames=(),
+                 buckets=CYCLE_BUCKETS):
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        if bounds[-1] != math.inf:
+            bounds = bounds + (math.inf,)
+        self.buckets = bounds
+
+    def _make_child(self, values):
+        return HistogramValue(values, self.buckets)
+
+    @property
+    def signature(self):
+        return (self.kind, self.labelnames, self.buckets)
+
+
+class MetricsRegistry:
+    """Holds metric families; the single source for both exporters.
+
+    ``clock``, when set, is a zero-argument callable returning the
+    current *virtual* timestamp (conventionally the shared cycle
+    ledger's ``total``).  It is only ever read — exporting metrics must
+    never advance simulated time.
+    """
+
+    def __init__(self, clock=None):
+        self._families = {}  # name -> family, registration-ordered
+        self.clock = clock
+
+    # -- registration ----------------------------------------------------
+
+    def _register(self, cls, name, help_text, labelnames, **kwargs):
+        family = self._families.get(name)
+        if family is not None:
+            wanted = cls(name, help_text, labelnames, **kwargs).signature
+            if family.signature != wanted:
+                raise ValueError(
+                    "metric %r re-registered with a different schema: "
+                    "have %r, want %r" % (name, family.signature, wanted))
+            return family
+        family = cls(name, help_text, labelnames, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name, help_text="", labelnames=()):
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(self, name, help_text="", labelnames=()):
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(self, name, help_text="", labelnames=(),
+                  buckets=CYCLE_BUCKETS):
+        return self._register(Histogram, name, help_text, labelnames,
+                              buckets=buckets)
+
+    # -- inspection ------------------------------------------------------
+
+    def collect(self):
+        """Families in registration order."""
+        return list(self._families.values())
+
+    def get(self, name):
+        return self._families.get(name)
+
+    def reset(self):
+        """Drop every child (families and schemas stay registered)."""
+        for family in self._families.values():
+            family.reset()
+
+    def now(self):
+        return 0 if self.clock is None else self.clock()
+
+    # -- exporters -------------------------------------------------------
+
+    def prometheus_text(self):
+        """The Prometheus text exposition format (0.0.4).
+
+        Byte-identical across runs of the same seeded scenario: family
+        order is registration order, child order is sorted label values,
+        and the only timestamp is the virtual-cycle clock.
+        """
+        lines = ["# Virtual-cycle timestamp: %d" % self.now()]
+        for family in self.collect():
+            lines.append("# HELP %s %s" % (family.name, family.help))
+            lines.append("# TYPE %s %s" % (family.name, family.kind))
+            for child in family.children():
+                label_text = _label_text(family.labelnames,
+                                         child.label_values)
+                if family.kind == "histogram":
+                    lines.extend(self._histogram_lines(
+                        family, child, label_text))
+                else:
+                    lines.append("%s%s %s" % (
+                        family.name,
+                        "{%s}" % label_text if label_text else "",
+                        format_value(child.value)))
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _histogram_lines(family, child, label_text):
+        # ``observe`` keeps the bucket counts cumulative already, as the
+        # exposition format requires.
+        lines = []
+        prefix = label_text
+        for bound, count in zip(family.buckets, child.counts):
+            le = 'le="%s"' % format_value(bound)
+            labels = "%s,%s" % (prefix, le) if prefix else le
+            lines.append("%s_bucket{%s} %d" % (family.name, labels, count))
+        brace = "{%s}" % prefix if prefix else ""
+        lines.append("%s_sum%s %s" % (family.name, brace,
+                                      format_value(child.sum)))
+        lines.append("%s_count%s %d" % (family.name, brace, child.count))
+        return lines
+
+    def snapshot(self):
+        """Nested-dict view of every family (the JSON export's body)."""
+        out = {}
+        for family in self.collect():
+            series = []
+            for child in family.children():
+                entry = {"labels": dict(zip(family.labelnames,
+                                            child.label_values))}
+                if family.kind == "histogram":
+                    entry.update(child.get())
+                    entry["le"] = [format_value(bound)
+                                   for bound in family.buckets]
+                else:
+                    entry["value"] = child.value
+                series.append(entry)
+            out[family.name] = {"kind": family.kind, "help": family.help,
+                                "labelnames": list(family.labelnames),
+                                "series": series}
+        return out
+
+    def json_snapshot(self, indent=2):
+        """Deterministic JSON export (sorted keys, virtual timestamp)."""
+        document = {"schema": "repro-metrics/1",
+                    "virtual_cycles": self.now(),
+                    "metrics": self.snapshot()}
+        return json.dumps(document, sort_keys=True, indent=indent) + "\n"
+
+
+def _validate_name(name):
+    if not name or not all(ch.isalnum() or ch == "_" for ch in name):
+        raise ValueError("invalid metric/label name %r" % (name,))
+    if name[0].isdigit():
+        raise ValueError("metric/label name %r starts with a digit"
+                         % (name,))
+
+
+def _label_str(value):
+    """Coerce a label value to its canonical string form (enum members
+    export their ``value`` so ``ExitReason.HVC`` becomes ``"hvc"``)."""
+    inner = getattr(value, "value", value)
+    if isinstance(inner, bool):
+        return "true" if inner else "false"
+    return str(inner)

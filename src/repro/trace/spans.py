@@ -372,13 +372,42 @@ class Tracer:
 # -- instrumentation helpers (hot-path, disabled-path friendly) -----
 
 
+class _PairedContext:
+    """Enters two context managers, exits them in reverse order (for a
+    phase observed by both the tracer and the metrics registry)."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first, second):
+        self.first = first
+        self.second = second
+
+    def __enter__(self):
+        self.first.__enter__()
+        self.second.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.second.__exit__(exc_type, exc, tb)
+        self.first.__exit__(exc_type, exc, tb)
+        return False
+
+
 def cpu_span(cpu, name, kind="phase", **detail):
-    """Context manager opening a span on *cpu*'s tracer; a shared no-op
-    when tracing is disabled (the common case)."""
+    """Context manager opening a span on *cpu*'s tracer and/or a phase
+    timer on *cpu*'s metrics facade; a shared no-op when both are
+    disabled (the common case)."""
     tracer = getattr(cpu, "tracer", None)
-    if tracer is None:
+    metrics = getattr(cpu, "metrics", None)
+    if tracer is None and metrics is None:
         return NULL_SPAN
-    return tracer.span(name, kind=kind, cpu=cpu, detail=detail or None)
+    if metrics is None:
+        return tracer.span(name, kind=kind, cpu=cpu, detail=detail or None)
+    if tracer is None:
+        return metrics.phase(cpu, name)
+    return _PairedContext(
+        tracer.span(name, kind=kind, cpu=cpu, detail=detail or None),
+        metrics.phase(cpu, name))
 
 
 def cpu_instant(cpu, name, kind="event", **detail):

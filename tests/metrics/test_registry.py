@@ -1,0 +1,165 @@
+"""The telemetry registry: primitives, exporters, determinism."""
+
+import json
+import math
+
+import pytest
+
+from repro.metrics.registry import (CYCLE_BUCKETS, Counter, Gauge, Histogram,
+                                    MetricsRegistry, escape_label_value,
+                                    format_value)
+
+
+class TestPrimitives:
+    def test_counter_counts_per_label_set(self):
+        counter = Counter("t_total", "help", ("config", "reason"))
+        counter.labels("a", "hvc").inc()
+        counter.labels("a", "hvc").inc(2)
+        counter.labels("b", "eret").inc()
+        assert counter.labels("a", "hvc").value == 3
+        assert counter.labels("b", "eret").value == 1
+        assert counter.total() == 4
+
+    def test_counter_rejects_negative(self):
+        counter = Counter("t_total")
+        with pytest.raises(ValueError):
+            counter.labels().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("depth", "", ("cpu",))
+        child = gauge.labels("0")
+        child.set(2)
+        child.dec()
+        child.inc(3)
+        assert child.value == 4
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram("lat", "", buckets=(10, 100, 1000))
+        child = histogram.labels()
+        for value in (5, 50, 500, 5000):
+            child.observe(value)
+        # +Inf appended automatically; each observation lands in every
+        # bucket whose bound it does not exceed.
+        assert histogram.buckets == (10, 100, 1000, math.inf)
+        assert child.counts == [1, 2, 3, 4]
+        assert child.sum == 5555
+        assert child.count == 4
+
+    def test_labels_by_keyword(self):
+        counter = Counter("t_total", "", ("config", "reason"))
+        assert (counter.labels(reason="hvc", config="a")
+                is counter.labels("a", "hvc"))
+
+    def test_label_arity_enforced(self):
+        counter = Counter("t_total", "", ("config",))
+        with pytest.raises(ValueError):
+            counter.labels("a", "b")
+        with pytest.raises(ValueError):
+            counter.labels(nope="a")
+
+    def test_enum_and_bool_labels_canonicalized(self):
+        from repro.metrics.counters import ExitReason
+        counter = Counter("t_total", "", ("reason", "flag"))
+        counter.labels(ExitReason.HVC, True).inc()
+        assert counter.labels("hvc", "true").value == 1
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad-name")
+        with pytest.raises(ValueError):
+            Counter("1starts_with_digit")
+        with pytest.raises(ValueError):
+            Counter("ok", "", ("bad label",))
+
+
+class TestRegistry:
+    def test_reregistration_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "h", ("a",))
+        again = registry.counter("x_total", "h", ("a",))
+        assert first is again
+
+    def test_reregistration_schema_conflict(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "h", ("a",))
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "h", ("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "h", ("a", "b"))
+
+    def test_collect_is_registration_ordered(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total")
+        registry.gauge("a_gauge")
+        assert [f.name for f in registry.collect()] == ["z_total", "a_gauge"]
+
+    def test_virtual_clock(self):
+        ticks = [12345]
+        registry = MetricsRegistry(clock=lambda: ticks[0])
+        assert registry.now() == 12345
+        assert "# Virtual-cycle timestamp: 12345" in \
+            registry.prometheus_text()
+        assert json.loads(registry.json_snapshot())["virtual_cycles"] \
+            == 12345
+
+    def test_reset_keeps_schema(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", "", ("a",))
+        counter.labels("1").inc()
+        registry.reset()
+        assert counter.total() == 0
+        assert registry.get("x_total") is counter
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry(clock=lambda: 777)
+        counter = registry.counter("traps_total", "traps", ("config",))
+        counter.labels("neve").inc(16)
+        counter.labels("arm").inc(126)
+        histogram = registry.histogram("lat", "latency", ("config",),
+                                       buckets=(100, 1000))
+        histogram.labels("neve").observe(70)
+        histogram.labels("neve").observe(700)
+        registry.gauge("depth", "", ("cpu",)).labels("0").set(2)
+        return registry
+
+    def test_prometheus_text_shape(self):
+        text = self._populated().prometheus_text()
+        assert '# TYPE traps_total counter' in text
+        assert 'traps_total{config="arm"} 126' in text
+        assert 'traps_total{config="neve"} 16' in text
+        assert 'lat_bucket{config="neve",le="100"} 1' in text
+        assert 'lat_bucket{config="neve",le="1000"} 2' in text
+        assert 'lat_bucket{config="neve",le="+Inf"} 2' in text
+        assert 'lat_sum{config="neve"} 770' in text
+        assert 'lat_count{config="neve"} 2' in text
+        assert 'depth{cpu="0"} 2' in text
+
+    def test_children_sorted_by_label_values(self):
+        text = self._populated().prometheus_text()
+        assert text.index('config="arm"') < text.index('config="neve"')
+
+    def test_json_snapshot_roundtrips(self):
+        document = json.loads(self._populated().json_snapshot())
+        assert document["schema"] == "repro-metrics/1"
+        traps = document["metrics"]["traps_total"]
+        assert traps["kind"] == "counter"
+        assert traps["series"][0] == {"labels": {"config": "arm"},
+                                      "value": 126}
+        lat = document["metrics"]["lat"]["series"][0]
+        assert lat["buckets"] == [1, 2, 2]
+        assert lat["le"] == ["100", "1000", "+Inf"]
+
+    def test_format_value(self):
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(16) == "16"
+        assert format_value(16.0) == "16"
+        assert format_value(2.5) == "2.5"
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_default_cycle_buckets_end_with_inf(self):
+        assert CYCLE_BUCKETS[-1] == math.inf
+        assert list(CYCLE_BUCKETS) == sorted(CYCLE_BUCKETS)
