@@ -7,6 +7,13 @@ hypervisor services.  The ARMv8.3 trace shows the guest hypervisor's world
 switch trapping on every system register access; the NEVE trace shows only
 the irreducible transitions and trap-on-write registers.
 
+A third act demonstrates the recovery layer's degradation *lifecycle*:
+the same vcpu at 16 traps under NEVE, at 126 after a graceful
+degradation (the page evacuated, every vEL2 access trapping again),
+and back at 16 after the cooling-off window elapses and the
+re-promotion path re-arms a fresh deferred access page — degradation
+is an operating mode to recover from, not a one-way door.
+
 Pass ``--sanitize`` to run the whole scenario under the runtime
 invariant sanitizer (``repro.analysis.sanitizer``) and print its
 verdict alongside the traces.
@@ -60,6 +67,40 @@ def trace_hypercall(nested_mode, report=None):
     return tracer.trace
 
 
+def degradation_lifecycle():
+    """NEVE -> degraded -> re-promoted, with the trap count of one L2
+    hypercall measured in each state (16 / 126 / 16)."""
+    from repro.faults.plan import FaultPlan
+    from repro.faults.points import FaultInjector
+    from repro.faults.recovery import IntegrityMonitor, RecoveryManager
+
+    config = ALL_CONFIGS["neve-nested"]
+    machine = Machine(arch=arm_arch_for(config), costs=ARM_COSTS)
+    vm = machine.kvm.create_vm(num_vcpus=1, nested="neve")
+    vcpu = vm.vcpus[0]
+    machine.kvm.boot_nested(vcpu)
+
+    monitor = IntegrityMonitor(machine.memory,
+                               vcpu.neve.page.baddr).install()
+    recovery = RecoveryManager(machine, vcpu,
+                               monitor, FaultInjector(FaultPlan(0, [])))
+
+    def probe():
+        before = machine.traps.total
+        vcpu.cpu.hvc(0)
+        return machine.traps.total - before
+
+    vcpu.cpu.hvc(0)  # warm up
+    stages = [("NEVE armed", probe())]
+    recovery.degrade(vcpu.cpu, "demo: simulated fault burst")
+    stages.append(("degraded (trap-and-emulate)", probe()))
+    # Serve the cooling-off window in virtual time, then re-promote.
+    machine.ledger.charge(recovery.cooling_off_required(), "idle")
+    assert recovery.maybe_repromote(vcpu.cpu)
+    stages.append(("re-promoted (page re-armed)", probe()))
+    return stages
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sanitize", action="store_true",
@@ -81,6 +122,17 @@ def main(argv=None):
     print("Every line is work the ARMv8.3 host hypervisor must emulate")
     print("with a full world switch; NEVE's deferred access page absorbs")
     print("the register traffic in ordinary loads and stores.")
+    print()
+    print("=" * 70)
+    print("Degradation lifecycle: one vcpu, one hypercall per stage")
+    print("-" * 70)
+    for label, traps in degradation_lifecycle():
+        print("  %-32s %4d traps" % (label, traps))
+    print()
+    print("The recovery layer's degradation is a mode, not a one-way")
+    print("door: after the cooling-off window, re-promotion re-arms a")
+    print("fresh deferred access page and the 16-trap profile returns")
+    print("(see docs/faults.md).")
     if report is not None:
         print()
         print(report.summary())

@@ -2,10 +2,11 @@
 
 Default run (no arguments) executes every pass against the live tree:
 the spec-conformance checker, the AST lint over the ``repro`` package
-sources, the sanitized exit-multiplication smoke scenario, and the
+sources, the sanitized exit-multiplication smoke scenario, the
 telemetry-registry checks (``san-metrics-reconcile``,
-``san-metrics-ledger``).  Any finding fails the run (exit status 1),
-which is what CI keys on.
+``san-metrics-ledger``), and the doc lint (``doc-link``,
+``doc-subcommand``) over ``README.md`` and ``docs/``.  Any finding
+fails the run (exit status 1), which is what CI keys on.
 
 Usage::
 
@@ -13,6 +14,7 @@ Usage::
     python -m repro lint path/to/file.py  # lint specific files/dirs
     python -m repro lint --no-sanitize    # skip the runtime scenario
     python -m repro lint --no-metrics     # skip the registry checks
+    python -m repro lint --no-docs        # skip the doc lint
 """
 
 import argparse
@@ -45,6 +47,9 @@ def build_parser():
     parser.add_argument("--no-metrics", action="store_true",
                         help="skip the telemetry-registry checks "
                              "(san-metrics-reconcile, san-metrics-ledger)")
+    parser.add_argument("--no-docs", action="store_true",
+                        help="skip the doc lint (markdown link and "
+                             "subcommand checks over README.md and docs/)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="print findings only, no summary")
     return parser
@@ -88,6 +93,12 @@ def main(argv=None):
         findings.extend(report.violations)
         passes.append(("metrics[%d checks]" % report.checks,
                        len(report.violations)))
+
+    if not args.no_docs:
+        from repro.analysis.doclint import check_docs
+        doc_findings = check_docs()
+        findings.extend(doc_findings)
+        passes.append(("docs", len(doc_findings)))
 
     for finding in findings:
         print(finding.format())

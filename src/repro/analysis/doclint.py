@@ -1,0 +1,89 @@
+"""Doc lint (``doc-*`` rules): keep the operator docs honest.
+
+Two checks over the repository's markdown (``README.md`` plus
+``docs/``), run as part of ``python -m repro lint``:
+
+* **doc-link** — every relative ``[text](target)`` link must resolve to
+  an existing file or directory.  External links (``http``/``https``/
+  ``mailto``) and pure in-page anchors (``#...``) are skipped; a
+  ``file.md#anchor`` target is checked for the file part only.
+* **doc-subcommand** — every ``python -m repro <subcommand>`` a doc
+  names must exist in the ``repro.__main__`` routing table, so the docs
+  cannot drift ahead of (or behind) the CLI.
+
+The pass takes no options: it always runs over the repo the installed
+``repro`` package belongs to (tests point it at a temp tree via the
+``root`` argument).
+"""
+
+import re
+from pathlib import Path
+
+from repro.analysis.base import Finding
+
+#: ``[text](target)`` — inline markdown links, optional "title" ignored.
+_LINK = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+
+#: ``python -m repro <word>`` — the first token after the module, when
+#: it looks like a subcommand name (flags and bare invocations don't).
+_SUBCOMMAND = re.compile(r"python\s+-m\s+repro\s+([a-z][a-z0-9_-]*)")
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _repo_root():
+    """The repository the installed ``repro`` package lives in
+    (``src/repro`` -> two levels up)."""
+    import repro
+    return Path(repro.__file__).parent.parent.parent
+
+
+def _doc_files(root):
+    docs = []
+    readme = root / "README.md"
+    if readme.exists():
+        docs.append(readme)
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        docs.extend(sorted(docs_dir.rglob("*.md")))
+    return docs
+
+
+def _known_subcommands():
+    from repro.__main__ import SUBCOMMANDS
+    return {name for name, _module, _description in SUBCOMMANDS}
+
+
+def check_docs(root=None):
+    """Run both doc checks; returns a list of :class:`Finding`."""
+    root = Path(root) if root is not None else _repo_root()
+    known = _known_subcommands()
+    findings = []
+    for doc in _doc_files(root):
+        rel = doc.relative_to(root)
+        for line_number, line in enumerate(
+                doc.read_text().splitlines(), start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                file_part = target.split("#", 1)[0]
+                if not file_part:
+                    continue
+                resolved = (doc.parent / file_part)
+                if not resolved.exists():
+                    findings.append(Finding(
+                        rule="doc-link",
+                        message="broken relative link: %s" % target,
+                        path=str(rel), line=line_number))
+            for match in _SUBCOMMAND.finditer(line):
+                name = match.group(1)
+                if name not in known:
+                    findings.append(Finding(
+                        rule="doc-subcommand",
+                        message="doc names 'python -m repro %s' but the "
+                                "routing table has no such subcommand "
+                                "(known: %s)"
+                                % (name, ", ".join(sorted(known))),
+                        path=str(rel), line=line_number))
+    return findings

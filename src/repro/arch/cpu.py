@@ -117,6 +117,14 @@ class Cpu:
         # writes and raise spurious SErrors at named points.
         self.fault_hook = None
 
+        # Optional cross-CPU recovery-ordering guard
+        # (repro.faults.recovery.RecoveryCoordinator).  When attached,
+        # every deferred-page access is checked against the machine-wide
+        # quarantine: a CPU must not observe another vCPU's
+        # half-repaired VNCR page while its recovery is in flight.
+        # Observe-only, same contract as the tracer.
+        self.recovery_guard = None
+
         # Optional span tracer (repro.trace.spans.Tracer).  When
         # attached, every trap opens a span whose children are the traps
         # the host hypervisor's emulation causes in turn, so one nested
@@ -562,6 +570,9 @@ class Cpu:
         metrics = self.metrics
         if metrics is not None:
             metrics.count_deferred(reg.name, is_write)
+        guard = self.recovery_guard
+        if guard is not None:
+            guard.on_deferred_access(self, addr)
         hook = self.fault_hook
         if hook is not None:
             hook.on_deferred_access(self, reg, is_write)

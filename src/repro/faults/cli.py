@@ -1,9 +1,16 @@
 """``python -m repro faults`` — run seeded fault campaigns.
 
 Exit status 0 means every campaign was clean: every injected fault
-ended recovered or explicitly degraded, the sanitizer saw no invariant
-violations, and the post-recovery probe behaved like the surviving
-configuration.  Any silent fault fails the run.
+ended recovered, explicitly degraded, or re-promoted after cooling off;
+the sanitizer saw no invariant violations; no cross-CPU recovery
+ordering rule was broken; and the post-recovery probes behaved like the
+surviving configuration (including the re-probe after a re-promotion,
+which must be back to NEVE's trap count).  Any silent fault fails the
+run.
+
+With ``--cpus N`` every campaign boots N pinned vCPUs with independent
+seed-split fault plans and reports a per-vCPU verdict column; see
+``docs/faults.md`` for how to read the output.
 """
 
 import argparse
@@ -11,6 +18,7 @@ import sys
 
 from repro.faults.campaign import run_campaign
 from repro.faults.plan import FaultClass
+from repro.hypervisor.scheduler import INTERLEAVE_POLICIES
 
 
 def main(argv=None):
@@ -22,6 +30,14 @@ def main(argv=None):
                         help="number of seeds to run (default 20)")
     parser.add_argument("--seed-base", type=int, default=0,
                         help="first seed (campaign i runs seed base+i)")
+    parser.add_argument("--cpus", type=int, default=1, metavar="N",
+                        help="vCPUs per campaign; each gets its own "
+                             "seed-split fault plan (default 1)")
+    parser.add_argument("--interleave", default="roundrobin",
+                        choices=INTERLEAVE_POLICIES,
+                        help="per-round vcpu execution order (the "
+                             "determinism tests perturb this; verdicts "
+                             "must converge)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print per-fault outcomes for every seed")
     parser.add_argument("--trace", metavar="DIR", default=None,
@@ -34,7 +50,8 @@ def main(argv=None):
     results = []
     for index in range(args.seeds):
         result = run_campaign(args.seed_base + index,
-                              trace=args.trace is not None)
+                              trace=args.trace is not None,
+                              cpus=args.cpus, interleave=args.interleave)
         if args.trace is not None:
             _write_trace(args.trace, result)
         results.append(result)
@@ -44,22 +61,29 @@ def main(argv=None):
     failed = [r for r in results if not r.ok]
     for result in results:
         marker = "ok" if result.ok else "FAIL"
-        line = ("seed %4d  %s  degraded=%-5s probe=%3d  sanitizer %d/%d  "
-                "digest %s" % (result.seed, marker, result.degraded,
-                               result.probe_traps,
-                               result.sanitizer_violations,
-                               result.sanitizer_checks,
-                               result.digest[:16]))
+        line = ("seed %4d  %s  degraded=%-5s repromoted=%-5s probe=%3d  "
+                "sanitizer %d/%d  digest %s"
+                % (result.seed, marker, result.degraded,
+                   result.repromoted, result.probe_traps,
+                   result.sanitizer_violations,
+                   result.sanitizer_checks,
+                   result.digest[:16]))
+        print(line)
+        if args.cpus > 1 and (args.verbose or not result.ok):
+            for row in result.per_vcpu:
+                reprobe = ("reprobe=%3d" % row["reprobe"]
+                           if row["reprobe"] is not None else "")
+                print("    vcpu%(vcpu)d %(verdict)-10s "
+                      "probe=%(probe)3d " % row + reprobe)
         if args.verbose or not result.ok:
-            print(line)
             for entry in result.outcomes:
-                print("    #%(fault_id)d %(class)-18s @%(point)-17s"
-                      "[%(trigger)3d]  %(outcome)s (%(recovery)s)"
-                      % entry)
+                print("    cpu%(cpu)s #%(fault_id)d %(class)-18s "
+                      "@%(point)-17s[%(trigger)3d]  %(outcome)s "
+                      "(%(recovery)s)" % entry)
+            for violation in result.ordering_violations:
+                print("    ORDERING: %s" % violation)
             for silent in result.silent:
                 print("    SILENT: %s" % silent)
-        else:
-            print(line)
 
     print()
     print("%d/%d campaigns clean" % (len(results) - len(failed),
@@ -81,9 +105,9 @@ def _write_trace(out_dir, result):
 
 def _print_class_table(results):
     """Aggregate per fault class: planned / fired / recovered / degraded
-    / not-triggered across all seeds."""
+    / re-promoted / not-triggered across all seeds."""
     rows = {fc.value: {"planned": 0, "fired": 0, "recovered": 0,
-                       "degraded": 0, "not-triggered": 0}
+                       "degraded": 0, "repromoted": 0, "not-triggered": 0}
             for fc in FaultClass}
     for result in results:
         for entry in result.outcomes:
@@ -95,16 +119,17 @@ def _print_class_table(results):
                     row[entry["outcome"]] += 1
             else:
                 row["not-triggered"] += 1
-    header = ("%-20s %8s %6s %10s %9s %8s"
+    header = ("%-20s %8s %6s %10s %9s %11s %8s"
               % ("fault class", "planned", "fired", "recovered",
-                 "degraded", "missed"))
+                 "degraded", "repromoted", "missed"))
     print(header)
     print("-" * len(header))
     for name in sorted(rows):
         row = rows[name]
-        print("%-20s %8d %6d %10d %9d %8d"
+        print("%-20s %8d %6d %10d %9d %11d %8d"
               % (name, row["planned"], row["fired"], row["recovered"],
-                 row["degraded"], row["not-triggered"]))
+                 row["degraded"], row["repromoted"],
+                 row["not-triggered"]))
 
 
 if __name__ == "__main__":

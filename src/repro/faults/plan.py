@@ -126,6 +126,15 @@ class FaultPlan:
         return "; ".join(f.describe() for f in self.faults)
 
     @classmethod
+    def generate_smp(cls, seed, cpus):
+        """Seed-split plans for a multi-vCPU campaign: one independent
+        deterministic plan per vCPU, all derived from the one campaign
+        seed.  vCPU 0 keeps the plan ``generate(seed)`` would produce, so
+        a single-CPU campaign is the exact degenerate case."""
+        return [cls.generate(split_seed(seed, index))
+                for index in range(cpus)]
+
+    @classmethod
     def generate(cls, seed):
         """Derive a plan from *seed*: 3-6 faults of distinct classes."""
         rng = random.Random(seed)
@@ -147,6 +156,19 @@ class FaultPlan:
             faults.append(PlannedFault(fault_id, fault_class, point,
                                        trigger, params))
         return cls(seed, faults)
+
+
+def split_seed(seed, cpu_index):
+    """Derive vCPU *cpu_index*'s plan seed from the campaign seed.
+
+    Knuth multiplicative mixing keeps the per-CPU streams statistically
+    independent while staying a pure function of ``(seed, cpu_index)``;
+    index 0 maps to the campaign seed itself so single-CPU campaigns are
+    unchanged.
+    """
+    if cpu_index == 0:
+        return seed
+    return (seed + cpu_index * 2654435761) % (1 << 32)
 
 
 def _params_for(rng, fault_class):

@@ -41,8 +41,9 @@ class FaultEvent:
     point: str
     seq: int  # firing order within the campaign
     detail: dict = field(default_factory=dict)
-    outcome: str = "pending"  # pending | recovered | degraded
+    outcome: str = "pending"  # pending | recovered | degraded | repromoted
     recovery: str = ""  # how it was resolved (replayed, superseded, ...)
+    at_cycle: int = None  # virtual time of the firing (when clock is set)
 
     def resolve(self, outcome, recovery):
         self.outcome = outcome
@@ -66,6 +67,11 @@ class FaultInjector:
         # instant events, so recovery ladders in the causal tree show
         # which injected fault they answer.
         self.tracer = None
+        # Optional virtual-time source (the campaign points it at the
+        # machine's cycle ledger).  When set, every fired fault is
+        # stamped with the cycle it fired at — the re-promotion path's
+        # cooling-off window measures quiet time from the last stamp.
+        self.clock = None
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -77,7 +83,9 @@ class FaultInjector:
 
     def _fire(self, fault, detail):
         event = FaultEvent(fault=fault, point=fault.point,
-                           seq=len(self.events), detail=detail)
+                           seq=len(self.events), detail=detail,
+                           at_cycle=(self.clock() if self.clock is not None
+                                     else None))
         self.events.append(event)
         tracer = self.tracer
         if tracer is not None:
@@ -91,6 +99,13 @@ class FaultInjector:
 
     def pending(self):
         return [e for e in self.events if e.outcome == "pending"]
+
+    def last_fired_cycle(self):
+        """Virtual time of the most recent firing (0 when nothing fired
+        or no clock was attached) — the re-promotion hysteresis measures
+        its cooling-off window from here."""
+        stamps = [e.at_cycle for e in self.events if e.at_cycle is not None]
+        return max(stamps) if stamps else 0
 
     # -- Cpu hooks ---------------------------------------------------------
 
@@ -151,7 +166,8 @@ class FaultInjector:
             cpu.memory.write_word(addr, garbage)
         self._fire(fault, {"reg": victim, "expected": expected,
                            "observed": garbage,
-                           "critical": fault.params["critical"]})
+                           "critical": fault.params["critical"],
+                           "baddr": cpu.vncr_baddr})
 
     def filter_deferred_store(self, cpu, reg, addr, value):
         """Point ``vncr.store``: tear the store — only the low half of
@@ -164,7 +180,8 @@ class FaultInjector:
         self._fire(fault, {"reg": reg.name, "intended": value,
                            "observed": torn,
                            "replay_failures": fault.params.get(
-                               "replay_failures", 0)})
+                               "replay_failures", 0),
+                           "baddr": cpu.vncr_baddr})
         return torn
 
     # -- NeveRunner hook ---------------------------------------------------

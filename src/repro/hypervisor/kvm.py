@@ -210,6 +210,18 @@ class KvmHypervisor:
         self._vncr_next[0] += PAGE_SIZE
         return baddr
 
+    def rearm_neve(self, vcpu):
+        """Re-promotion (the host half): hand a degraded vcpu a fresh
+        deferred-access page and a new runner.  The recovery layer owns
+        repopulating the slots from the banked contexts; the runner is
+        enabled on the next virtual-EL2 entry like any other."""
+        if vcpu.neve is not None:
+            raise RuntimeError("vcpu %d already has a NEVE runner"
+                               % vcpu.vcpu_id)
+        vcpu.neve = NeveRunner(vcpu.cpu, self.machine.memory,
+                               self.alloc_vncr_page())
+        return vcpu.neve
+
     def run_vcpu(self, vcpu):
         """Initial entry into a vcpu from the host."""
         cpu = vcpu.cpu

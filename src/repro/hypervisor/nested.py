@@ -278,7 +278,11 @@ class GuestHypervisor:
 
         Mark the interrupt pending for the target L2 vcpu and kick the L1
         vcpu that runs it — that kick is itself an ICC_SGI1R write, which
-        traps to L0 (the kernel part runs at vEL1).
+        traps to L0 (the kernel part runs at vEL1).  The target may live
+        on another physical CPU (the pinned SMP model): the pending table
+        is per-vcpu-id, so the interrupt is delivered by the target's own
+        next vgic flush, whenever its CPU next enters the nested VM —
+        the cross-CPU path the SMP fault campaigns drive.
         """
         cpu.work(240, category="l1_vgic")
         target = payload.get("target", 0) if payload else 0

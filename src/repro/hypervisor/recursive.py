@@ -112,6 +112,7 @@ class RecursiveHost:
         self.l1 = L1EmulationPath(vhe=l1_vhe)
         self.stats = BoundaryStats()
         self._forwarding = False
+        self._fault_hook = None  # propagated to lazily-created runners
 
         # The L1 VM's stage-2 table, used to translate the BADDR the L1
         # wrote for the L2 hypervisor's page (Section 6.2's key step).
@@ -135,6 +136,24 @@ class RecursiveHost:
         """Live runners, for sanitizer attachment."""
         return [r for r in (self.l1_runner, self.l2_runner)
                 if r is not None]
+
+    def arm_fault_hook(self, hook):
+        """Thread a fault injector through the whole recursive stack:
+        the CPU (so L1-level deferred traffic — the L1 runner's page —
+        is reachable) and every per-level runner, including the
+        lazily-created L2 runner.  This is how SMP campaigns inject
+        into the L1 ``NeveRunner`` rather than only doing post-hoc L2
+        page repair."""
+        self._fault_hook = hook
+        self.cpu.fault_hook = hook
+        for runner in self.runners:
+            runner.fault_hook = hook
+
+    def disarm_fault_hook(self):
+        self._fault_hook = None
+        self.cpu.fault_hook = None
+        for runner in self.runners:
+            runner.fault_hook = None
 
     # ------------------------------------------------------------------
     # Setup: the Section 6.2 workflow
@@ -163,6 +182,7 @@ class RecursiveHost:
                     or self.l2_runner.page.baddr != machine_baddr:
                 self.l2_runner = NeveRunner(self.cpu, self.memory,
                                             machine_baddr)
+                self.l2_runner.fault_hook = self._fault_hook
             self.l2_runner.enable()
         self.cpu.enter_guest_context(ExceptionLevel.EL1, nv=True,
                                      virtual_e2h=False)

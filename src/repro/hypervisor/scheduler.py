@@ -122,6 +122,33 @@ class VcpuScheduler:
         return ledger.total - cycles, traps.total - trap_count
 
 
+#: Interleaving policies for SMP fault campaigns: how the single-threaded
+#: discrete-event driver orders the per-vCPU work within one round.
+INTERLEAVE_POLICIES = ("roundrobin", "reversed", "oddeven")
+
+
+def interleave_order(num_cpus, round_index, policy="roundrobin"):
+    """Deterministic vcpu execution order for one campaign round.
+
+    The SMP fault campaign runs its vCPUs from a single driver loop;
+    this chooses the order within a round.  ``roundrobin`` rotates the
+    starting vcpu by round (every vcpu leads once), ``reversed`` runs
+    descending ids, ``oddeven`` runs odd ids before even ones — the
+    perturbed orders the determinism tests use to show the per-vCPU
+    verdicts converge regardless of interleaving.
+    """
+    if policy not in INTERLEAVE_POLICIES:
+        raise ValueError("unknown interleave policy %r (one of %s)"
+                         % (policy, ", ".join(INTERLEAVE_POLICIES)))
+    ids = list(range(num_cpus))
+    if policy == "reversed":
+        return list(reversed(ids))
+    if policy == "oddeven":
+        return [i for i in ids if i % 2] + [i for i in ids if not i % 2]
+    start = round_index % num_cpus if num_cpus else 0
+    return ids[start:] + ids[:start]
+
+
 def consolidation_experiment(machine, num_vms=2, timeslice=500_000,
                              hypercalls=6):
     """Run *num_vms* single-vcpu VMs on one physical CPU, alternating

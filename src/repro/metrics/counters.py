@@ -99,7 +99,8 @@ class RecoveryEvent(enum.Enum):
     MIGRATION_FLUSH = "migration_flush"  # page relocated + resynced
     LR_REQUEUE = "lr_requeue"  # dropped list register re-queued
     VIRTIO_REKICK = "virtio_rekick"  # lost notification re-kicked
-    NEVE_DEGRADE = "neve_degrade"  # NEVE torn down to trap-and-emulate
+    NEVE_DEGRADE = "neve_degrade"  # NEVE taken down to trap-and-emulate
+    NEVE_REPROMOTE = "neve_repromote"  # page re-armed after cooling off
 
 
 @dataclass

@@ -109,6 +109,20 @@ class MachineMetrics:
             "repro_boundary_traps_total",
             "Traps crossing a recursive-stack boundary, by disposition",
             ("config", "boundary"))
+        self.neve_state = reg.gauge(
+            "repro_neve_state",
+            "Whether NEVE is armed per cpu (1 = deferred access page "
+            "live, 0 = degraded to trap-and-emulate)",
+            ("config", "cpu"))
+        self.cpu_recoveries = reg.counter(
+            "repro_cpu_recoveries_total",
+            "Recovery-ladder actions attributed to the cpu they ran on",
+            ("config", "cpu", "event"))
+        self.degradation_dwell = reg.histogram(
+            "repro_degradation_dwell_cycles",
+            "Virtual cycles a vcpu spent degraded before re-promotion "
+            "re-armed its deferred access page",
+            ("config",))
 
     # -- attachment ------------------------------------------------------
 
@@ -186,6 +200,15 @@ class MachineMetrics:
 
     def observe_recovery_cycles(self, cycles):
         self.recovery_cycles.labels(self.config).observe(cycles)
+
+    def set_neve_state(self, cpu_id, armed):
+        self.neve_state.labels(self.config, str(cpu_id)).set(armed)
+
+    def count_cpu_recovery(self, cpu_id, event):
+        self.cpu_recoveries.labels(self.config, str(cpu_id), event).inc()
+
+    def observe_degradation_dwell(self, cycles):
+        self.degradation_dwell.labels(self.config).observe(cycles)
 
     def count_vel2_exit(self, reason):
         self.vel2_exits.labels(self.config, reason).inc()

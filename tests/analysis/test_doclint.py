@@ -1,0 +1,63 @@
+"""The doc lint: relative links must resolve, named subcommands must
+exist in the ``repro.__main__`` routing table."""
+
+from repro.analysis.doclint import check_docs
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_clean_tree_passes(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "a.md").write_text(
+        "See [b](b.md) and run `python -m repro lint`.\n")
+    (tmp_path / "docs" / "b.md").write_text("linked\n")
+    (tmp_path / "README.md").write_text(
+        "[docs](docs/a.md) and [site](https://example.org)\n")
+    assert check_docs(tmp_path) == []
+
+
+def test_broken_relative_link_is_flagged(tmp_path):
+    (tmp_path / "README.md").write_text("[gone](docs/missing.md)\n")
+    findings = check_docs(tmp_path)
+    assert _rules(findings) == ["doc-link"]
+    assert "docs/missing.md" in findings[0].message
+    assert findings[0].path == "README.md"
+    assert findings[0].line == 1
+
+
+def test_anchor_and_external_links_are_skipped(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "[top](#section) [ext](http://x.test/a.md) [mail](mailto:a@b.c)\n")
+    assert check_docs(tmp_path) == []
+
+
+def test_link_with_anchor_checks_the_file_part(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "a.md").write_text("# Section\n")
+    (tmp_path / "README.md").write_text(
+        "[ok](docs/a.md#section) [bad](docs/b.md#section)\n")
+    findings = check_docs(tmp_path)
+    assert _rules(findings) == ["doc-link"]
+    assert "docs/b.md" in findings[0].message
+
+
+def test_unknown_subcommand_is_flagged(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "Run `python -m repro frobnicate --fast`.\n")
+    findings = check_docs(tmp_path)
+    assert _rules(findings) == ["doc-subcommand"]
+    assert "frobnicate" in findings[0].message
+
+
+def test_known_subcommands_pass(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "`python -m repro lint`, `python -m repro faults --cpus 4`,\n"
+        "`python -m repro trace`, `python -m repro bench`,\n"
+        "`python -m repro metrics`, and bare `python -m repro`.\n")
+    assert check_docs(tmp_path) == []
+
+
+def test_the_real_tree_is_clean():
+    assert check_docs() == []

@@ -38,7 +38,7 @@ def test_no_fault_ends_silent():
         assert result.silent == []
         for row in result.outcomes:
             assert row["outcome"] in ("recovered", "degraded",
-                                      "not-triggered")
+                                      "repromoted", "not-triggered")
 
 
 def test_sanitizer_rides_along_clean():
@@ -53,6 +53,19 @@ def test_degrading_seed_shows_exit_multiplication():
     assert result.degrade_reason
     assert result.probe_traps >= PROBE_DEGRADED_MIN
     assert result.recovery_counts.get("neve_degrade") == 1
+
+
+def test_degrading_seed_repromotes_after_cooling_off():
+    """Degradation is not terminal: after the cooling-off window the
+    campaign re-arms NEVE and the re-probe is back to the NEVE trap
+    envelope (16-ish traps, not 126)."""
+    result = run_campaign(DEGRADING_SEED)
+    assert result.repromoted
+    assert result.recovery_counts.get("neve_repromote") == 1
+    verdicts = {row["vcpu"]: row for row in result.per_vcpu}
+    assert verdicts[0]["verdict"] == "repromoted"
+    assert verdicts[0]["probe"] >= PROBE_DEGRADED_MIN  # while degraded
+    assert verdicts[0]["reprobe"] <= PROBE_NEVE_MAX  # after re-arm
 
 
 def test_surviving_seed_keeps_neve_exit_profile():

@@ -1,0 +1,256 @@
+"""SMP fault campaigns: seed-split determinism, interleaving
+convergence, cross-CPU recovery ordering, and re-promotion hysteresis.
+
+The determinism contract is two-layered: the *same* seed, vCPU count
+and interleave policy reproduce the campaign byte for byte (digest
+equality), and a *perturbed* interleaving — reordering which vCPU runs
+first within each round — still converges to the same per-vCPU verdict
+for every vCPU.
+"""
+
+from repro.arch.features import ArchConfig, ArchVersion, GicVersion
+from repro.faults.campaign import PROBE_NEVE_MAX, run_campaign
+from repro.faults.plan import FaultPlan, split_seed
+from repro.faults.points import FaultInjector
+from repro.faults.recovery import (
+    MAX_REPROMOTIONS,
+    MachineIntegrityMonitor,
+    RecoveryCoordinator,
+    RecoveryManager,
+)
+from repro.hypervisor.kvm import Machine
+from repro.hypervisor.scheduler import INTERLEAVE_POLICIES, interleave_order
+from repro.metrics.cycles import ARM_COSTS
+
+#: Deterministic split for cpus=4 (stable facts about the pure function,
+#: mirrors DEGRADING_SEED / SURVIVING_SEED in test_campaign.py).
+SMP_DEGRADING_SEED = 0
+SMP_CLEAN_SEED = 1
+
+
+def _smp_machine(cpus):
+    machine = Machine(arch=ArchConfig(version=ArchVersion.V8_4,
+                                      gic=GicVersion.V3),
+                      num_cpus=cpus, costs=ARM_COSTS)
+    vm = machine.kvm.create_vm(num_vcpus=cpus, nested="neve")
+    return machine, vm
+
+
+def _coordinated(machine, vm):
+    monitor = MachineIntegrityMonitor(machine.memory).install()
+    coordinator = RecoveryCoordinator(machine)
+    for vcpu in vm.vcpus:
+        window = monitor.track(vcpu.vcpu_id, vcpu.neve.page.baddr)
+        RecoveryManager(machine, vcpu, window,
+                        FaultInjector(FaultPlan(0, [])),
+                        coordinator=coordinator)
+    return monitor, coordinator
+
+
+# -- seed splitting ----------------------------------------------------------
+
+
+def test_split_seed_index_zero_is_identity():
+    for seed in range(8):
+        assert split_seed(seed, 0) == seed
+
+
+def test_split_seeds_are_distinct_per_cpu():
+    for seed in range(4):
+        splits = [split_seed(seed, cpu) for cpu in range(8)]
+        assert len(set(splits)) == len(splits)
+
+
+def test_generate_smp_cpu0_matches_single_plan():
+    for seed in range(4):
+        plans = FaultPlan.generate_smp(seed, 4)
+        assert plans[0].describe() == FaultPlan.generate(seed).describe()
+
+
+# -- interleave orders -------------------------------------------------------
+
+
+def test_interleave_orders_are_permutations():
+    for policy in INTERLEAVE_POLICIES:
+        for round_index in range(4):
+            order = interleave_order(4, round_index, policy)
+            assert sorted(order) == [0, 1, 2, 3]
+
+
+def test_roundrobin_rotates_the_leader():
+    leaders = [interleave_order(4, r, "roundrobin")[0] for r in range(4)]
+    assert leaders == [0, 1, 2, 3]
+
+
+# -- campaign determinism ----------------------------------------------------
+
+
+def test_same_seed_same_cpus_is_byte_identical():
+    a = run_campaign(3, cpus=4)
+    b = run_campaign(3, cpus=4)
+    assert a.canonical() == b.canonical()
+    assert a.digest == b.digest
+    assert a.recovery_order == b.recovery_order
+
+
+def test_cpu_count_is_part_of_the_digest():
+    assert run_campaign(3, cpus=1).digest != run_campaign(3, cpus=4).digest
+
+
+def test_perturbed_interleaving_converges_to_same_verdicts():
+    for seed in (SMP_DEGRADING_SEED, SMP_CLEAN_SEED, 2, 3):
+        verdicts = []
+        for policy in INTERLEAVE_POLICIES:
+            result = run_campaign(seed, cpus=4, interleave=policy)
+            assert result.ok, result.canonical()
+            verdicts.append([(row["vcpu"], row["verdict"])
+                             for row in result.per_vcpu])
+        assert verdicts[0] == verdicts[1] == verdicts[2], seed
+
+
+def test_smp_campaign_never_silent_and_no_ordering_violations():
+    for seed in range(4):
+        result = run_campaign(seed, cpus=4)
+        assert result.ok, result.canonical()
+        assert result.silent == []
+        assert result.ordering_violations == []
+        for row in result.outcomes:
+            assert row["outcome"] in ("recovered", "degraded",
+                                      "repromoted", "not-triggered")
+
+
+def test_smp_recovery_order_is_journalled_and_in_vcpu_order():
+    result = run_campaign(SMP_DEGRADING_SEED, cpus=4)
+    assert result.recovery_order  # settlement at minimum
+    settle_ids = [vcpu_id for vcpu_id, action in result.recovery_order
+                  if action == "settle"]
+    assert settle_ids == sorted(settle_ids)
+    assert "order=" in result.canonical()
+
+
+def test_smp_repromoted_vcpus_reprobe_within_neve_envelope():
+    result = run_campaign(SMP_DEGRADING_SEED, cpus=4)
+    assert result.repromoted
+    repromoted = [row for row in result.per_vcpu
+                  if row["verdict"] == "repromoted"]
+    assert repromoted
+    for row in repromoted:
+        assert row["reprobe"] is not None
+        assert row["reprobe"] <= PROBE_NEVE_MAX
+
+
+# -- cross-CPU ordering rules ------------------------------------------------
+
+
+def test_overlapping_recovery_is_recorded_as_violation():
+    machine, vm = _smp_machine(2)
+    _monitor, coordinator = _coordinated(machine, vm)
+    m0 = coordinator.managers[0]
+    m1 = coordinator.managers[1]
+    with coordinator.exclusive(m0, "resync"):
+        with coordinator.exclusive(m1, "resync"):
+            pass
+    assert coordinator.violations
+    assert "mid-recovery" in coordinator.violations[0]
+
+
+def test_exclusive_is_reentrant_for_the_same_manager():
+    machine, vm = _smp_machine(2)
+    _monitor, coordinator = _coordinated(machine, vm)
+    m0 = coordinator.managers[0]
+    with coordinator.exclusive(m0, "settle"):
+        with coordinator.exclusive(m0, "resync"):
+            pass
+    assert coordinator.violations == []
+    # Only the outermost section is journalled.
+    assert coordinator.recovery_order == [(0, "settle")]
+
+
+def test_foreign_deferred_access_into_quarantined_page_is_flagged():
+    machine, vm = _smp_machine(2)
+    _monitor, coordinator = _coordinated(machine, vm)
+    coordinator.install_guards()
+    m0 = coordinator.managers[0]
+    baddr = vm.vcpus[0].neve.page.baddr
+    with coordinator.exclusive(m0, "resync"):
+        # Another physical CPU touches vcpu0's page mid-recovery.
+        coordinator.on_deferred_access(machine.cpu(1), baddr + 8)
+    assert any("cpu1" in v for v in coordinator.violations)
+    # The owning CPU touching its own page is fine.
+    coordinator.violations.clear()
+    with coordinator.exclusive(m0, "resync"):
+        coordinator.on_deferred_access(machine.cpu(0), baddr + 8)
+    assert coordinator.violations == []
+    coordinator.remove_guards()
+
+
+# -- re-promotion hysteresis -------------------------------------------------
+
+
+def test_repromotion_waits_out_the_cooling_off_window():
+    machine, vm = _smp_machine(1)
+    machine.kvm.boot_nested(vm.vcpus[0])
+    _monitor, coordinator = _coordinated(machine, vm)
+    manager = coordinator.managers[0]
+    cpu = vm.vcpus[0].cpu
+    manager.degrade(cpu, "test burst")
+    assert manager.degraded
+    # Too soon: still cooling off.
+    assert not manager.maybe_repromote(cpu)
+    assert "cooling off" in manager.repromote_refused
+    # Idle past the window, then the re-promotion goes through.
+    machine.ledger.charge(manager.cooling_off_required(), "idle")
+    assert manager.maybe_repromote(cpu)
+    assert not manager.degraded
+    assert vm.vcpus[0].neve is not None
+    assert vm.vcpus[0].vm.nested == "neve"
+
+
+def test_backoff_doubles_the_window_per_flap():
+    machine, vm = _smp_machine(1)
+    machine.kvm.boot_nested(vm.vcpus[0])
+    _monitor, coordinator = _coordinated(machine, vm)
+    manager = coordinator.managers[0]
+    cpu = vm.vcpus[0].cpu
+    first = manager.cooling_off_required()
+    manager.degrade(cpu, "flap 1")
+    machine.ledger.charge(first, "idle")
+    assert manager.maybe_repromote(cpu)
+    assert manager.cooling_off_required() == 2 * first
+    manager.degrade(cpu, "flap 2")
+    machine.ledger.charge(first, "idle")  # only the *old* window
+    assert not manager.maybe_repromote(cpu)
+    machine.ledger.charge(first, "idle")  # now the doubled window is met
+    assert manager.maybe_repromote(cpu)
+
+
+def test_flapping_source_is_capped_at_max_repromotions():
+    machine, vm = _smp_machine(1)
+    machine.kvm.boot_nested(vm.vcpus[0])
+    _monitor, coordinator = _coordinated(machine, vm)
+    manager = coordinator.managers[0]
+    cpu = vm.vcpus[0].cpu
+    for _flap in range(MAX_REPROMOTIONS):
+        manager.degrade(cpu, "flapping")
+        machine.ledger.charge(manager.cooling_off_required(), "idle")
+        assert manager.maybe_repromote(cpu)
+    manager.degrade(cpu, "one flap too many")
+    machine.ledger.charge(manager.cooling_off_required() * 2, "idle")
+    assert not manager.maybe_repromote(cpu)
+    assert "flapping" in manager.repromote_refused
+    assert manager.cooling_off_remaining() is None  # permanently capped
+
+
+def test_repromoted_page_carries_the_banked_state_back():
+    machine, vm = _smp_machine(1)
+    vcpu = vm.vcpus[0]
+    machine.kvm.boot_nested(vcpu)
+    _monitor, coordinator = _coordinated(machine, vm)
+    manager = coordinator.managers[0]
+    cpu = vcpu.cpu
+    manager.degrade(cpu, "test")
+    # Mutate banked state while degraded; the fresh page must carry it.
+    vcpu.vel1_shadow.poke("TPIDR_EL1", 0x1234_5678)
+    machine.ledger.charge(manager.cooling_off_required(), "idle")
+    assert manager.maybe_repromote(cpu)
+    assert vcpu.neve.page.read_reg("TPIDR_EL1") == 0x1234_5678
