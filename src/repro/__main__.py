@@ -12,8 +12,9 @@ import sys
 #: (name, module with a ``main(argv)``, one-line description).
 SUBCOMMANDS = (
     ("lint", "repro.analysis.cli",
-     "spec-conformance checker, simulator-invariant lint and the "
-     "runtime-sanitizer scenario"),
+     "spec-conformance checker, simulator-invariant lint, the "
+     "runtime-sanitizer scenario and the shared-state shardability "
+     "gate (--statecheck)"),
     ("faults", "repro.faults.cli",
      "seeded fault-injection campaigns with the recovery paths armed"),
     ("trace", "repro.trace.cli",

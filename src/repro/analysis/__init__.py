@@ -13,8 +13,13 @@ discrete-event core honest:
 3. :mod:`repro.analysis.sanitizer` — opt-in runtime sanitizer that
    checks every virtual-EL2 access of a live simulation against the
    specification oracle.
+4. :mod:`repro.analysis.statecheck` — whole-program shared-state &
+   determinism analysis (the fleet-shardability gate): inventories
+   module-level mutable state, classifies constant tables vs. caches
+   vs. machine-coupled singletons, diffs against a committed baseline,
+   and pairs with the ``san-shared-state`` two-machine race detector.
 
-``python -m repro lint`` (see :mod:`repro.analysis.cli`) runs all three.
+``python -m repro lint`` (see :mod:`repro.analysis.cli`) runs all four.
 """
 
 from repro.analysis.base import Finding
@@ -28,6 +33,13 @@ from repro.analysis.sanitizer import (
     sanitized,
 )
 from repro.analysis.spec import SpecSnapshot, check_spec
+from repro.analysis.statecheck import (
+    ShardabilityReport,
+    StateFinding,
+    StateObject,
+    check_shardability,
+    run_shared_state_check,
+)
 
 __all__ = [
     "CpuSanitizer",
@@ -35,11 +47,16 @@ __all__ = [
     "RunnerSanitizer",
     "SanitizerError",
     "SanitizerReport",
+    "ShardabilityReport",
     "SpecSnapshot",
+    "StateFinding",
+    "StateObject",
+    "check_shardability",
     "check_spec",
     "lint_file",
     "lint_paths",
     "lint_source",
     "run_sanitized_scenario",
+    "run_shared_state_check",
     "sanitized",
 ]

@@ -121,24 +121,27 @@ def encoding_of(name, enc=Encoding.NORMAL):
     return (op0, op1, crn, crm, op2)
 
 
-_REVERSE = None
-_REVERSE_ALIAS = None
-
-
 def _build_reverse():
-    global _REVERSE, _REVERSE_ALIAS
-    if _REVERSE is not None:
-        return
-    _REVERSE = {}
-    _REVERSE_ALIAS = {}
+    """Derive the inverse encoding tables from ``SYSREG_ENCODINGS``.
+
+    Pure function of the constant forward table, built eagerly at
+    import time — no lazily-rebound module state, so two machines in
+    one process can never observe a half-built map.
+    """
+    reverse = {}
+    reverse_alias = {}
     for name, fields in SYSREG_ENCODINGS.items():
-        _REVERSE[fields] = name
+        reverse[fields] = name
         op0, op1, crn, crm, op2 = fields
         if name.endswith("_EL1") or name.endswith("_EL0"):
             if op1 in (0, 3):  # EL1/EL0 registers with VHE aliases
                 alias = Encoding.EL02 if name.endswith("_EL0") \
                     else Encoding.EL12
-                _REVERSE_ALIAS[(op0, 5, crn, crm, op2)] = (name, alias)
+                reverse_alias[(op0, 5, crn, crm, op2)] = (name, alias)
+    return reverse, reverse_alias
+
+
+_REVERSE, _REVERSE_ALIAS = _build_reverse()
 
 
 def lookup_encoding(fields):
@@ -146,7 +149,6 @@ def lookup_encoding(fields):
 
     Raises KeyError for encodings outside the modelled set.
     """
-    _build_reverse()
     if fields in _REVERSE:
         return _REVERSE[fields], Encoding.NORMAL
     if fields in _REVERSE_ALIAS:

@@ -100,34 +100,132 @@ class SysReg:
         )
 
 
-_REGISTRY = {}
-_NEXT_VNCR_OFFSET = [0]
+#: One deferred-access-page slot per register NEVE stores in memory.
+VNCR_SLOT_BYTES = 8
 
 
-def _define(name, el, reg_class, neve, description="", el1_counterpart=None,
-            vhe_only=False, read_only=False, e2h_redirect=None):
-    """Register *name* in the global registry, assigning a deferred-access
-    page offset to every register NEVE stores in memory."""
-    if name in _REGISTRY:
-        raise ValueError("duplicate register definition: %s" % name)
-    vncr_offset = None
-    if neve in (NeveBehavior.DEFER, NeveBehavior.CACHED_COPY):
-        vncr_offset = _NEXT_VNCR_OFFSET[0]
-        _NEXT_VNCR_OFFSET[0] += 8
-    reg = SysReg(
-        name=name,
-        el=el,
-        reg_class=reg_class,
-        neve=neve,
-        description=description,
-        el1_counterpart=el1_counterpart,
-        vhe_only=vhe_only,
-        read_only=read_only,
-        vncr_offset=vncr_offset,
-        e2h_redirect=e2h_redirect,
-    )
-    _REGISTRY[name] = reg
-    return reg
+class RegistryFrozenError(RuntimeError):
+    """Raised when a frozen :class:`RegistryBuilder` is asked to define
+    another register — registering into a registry machines have already
+    snapshotted would silently shift the deferred-page layout."""
+
+
+class RegistryBuilder:
+    """Builder-scoped registry construction and VNCR slot allocation.
+
+    Offsets are a pure function of definition order: the *n*-th register
+    that owns a page slot gets byte offset ``n * VNCR_SLOT_BYTES``.  The
+    builder validates the layout (unique, aligned, contiguous offsets)
+    and then freezes; any later :meth:`define` raises loudly instead of
+    mutating a layout other code may have captured.  Tests that need a
+    scratch registry build their own instance — the module-level one is
+    only ever mutated while this module imports.
+    """
+
+    def __init__(self):
+        self.registry = {}
+        self._next_offset = 0
+        self._frozen = False
+
+    @property
+    def frozen(self):
+        return self._frozen
+
+    @property
+    def page_bytes(self):
+        """Bytes of deferred-access page the layout uses so far."""
+        return self._next_offset
+
+    def define(self, name, el, reg_class, neve, description="",
+               el1_counterpart=None, vhe_only=False, read_only=False,
+               e2h_redirect=None):
+        """Register *name*, assigning a deferred-access page offset to
+        every register NEVE stores in memory."""
+        if self._frozen:
+            raise RegistryFrozenError(
+                "registry is frozen: cannot define %s after the layout "
+                "was published (build a fresh RegistryBuilder instead)"
+                % name)
+        if name in self.registry:
+            raise ValueError("duplicate register definition: %s" % name)
+        vncr_offset = None
+        if neve in (NeveBehavior.DEFER, NeveBehavior.CACHED_COPY):
+            vncr_offset = self._next_offset
+            self._next_offset += VNCR_SLOT_BYTES
+        reg = SysReg(
+            name=name,
+            el=el,
+            reg_class=reg_class,
+            neve=neve,
+            description=description,
+            el1_counterpart=el1_counterpart,
+            vhe_only=vhe_only,
+            read_only=read_only,
+            vncr_offset=vncr_offset,
+            e2h_redirect=e2h_redirect,
+        )
+        self.registry[name] = reg
+        return reg
+
+    def snapshot(self):
+        """Immutable view of the layout: ((name, vncr_offset), ...) in
+        definition order, plus the allocation high-water mark."""
+        return (tuple((reg.name, reg.vncr_offset)
+                      for reg in self.registry.values()),
+                self._next_offset)
+
+    def restore(self, snap):
+        """Roll an *unfrozen* builder back to a previous :meth:`snapshot`
+        (drops registers defined since, releases their slots)."""
+        if self._frozen:
+            raise RegistryFrozenError(
+                "registry is frozen: cannot restore a snapshot")
+        layout, next_offset = snap
+        keep = {name for name, _offset in layout}
+        current = dict(self.registry)
+        if not keep <= set(current):
+            raise ValueError("snapshot does not match this builder")
+        self.registry.clear()
+        self.registry.update(
+            (name, current[name]) for name in current if name in keep)
+        self._next_offset = next_offset
+
+    def validate(self):
+        """Check the layout invariants; returns the offset map."""
+        offsets = {}
+        expected = 0
+        for reg in self.registry.values():
+            if reg.vncr_offset is None:
+                continue
+            if reg.vncr_offset % VNCR_SLOT_BYTES:
+                raise ValueError("%s: misaligned VNCR offset %#x"
+                                 % (reg.name, reg.vncr_offset))
+            if reg.vncr_offset in offsets:
+                raise ValueError(
+                    "VNCR offset %#x assigned to both %s and %s"
+                    % (reg.vncr_offset, offsets[reg.vncr_offset],
+                       reg.name))
+            if reg.vncr_offset != expected:
+                raise ValueError(
+                    "%s: non-contiguous VNCR offset %#x (expected %#x)"
+                    % (reg.name, reg.vncr_offset, expected))
+            offsets[reg.vncr_offset] = reg.name
+            expected += VNCR_SLOT_BYTES
+        if expected != self._next_offset:
+            raise ValueError("allocator high-water mark %#x disagrees "
+                             "with the layout (%#x)"
+                             % (self._next_offset, expected))
+        return offsets
+
+    def freeze(self):
+        """Validate, seal the builder, and return the registry dict."""
+        self.validate()
+        self._frozen = True
+        return self.registry
+
+
+_BUILDER = RegistryBuilder()
+_define = _BUILDER.define
 
 
 # --------------------------------------------------------------------------
@@ -359,6 +457,11 @@ _define("ICC_SGI1R_EL1", 1, RegClass.GIC_CPU, NeveBehavior.TRAP,
 _define("CURRENTEL", None, RegClass.SPECIAL, NeveBehavior.NONE,
         "Current exception level (disguised at virtual EL2)", read_only=True)
 
+#: The published registry: validated and frozen at import time.  From
+#: here on every definition attempt raises ``RegistryFrozenError``, so
+#: the deferred-page layout machines capture at build time cannot drift.
+_REGISTRY = _BUILDER.freeze()
+
 
 def lookup_register(name):
     """Return the :class:`SysReg` for *name*; raise KeyError if unknown."""
@@ -390,7 +493,7 @@ def vm_register_names():
 
 def deferred_page_size():
     """Bytes of deferred-access page the registry currently uses."""
-    return _NEXT_VNCR_OFFSET[0]
+    return _BUILDER.page_bytes
 
 
 def e2h_redirects():

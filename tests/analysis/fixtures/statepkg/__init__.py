@@ -1,0 +1,7 @@
+"""Fixture package for the statecheck whole-program analysis tests.
+
+Each module seeds one classification or hazard; the tests point
+``check_shardability(root=..., package="statepkg")`` at this directory
+and assert the analyzer reads the patterns correctly.  Nothing here is
+imported at test runtime — the analysis is purely syntactic.
+"""

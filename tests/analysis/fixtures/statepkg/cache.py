@@ -1,0 +1,24 @@
+"""Memoization-cache patterns: guarded get-or-compute, with and
+without a public reset hook."""
+
+_MEMO = {}
+
+_NO_RESET = {}
+
+
+def lookup(key):
+    if key not in _MEMO:
+        _MEMO[key] = expensive(key)
+    return _MEMO[key]
+
+
+def reset():
+    _MEMO.clear()
+
+
+def cached_square(n):
+    return _NO_RESET.setdefault(n, n * n)
+
+
+def expensive(key):
+    return len(key)

@@ -1,0 +1,16 @@
+"""A hook list another module appends to at its own import time: the
+final order depends on import order."""
+
+BOOT_HOOKS = []
+
+#: A shared unordered container that gets iterated.
+_MODES = {"nv", "neve", "vhe"}
+
+
+def run_hooks(machine):
+    for hook in BOOT_HOOKS:
+        hook(machine)
+
+
+def mode_labels():
+    return [mode.upper() for mode in _MODES]

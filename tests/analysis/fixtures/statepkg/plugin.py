@@ -1,0 +1,11 @@
+"""Registers itself into another module's hook list at import time —
+the import-order-dependent pattern the analyzer must flag."""
+
+from statepkg import hooks
+
+
+def _on_boot(machine):
+    return machine
+
+
+hooks.BOOT_HOOKS.append(_on_boot)

@@ -1,0 +1,20 @@
+"""Constant-table pattern: a registry populated only at import time
+by a helper that is never called (or referenced) after import."""
+
+_TABLE = {}
+
+#: A plain constant mapping: no mutators anywhere.
+LIMITS = {"machines": 1000, "cpus": 4}
+
+
+def _define(name, value):
+    _TABLE[name] = value
+    return value
+
+
+_define("alpha", 1)
+_define("beta", 2)
+
+
+def lookup(name):
+    return _TABLE[name]

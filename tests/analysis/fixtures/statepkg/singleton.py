@@ -1,0 +1,23 @@
+"""Machine-coupled singletons: module state mutated at runtime with no
+memoization discipline, observed across machine boundaries."""
+
+_ACTIVE_MACHINES = []
+
+_SEQUENCE = 0
+
+#: The author asserts this one is intentional.
+_BLESSED = []  # lint: allow(sc-singleton)
+
+
+def register(machine):
+    _ACTIVE_MACHINES.append(machine)
+
+
+def next_id():
+    global _SEQUENCE
+    _SEQUENCE += 1
+    return _SEQUENCE
+
+
+def bless(machine):
+    _BLESSED.append(machine)

@@ -241,3 +241,109 @@ def test_e2h_redirects_live_in_the_registry():
         assert lookup_register(target).el == 2
         assert e2h_counterpart(target) == source
     assert e2h_counterpart("VTTBR_EL2") is None
+
+
+# ---------------------------------------------------------------------------
+# RegistryBuilder: reproducible, re-entrant VNCR slot allocation
+# ---------------------------------------------------------------------------
+
+def _scratch_definitions():
+    from repro.arch.registers import NeveBehavior, RegClass
+    return [
+        ("SCRATCH_A_EL2", 2, RegClass.VM_TRAP_CONTROL, NeveBehavior.DEFER),
+        ("SCRATCH_B_EL2", 2, RegClass.HYP_TRAP_ON_WRITE,
+         NeveBehavior.CACHED_COPY),
+        ("SCRATCH_C_EL2", 2, RegClass.TIMER_EL2, NeveBehavior.TRAP),
+    ]
+
+
+def test_builder_layout_is_a_function_of_definition_order():
+    from repro.arch.registers import RegistryBuilder, VNCR_SLOT_BYTES
+
+    first = RegistryBuilder()
+    second = RegistryBuilder()
+    for args in _scratch_definitions():
+        first.define(*args)
+        second.define(*args)
+    assert first.snapshot() == second.snapshot()
+    assert first.page_bytes == 2 * VNCR_SLOT_BYTES  # TRAP owns no slot
+
+
+def test_builder_reordered_definitions_yield_a_validated_layout():
+    from repro.arch.registers import RegistryBuilder
+
+    forward = RegistryBuilder()
+    backward = RegistryBuilder()
+    definitions = _scratch_definitions()
+    for args in definitions:
+        forward.define(*args)
+    for args in reversed(definitions):
+        backward.define(*args)
+    # Different order, different (but valid and deterministic) layout.
+    assert forward.validate() is not None
+    assert backward.validate() is not None
+    assert forward.snapshot() != backward.snapshot()
+    assert forward.page_bytes == backward.page_bytes
+
+
+def test_frozen_builder_rejects_late_definitions():
+    from repro.arch.registers import (
+        NeveBehavior,
+        RegClass,
+        RegistryBuilder,
+        RegistryFrozenError,
+    )
+
+    builder = RegistryBuilder()
+    builder.define("SCRATCH_A_EL2", 2, RegClass.VM_TRAP_CONTROL,
+                   NeveBehavior.DEFER)
+    builder.freeze()
+    with pytest.raises(RegistryFrozenError):
+        builder.define("SCRATCH_B_EL2", 2, RegClass.VM_TRAP_CONTROL,
+                       NeveBehavior.DEFER)
+    with pytest.raises(RegistryFrozenError):
+        builder.restore(builder.snapshot())
+
+
+def test_module_registry_is_frozen():
+    from repro.arch import registers
+
+    assert registers._BUILDER.frozen
+    with pytest.raises(registers.RegistryFrozenError):
+        registers._define("SCRATCH_LATE_EL2", 2, RegClass.VM_TRAP_CONTROL,
+                          NeveBehavior.DEFER)
+    assert "SCRATCH_LATE_EL2" not in registers._REGISTRY
+
+
+def test_builder_snapshot_restore_scopes_temporary_registration():
+    from repro.arch.registers import RegistryBuilder, VNCR_SLOT_BYTES
+
+    builder = RegistryBuilder()
+    for args in _scratch_definitions():
+        builder.define(*args)
+    mark = builder.snapshot()
+    builder.define("SCRATCH_TMP_EL2", 2, RegClass.VM_TRAP_CONTROL,
+                   NeveBehavior.DEFER)
+    assert builder.page_bytes == 3 * VNCR_SLOT_BYTES
+    builder.restore(mark)
+    assert builder.snapshot() == mark
+    assert "SCRATCH_TMP_EL2" not in builder.registry
+    # Released slots are reused deterministically.
+    reg = builder.define("SCRATCH_TMP2_EL2", 2, RegClass.VM_TRAP_CONTROL,
+                         NeveBehavior.DEFER)
+    assert reg.vncr_offset == 2 * VNCR_SLOT_BYTES
+    builder.validate()
+
+
+def test_builder_validate_rejects_corrupt_layouts():
+    from dataclasses import replace
+
+    from repro.arch.registers import RegistryBuilder
+
+    builder = RegistryBuilder()
+    for args in _scratch_definitions():
+        builder.define(*args)
+    reg = builder.registry["SCRATCH_B_EL2"]
+    builder.registry["SCRATCH_B_EL2"] = replace(reg, vncr_offset=0)
+    with pytest.raises(ValueError):
+        builder.validate()

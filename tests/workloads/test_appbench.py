@@ -160,3 +160,46 @@ def test_profiles_have_positive_rates():
             assert profile.injections_per_sec > 0, name
         else:
             assert profile.native_cycles_per_txn > 0, name
+
+
+# ---------------------------------------------------------------------------
+# Cost-cache isolation (the statecheck burn-down)
+# ---------------------------------------------------------------------------
+
+def test_appbench_instances_own_their_cost_caches():
+    from repro.workloads.appbench import CostTableCache
+
+    first = AppBenchmark(iterations=3)
+    second = AppBenchmark(iterations=3)
+    assert first._costs is not second._costs
+    table = first._costs.get("arm-vm", 3)
+    # The second benchmark (a second machine) cannot observe the first's
+    # cached costs; sharing is explicit opt-in via the cost_cache arg.
+    assert second._costs._tables == {}
+    shared = CostTableCache()
+    third = AppBenchmark(iterations=3, cost_cache=shared)
+    fourth = AppBenchmark(iterations=3, cost_cache=shared)
+    assert third._costs is fourth._costs
+    assert table.config == "arm-vm"
+
+
+def test_module_cost_cache_is_keyed_by_iterations():
+    from repro.workloads.appbench import clear_cost_cache
+
+    clear_cost_cache()
+    try:
+        coarse = cost_table("arm-vm", iterations=2)
+        fine = cost_table("arm-vm", iterations=4)
+        assert coarse is not fine
+        assert cost_table("arm-vm", iterations=2) is coarse
+    finally:
+        clear_cost_cache()
+
+
+def test_clear_cost_cache_is_a_real_reset():
+    from repro.workloads.appbench import _COST_CACHE, clear_cost_cache
+
+    cost_table("arm-vm", iterations=2)
+    assert _COST_CACHE
+    clear_cost_cache()
+    assert _COST_CACHE == {}
