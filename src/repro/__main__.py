@@ -25,6 +25,9 @@ SUBCOMMANDS = (
     ("metrics", "repro.metrics.cli",
      "run a scenario and export the telemetry registry "
      "(Prometheus/JSON)"),
+    ("fleet", "repro.fleet.cli",
+     "supervised multi-process campaign fleet: crash/hang recovery, "
+     "quarantine, deterministic merge (--chaos for the hostile mode)"),
 )
 
 

@@ -4,7 +4,8 @@ Default run (no arguments) executes every pass against the live tree:
 the spec-conformance checker, the AST lint over the ``repro`` package
 sources, the sanitized exit-multiplication smoke scenario, the
 telemetry-registry checks (``san-metrics-reconcile``,
-``san-metrics-ledger``), and the doc lint (``doc-link``,
+``san-metrics-ledger``), the fleet merge-determinism check
+(``san-fleet-merge``), and the doc lint (``doc-link``,
 ``doc-subcommand``) over ``README.md`` and ``docs/``.  Any finding
 fails the run (exit status 1), which is what CI keys on.
 
@@ -22,6 +23,7 @@ Usage::
     python -m repro lint --no-sanitize    # skip the runtime scenario
     python -m repro lint --no-metrics     # skip the registry checks
     python -m repro lint --no-docs        # skip the doc lint
+    python -m repro lint --no-fleet       # skip the san-fleet-merge check
     python -m repro lint --no-statecheck  # skip the shared-state passes
     python -m repro lint --statecheck     # shardability report only
     python -m repro lint --statecheck --statecheck-json report.json
@@ -61,6 +63,9 @@ def build_parser():
     parser.add_argument("--no-docs", action="store_true",
                         help="skip the doc lint (markdown link and "
                              "subcommand checks over README.md and docs/)")
+    parser.add_argument("--no-fleet", action="store_true",
+                        help="skip the fleet merge-determinism check "
+                             "(san-fleet-merge)")
     parser.add_argument("--no-statecheck", action="store_true",
                         help="skip the shared-state passes (static "
                              "shardability gate + san-shared-state)")
@@ -164,6 +169,13 @@ def main(argv=None):
         doc_findings = check_docs()
         findings.extend(doc_findings)
         passes.append(("docs", len(doc_findings)))
+
+    if not args.no_fleet:
+        from repro.analysis.sanitizer import check_fleet_merge
+        report = check_fleet_merge()
+        findings.extend(report.violations)
+        passes.append(("fleet-merge[%d checks]" % report.checks,
+                       len(report.violations)))
 
     if not args.no_statecheck:
         _run_statecheck(args, findings, passes)

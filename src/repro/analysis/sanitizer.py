@@ -365,6 +365,59 @@ def check_metrics_ledger(report=None, mode="neve", hypercalls=2):
     return report
 
 
+def check_fleet_merge(report=None, machines=3, seed=0):
+    """``san-fleet-merge``: the fleet merge must be order-blind.
+
+    Runs a small fleet's shards in-process once, then folds the same
+    payloads in shard order, reversed and rotated — every fold must
+    export byte-identical Prometheus text, JSON snapshots and fleet
+    digests, and all must equal the sequential reference
+    (:func:`repro.fleet.merge.reference_merge`).  This is the invariant
+    that lets the supervisor retry and reschedule shards freely without
+    the merged export ever depending on scheduling history.
+    """
+    from repro.fleet.merge import merge_payloads, reference_merge
+    from repro.fleet.plan import FleetPlan
+    from repro.fleet.worker import run_shard
+
+    if report is None:
+        report = SanitizerReport()
+    plan = FleetPlan.generate(seed, machines, shard_size=1)
+    payloads = []
+    for shard in plan.shards:
+        records, metrics_document = run_shard(shard)
+        payloads.append((shard.shard_id, records, metrics_document))
+
+    orders = [payloads, list(reversed(payloads)),
+              payloads[1:] + payloads[:1]]
+    merges = [merge_payloads(order) for order in orders]
+    baseline = merges[0]
+    for index, merge in enumerate(merges[1:], start=1):
+        report.record(
+            merge.prometheus_text() == baseline.prometheus_text(),
+            "san-fleet-merge",
+            "prometheus export depends on shard arrival order "
+            "(permutation %d differs)" % index)
+        report.record(
+            merge.json_snapshot() == baseline.json_snapshot(),
+            "san-fleet-merge",
+            "json export depends on shard arrival order "
+            "(permutation %d differs)" % index)
+        report.record(
+            merge.digest == baseline.digest,
+            "san-fleet-merge",
+            "fleet digest depends on shard arrival order "
+            "(permutation %d differs)" % index)
+    reference = reference_merge(plan)
+    report.record(
+        reference.prometheus_text() == baseline.prometheus_text()
+        and reference.json_snapshot() == baseline.json_snapshot()
+        and reference.digest == baseline.digest,
+        "san-fleet-merge",
+        "shuffled merge diverged from the sequential reference run")
+    return report
+
+
 def run_metrics_checks(modes=("nv", "neve"), hypercalls=2):
     """Run both metrics sanitizer checks over the standard scenario;
     returns the combined report (wired into ``python -m repro lint``)."""

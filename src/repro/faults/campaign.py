@@ -131,7 +131,8 @@ class CampaignResult:
         return hashlib.sha256(self.canonical().encode()).hexdigest()
 
 
-def run_campaign(seed, trace=False, cpus=1, interleave="roundrobin"):
+def run_campaign(seed, trace=False, cpus=1, interleave="roundrobin",
+                 metrics=None):
     """Run one seeded campaign end to end; returns a CampaignResult.
 
     ``cpus`` boots that many pinned vCPUs with independent seed-split
@@ -143,6 +144,13 @@ def run_campaign(seed, trace=False, cpus=1, interleave="roundrobin"):
     trap, world-switch phase, recovery action and injected fault appears
     in the causal trace.  Tracing never charges cycles, so the digest of
     a traced run is bit-identical to the untraced one.
+
+    ``metrics`` optionally attaches a
+    :class:`~repro.metrics.instrument.MachineMetrics` facade to the
+    machine before any work happens — the fleet layer uses this to give
+    every simulated machine its own ``config`` label in a shared
+    registry.  Telemetry is observe-only (``san-metrics-ledger``), so
+    the digest is unchanged.
     """
     if cpus < 1:
         raise ValueError("cpus must be >= 1")
@@ -150,6 +158,8 @@ def run_campaign(seed, trace=False, cpus=1, interleave="roundrobin"):
     machine = Machine(
         arch=ArchConfig(version=ArchVersion.V8_4, gic=GicVersion.V3),
         num_cpus=cpus, costs=ARM_COSTS)
+    if metrics is not None:
+        metrics.attach_machine(machine)
     vm = machine.kvm.create_vm(num_vcpus=cpus, nested="neve")
 
     monitor = MachineIntegrityMonitor(machine.memory).install()

@@ -165,7 +165,20 @@ def split_seed(seed, cpu_index):
     independent while staying a pure function of ``(seed, cpu_index)``;
     index 0 maps to the campaign seed itself so single-CPU campaigns are
     unchanged.
+
+    The fleet layer reuses this for *machine* indexes in the thousands,
+    where a silently wrapped float or negative index would quietly give
+    two machines the same plan — so the inputs are validated loudly.
     """
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ValueError("split_seed: seed must be an int, got %r"
+                         % (seed,))
+    if isinstance(cpu_index, bool) or not isinstance(cpu_index, int):
+        raise ValueError("split_seed: cpu_index must be an int, got %r"
+                         % (cpu_index,))
+    if cpu_index < 0:
+        raise ValueError("split_seed: cpu_index must be >= 0, got %d"
+                         % cpu_index)
     if cpu_index == 0:
         return seed
     return (seed + cpu_index * 2654435761) % (1 << 32)

@@ -1,0 +1,35 @@
+"""``repro.fleet``: fault-tolerant multi-process campaign engine.
+
+Shards M simulated machines across N supervised worker processes with
+seed-split plans, survives worker crashes/hangs/corrupt payloads via
+retry-with-backoff and poison-shard quarantine, and merges per-shard
+telemetry deterministically — byte-identical to a sequential reference
+run no matter how the fleet was scheduled.  See docs/fleet.md.
+"""
+
+from repro.fleet.chaos import ChaosAction, ChaosPlan
+from repro.fleet.merge import FleetMerge, merge_payloads, reference_merge
+from repro.fleet.plan import FleetPlan, MachineAssignment, Shard
+from repro.fleet.supervisor import (
+    FleetAccountingError,
+    FleetConfig,
+    FleetResult,
+    Supervisor,
+    run_fleet,
+)
+
+__all__ = [
+    "ChaosAction",
+    "ChaosPlan",
+    "FleetAccountingError",
+    "FleetConfig",
+    "FleetMerge",
+    "FleetPlan",
+    "FleetResult",
+    "MachineAssignment",
+    "Shard",
+    "Supervisor",
+    "merge_payloads",
+    "reference_merge",
+    "run_fleet",
+]

@@ -1,0 +1,81 @@
+"""Seed-deterministic chaos: the fleet's built-in hostile harness.
+
+NecoFuzz-style robustness testing for the fleet layer itself: instead of
+waiting for a worker to crash in production, ``--chaos`` makes workers
+sabotage themselves on schedule, so every supervisor path — crash
+detection, hang detection, corrupt-payload rejection, retry with
+backoff, poison-shard quarantine — runs on every chaos invocation.
+
+The plan is pure data from ``(seed, shard_count)``: each shard draws one
+:class:`ChaosAction` from a deterministically shuffled cycle that
+guarantees all four failure modes appear once the fleet has at least
+``len(_ACTION_CYCLE)`` shards.  Transient actions (``KILL``, ``STALL``,
+``CORRUPT``) fire only on a shard's *first* attempt, so the retry ladder
+ends in success; ``POISON`` fires on every attempt, so the quarantine
+ladder ends in an explicit ``quarantined`` verdict.
+"""
+
+import enum
+import random
+
+from repro.faults.plan import split_seed
+
+
+class ChaosAction(enum.Enum):
+    """How a worker sabotages one shard attempt."""
+
+    NONE = "none"          # behave
+    KILL = "kill"          # hard-exit mid-shard (crash path)
+    STALL = "stall"        # stop heartbeating forever (hang path)
+    CORRUPT = "corrupt"    # tamper the result payload (checksum path)
+    POISON = "poison"      # fail every attempt (quarantine path)
+
+
+#: One of each failure mode per cycle, diluted with clean shards so a
+#: chaos run still merges real results.
+_ACTION_CYCLE = (ChaosAction.KILL, ChaosAction.NONE, ChaosAction.STALL,
+                 ChaosAction.NONE, ChaosAction.CORRUPT, ChaosAction.NONE,
+                 ChaosAction.POISON, ChaosAction.NONE)
+
+#: Transient sabotage hits only the first attempt; POISON is forever.
+_FIRST_ATTEMPT_ONLY = (ChaosAction.KILL, ChaosAction.STALL,
+                       ChaosAction.CORRUPT)
+
+
+class ChaosPlan:
+    """Per-shard sabotage schedule, a pure function of its inputs."""
+
+    def __init__(self, actions):
+        self.actions = dict(actions)  # shard_id -> ChaosAction
+
+    @classmethod
+    def generate(cls, seed, shard_count):
+        """Deal the action cycle over the shards in a seed-shuffled
+        order: every failure mode appears as early as the shard count
+        allows, and the same seed always sabotages the same shards."""
+        rng = random.Random(split_seed(seed, 1) ^ 0xC4A05)
+        actions = {}
+        deck = []
+        for shard_id in range(shard_count):
+            if not deck:
+                deck = list(_ACTION_CYCLE)
+                rng.shuffle(deck)
+            actions[shard_id] = deck.pop()
+        return cls(actions)
+
+    def action_for(self, shard_id, attempt):
+        """The sabotage this attempt suffers (``NONE`` once a transient
+        action has already burned its first attempt)."""
+        action = self.actions.get(shard_id, ChaosAction.NONE)
+        if action in _FIRST_ATTEMPT_ONLY and attempt > 0:
+            return ChaosAction.NONE
+        return action
+
+    def describe(self):
+        hostile = {shard_id: action.value
+                   for shard_id, action in sorted(self.actions.items())
+                   if action is not ChaosAction.NONE}
+        if not hostile:
+            return "chaos: no hostile shards"
+        return "chaos: " + ", ".join("shard %d=%s" % item
+                                     for item in hostile.items())

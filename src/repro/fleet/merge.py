@@ -1,0 +1,134 @@
+"""Deterministic fleet merge: many shards, one byte-stable export.
+
+The merge is a pure fold over the *completed* shards' payloads — which
+machines completed is the only input.  Worker count, scheduling order,
+retry history and the order results arrived all cancel out:
+
+* machine records are re-sorted by machine index;
+* per-shard registry documents are folded into one fresh registry in
+  shard-id order via :meth:`~repro.metrics.registry.MetricsRegistry.
+  merge_snapshot` (commutative adds over label-disjoint series);
+* the fleet-level roll-up families are registered first, from the
+  sorted records;
+* the fleet digest hashes the canonical text of the sorted records.
+
+The sequential reference (:func:`reference_merge`) runs the same shards
+in-process through the same fold — ``san-fleet-merge`` and the merge
+determinism tests compare the two exports byte for byte.
+"""
+
+import hashlib
+
+from repro.fleet.worker import machine_verdict, run_shard
+from repro.metrics.registry import MetricsRegistry
+
+
+class FleetMerge:
+    """The folded outcome of every completed shard."""
+
+    def __init__(self, records, registry):
+        self.records = records  # machine-index sorted
+        self.registry = registry
+
+    # -- exports ---------------------------------------------------------
+
+    def prometheus_text(self):
+        return self.registry.prometheus_text()
+
+    def json_snapshot(self):
+        return self.registry.json_snapshot()
+
+    def canonical(self):
+        """Stable text form of the merged records, the digest input."""
+        lines = []
+        for record in self.records:
+            lines.append(
+                "machine=%06d seed=%d ok=%s verdict=%s digest=%s "
+                "cycles=%d traps=%d"
+                % (record["machine"], record["seed"], record["ok"],
+                   machine_verdict(record), record["digest"],
+                   record["cycles"], record["traps"]))
+        return "\n".join(lines)
+
+    @property
+    def digest(self):
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    @property
+    def machine_count(self):
+        return len(self.records)
+
+    @property
+    def ok(self):
+        """Every merged machine's campaign was clean."""
+        return all(record["ok"] for record in self.records)
+
+
+def merge_payloads(payloads):
+    """Fold completed shard payloads into a :class:`FleetMerge`.
+
+    *payloads* is an iterable of ``(shard_id, records, metrics_document)``
+    in any order — the fold sorts, so two merges over the same completed
+    set are byte-identical no matter how the shards were scheduled.
+    """
+    payloads = sorted(payloads, key=lambda item: item[0])
+    records = sorted((record for _, shard_records, _ in payloads
+                      for record in shard_records),
+                     key=lambda record: record["machine"])
+    seen = [record["machine"] for record in records]
+    if len(set(seen)) != len(seen):
+        raise ValueError("fleet merge saw duplicate machine indexes: %r"
+                         % sorted({m for m in seen if seen.count(m) > 1}))
+
+    registry = MetricsRegistry()
+    _register_rollup(registry, records)
+    for _, _, metrics_document in payloads:
+        registry.merge_snapshot(metrics_document)
+    total = sum(record["cycles"] for record in records)
+    registry.clock = lambda: total
+    return FleetMerge(records, registry)
+
+
+def _register_rollup(registry, records):
+    """The fleet-level families, built from the sorted records before
+    the per-shard documents fold in (stable registration order)."""
+    machines = registry.counter(
+        "repro_fleet_machines_total",
+        "Machines merged into the fleet result, by campaign verdict",
+        ("verdict",))
+    recoveries = registry.counter(
+        "repro_fleet_recovery_total",
+        "Recovery-ladder actions summed across the fleet",
+        ("event",))
+    cycles = registry.counter(
+        "repro_fleet_cycles_total",
+        "Simulated cycles summed across the fleet")
+    traps = registry.counter(
+        "repro_fleet_traps_total",
+        "Traps summed across the fleet")
+    machine_cycles = registry.histogram(
+        "repro_fleet_machine_cycles",
+        "Per-machine total simulated cycles across the fleet")
+    for record in records:
+        machines.labels(machine_verdict(record)).inc()
+        for event, count in sorted(record["recovery_counts"].items()):
+            recoveries.labels(event).inc(count)
+        cycles.labels().inc(record["cycles"])
+        traps.labels().inc(record["traps"])
+        machine_cycles.labels().observe(record["cycles"])
+
+
+def reference_merge(plan, shard_ids=None):
+    """The in-process sequential reference: run the plan's shards (all,
+    or just *shard_ids* — e.g. the set that completed under chaos) one
+    after another in shard order, then fold through the identical merge
+    path.  A supervised run over the same completed set must export
+    byte-identical Prometheus text, JSON and digest."""
+    wanted = None if shard_ids is None else set(shard_ids)
+    payloads = []
+    for shard in plan.shards:
+        if wanted is not None and shard.shard_id not in wanted:
+            continue
+        records, metrics_document = run_shard(shard)
+        payloads.append((shard.shard_id, records, metrics_document))
+    return merge_payloads(payloads)

@@ -1,0 +1,91 @@
+"""Fleet plans: M simulated machines sharded for N worker processes.
+
+A fleet plan is pure data derived from ``(seed, machines, shard_size)``
+before anything runs: machine *i* gets the campaign seed
+``split_seed(seed, i)`` (the ``repro.faults`` seed-split pattern
+generalised from vCPUs to machines), and the machines are grouped into
+contiguous shards — the unit of scheduling, retry and quarantine.
+
+Nothing here knows about processes: the same plan drives the
+supervised multi-process run and the in-process sequential reference
+the merge determinism checks compare against.
+"""
+
+from dataclasses import dataclass
+
+from repro.faults.plan import split_seed
+
+#: Default machines per shard.  Small enough that a retry repeats little
+#: work, large enough that process spawn cost amortises.
+DEFAULT_SHARD_SIZE = 4
+
+
+@dataclass(frozen=True)
+class MachineAssignment:
+    """One simulated machine: its fleet index and derived campaign seed."""
+
+    machine_index: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous group of machines scheduled as one unit of work."""
+
+    shard_id: int
+    machines: tuple  # of MachineAssignment
+
+    @property
+    def machine_indexes(self):
+        return tuple(m.machine_index for m in self.machines)
+
+    def describe(self):
+        first = self.machines[0].machine_index
+        last = self.machines[-1].machine_index
+        return "shard %d [m%d..m%d]" % (self.shard_id, first, last)
+
+
+class FleetPlan:
+    """The full fleet: every machine's seed, grouped into shards."""
+
+    def __init__(self, seed, shards):
+        self.seed = seed
+        self.shards = tuple(shards)
+
+    @property
+    def machines(self):
+        """All assignments in machine-index order, across shards."""
+        return tuple(m for shard in self.shards for m in shard.machines)
+
+    @property
+    def machine_count(self):
+        return sum(len(shard.machines) for shard in self.shards)
+
+    def describe(self):
+        return ("fleet seed=%d machines=%d shards=%d"
+                % (self.seed, self.machine_count, len(self.shards)))
+
+    @classmethod
+    def generate(cls, seed, machines, shard_size=DEFAULT_SHARD_SIZE):
+        """Derive the plan: machine *i* runs ``split_seed(seed, i)``.
+
+        ``split_seed`` validates the inputs (non-int seeds and negative
+        indexes raise), so a malformed fleet request fails here, before
+        any worker spawns.
+        """
+        if isinstance(machines, bool) or not isinstance(machines, int) \
+                or machines < 1:
+            raise ValueError("fleet needs machines >= 1, got %r"
+                             % (machines,))
+        if isinstance(shard_size, bool) or not isinstance(shard_size, int) \
+                or shard_size < 1:
+            raise ValueError("fleet needs shard_size >= 1, got %r"
+                             % (shard_size,))
+        assignments = [MachineAssignment(index, split_seed(seed, index))
+                       for index in range(machines)]
+        shards = []
+        for start in range(0, machines, shard_size):
+            shards.append(Shard(
+                shard_id=len(shards),
+                machines=tuple(assignments[start:start + shard_size])))
+        return cls(seed, shards)

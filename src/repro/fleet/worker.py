@@ -1,0 +1,158 @@
+"""The fleet worker: one shard attempt in one OS process.
+
+A worker receives a :class:`~repro.fleet.plan.Shard`, runs
+``run_campaign`` for each machine under a shard-local telemetry registry
+(every machine gets its own ``config`` label, ``m000042``-style, so
+per-shard exports fold without collisions), and sends the supervisor a
+single result message whose payload is checksummed — the supervisor
+recomputes the checksum, so a corrupted payload is detected rather than
+merged.
+
+Protocol on the pipe (dicts, one per ``send``):
+
+* ``{"type": "heartbeat", "machine": <index>}`` — before every machine;
+  the supervisor's hang detector keys on the gap between these.
+* ``{"type": "result", "records": [...], "metrics": {...},
+  "checksum": <sha256 hex>}`` — exactly once, last.
+
+Everything a worker computes is a pure function of the shard's seeds;
+the in-process sequential reference calls the same :func:`run_shard`,
+which is why the merged exports can be compared byte for byte.
+
+Chaos actions sabotage this worker deliberately (see
+:mod:`repro.fleet.chaos`): ``KILL`` hard-exits mid-shard, ``STALL``
+stops heartbeating, ``CORRUPT`` tampers the records after checksumming,
+``POISON`` dies on arrival every attempt.
+"""
+
+import hashlib
+import json
+import os
+import time
+
+from repro.faults.campaign import run_campaign
+from repro.fleet.chaos import ChaosAction
+from repro.metrics.instrument import MachineMetrics
+from repro.metrics.registry import MetricsRegistry
+
+#: Exit codes the chaos modes use; anything non-zero reads as a crash.
+KILL_EXIT_CODE = 137
+POISON_EXIT_CODE = 113
+
+#: How long a stalled worker sleeps.  The supervisor's hang detector
+#: kills it long before this elapses; the constant only needs to be
+#: comfortably larger than any plausible heartbeat timeout.
+STALL_SECONDS = 600.0
+
+
+def machine_label(machine_index):
+    """The ``config`` label one machine's telemetry carries.  Zero-padded
+    so label-sorted child order equals machine-index order."""
+    return "m%06d" % machine_index
+
+
+def machine_record(assignment, result):
+    """The compact, JSON-clean summary of one machine's campaign — the
+    unit the deterministic merge folds."""
+    return {
+        "machine": assignment.machine_index,
+        "seed": assignment.seed,
+        "ok": result.ok,
+        "digest": result.digest,
+        "degraded": result.degraded,
+        "repromoted": result.repromoted,
+        "recovery_counts": dict(result.recovery_counts),
+        "cycles": result.total_cycles,
+        "traps": result.total_traps,
+        "sanitizer_checks": result.sanitizer_checks,
+        "sanitizer_violations": result.sanitizer_violations,
+    }
+
+
+def machine_verdict(record):
+    """One word per machine for the fleet roll-up."""
+    if record["degraded"]:
+        return "degraded"
+    if record["repromoted"]:
+        return "repromoted"
+    return "clean"
+
+
+def payload_checksum(records, metrics_document):
+    """sha256 over the canonical JSON of the result payload."""
+    canonical = json.dumps({"records": records,
+                            "metrics": metrics_document},
+                           sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def run_machine(assignment, registry=None):
+    """Run one machine's campaign; returns its record.  With *registry*
+    the machine's telemetry lands there under its own config label."""
+    metrics = None
+    if registry is not None:
+        metrics = MachineMetrics(
+            registry=registry,
+            config=machine_label(assignment.machine_index))
+    result = run_campaign(assignment.seed, metrics=metrics)
+    return machine_record(assignment, result)
+
+
+def run_shard(shard, heartbeat=None):
+    """Run every machine in *shard* in index order.
+
+    Returns ``(records, metrics_document)`` — the same pair whether this
+    runs in a worker process or inline in the sequential reference.
+    *heartbeat*, when given, is called with each machine index before
+    its campaign runs.
+    """
+    registry = MetricsRegistry()
+    records = []
+    for assignment in shard.machines:
+        if heartbeat is not None:
+            heartbeat(assignment.machine_index)
+        records.append(run_machine(assignment, registry=registry))
+    total = sum(record["cycles"] for record in records)
+    registry.clock = lambda: total
+    return records, json.loads(registry.json_snapshot())
+
+
+def worker_entry(conn, shard, attempt, chaos_action_value,
+                 stall_seconds=STALL_SECONDS):
+    """Child-process entry point: run the shard, self-sabotage if chaos
+    says so, send exactly one result message."""
+    action = ChaosAction(chaos_action_value)
+    if action is ChaosAction.POISON:
+        os._exit(POISON_EXIT_CODE)
+    kill_after = None
+    if action is ChaosAction.KILL:
+        kill_after = max(1, len(shard.machines) // 2)
+
+    done = 0
+
+    def heartbeat(machine_index):
+        nonlocal done
+        if kill_after is not None and done >= kill_after:
+            os._exit(KILL_EXIT_CODE)
+        if action is ChaosAction.STALL and done >= 1:
+            time.sleep(stall_seconds)
+            os._exit(0)
+        conn.send({"type": "heartbeat", "machine": machine_index})
+        done += 1
+
+    records, metrics_document = run_shard(shard, heartbeat=heartbeat)
+    # Single-machine shards never reach the mid-shard sabotage point in
+    # the heartbeat hook; the transient actions still must not deliver.
+    if action is ChaosAction.KILL:
+        os._exit(KILL_EXIT_CODE)
+    if action is ChaosAction.STALL:
+        time.sleep(stall_seconds)
+        os._exit(0)
+    checksum = payload_checksum(records, metrics_document)
+    if action is ChaosAction.CORRUPT and records:
+        # Tamper *after* checksumming: the supervisor's recomputation
+        # must disagree, which is the whole point.
+        records[0]["digest"] = "deadbeef" + records[0]["digest"][8:]
+    conn.send({"type": "result", "records": records,
+               "metrics": metrics_document, "checksum": checksum})
+    conn.close()

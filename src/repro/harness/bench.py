@@ -185,6 +185,7 @@ def main(argv=None, arm_costs=None, x86_costs=None):
     directory = Path(".")
     configs = []
     write = True
+    force = False
     while argv:
         arg = argv.pop(0)
         if arg == "--iterations" and argv:
@@ -195,9 +196,12 @@ def main(argv=None, arm_costs=None, x86_costs=None):
             configs.append(argv.pop(0))
         elif arg == "--no-write":
             write = False
+        elif arg == "--force":
+            force = True
         elif arg in ("-h", "--help"):
             print("usage: python -m repro bench [--iterations N] "
-                  "[--dir PATH] [--config NAME ...] [--no-write]")
+                  "[--dir PATH] [--config NAME ...] [--no-write] "
+                  "[--force]")
             return 0
         else:
             print("bench: unknown argument %r" % arg, file=sys.stderr)
@@ -247,7 +251,9 @@ def main(argv=None, arm_costs=None, x86_costs=None):
         return 1
 
     total = sum(len(cells) for cells in payload["results"].values())
-    if unchanged:
+    if unchanged and not force:
+        # `--force` records the point anyway — used to pin one
+        # trajectory entry per change even when the costs held still.
         print("bench: OK — %d cells identical to BENCH_%d.json, "
               "trajectory unchanged" % (total, last_sequence))
         return 0

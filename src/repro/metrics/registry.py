@@ -361,6 +361,76 @@ class MetricsRegistry:
                     "metrics": self.snapshot()}
         return json.dumps(document, sort_keys=True, indent=indent) + "\n"
 
+    # -- merging (the fleet layer's fold hook) ---------------------------
+
+    def merge_snapshot(self, document):
+        """Fold a previously exported ``repro-metrics/1`` document (or a
+        bare :meth:`snapshot` dict) into this registry.
+
+        Counters and histogram series *add*; gauge series *set*.  The
+        fold is therefore order-independent whenever the merged series
+        are label-disjoint or counter/histogram shaped — which is how
+        the fleet merge stays byte-identical no matter how shards were
+        scheduled.  Families are registered on first sight (document
+        order, which ``json_snapshot`` keeps sorted by name); a family
+        already registered with a different schema raises ``ValueError``
+        rather than merging apples into oranges.
+        """
+        if isinstance(document, str):
+            document = json.loads(document)
+        metrics = document.get("metrics", document)
+        for name, body in metrics.items():
+            kind = body["kind"]
+            labelnames = tuple(body.get("labelnames", ()))
+            help_text = body.get("help", "")
+            series = body.get("series", ())
+            if kind == "counter":
+                family = self.counter(name, help_text, labelnames)
+            elif kind == "gauge":
+                family = self.gauge(name, help_text, labelnames)
+            elif kind == "histogram":
+                buckets = tuple(_parse_bound(le)
+                                for entry in series[:1]
+                                for le in entry["le"]) or CYCLE_BUCKETS
+                family = self.histogram(name, help_text, labelnames,
+                                        buckets=buckets)
+            else:
+                raise ValueError("cannot merge metric %r of unknown "
+                                 "kind %r" % (name, kind))
+            for entry in series:
+                labels = entry["labels"]
+                values = tuple(labels[label] for label in labelnames)
+                child = family.labels(*values)
+                if kind == "counter":
+                    child.inc(entry["value"])
+                elif kind == "gauge":
+                    child.set(entry["value"])
+                else:
+                    bounds = tuple(_parse_bound(le)
+                                   for le in entry["le"])
+                    if bounds != family.buckets:
+                        raise ValueError(
+                            "histogram %r merged with mismatched "
+                            "buckets: have %r, got %r"
+                            % (name, family.buckets, bounds))
+                    child.sum += entry["sum"]
+                    child.count += entry["count"]
+                    for index, count in enumerate(entry["buckets"]):
+                        child.counts[index] += count
+        return self
+
+
+def _parse_bound(text):
+    """Invert :func:`format_value` for histogram bucket bounds."""
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
 
 def _validate_name(name):
     if not name or not all(ch.isalnum() or ch == "_" for ch in name):

@@ -1,5 +1,7 @@
 """Fault-plan generation: deterministic, collision-free, well-formed."""
 
+import pytest
+
 from repro.faults.plan import (
     CRITICAL_VICTIMS,
     PERSISTENT_VICTIMS,
@@ -7,6 +9,7 @@ from repro.faults.plan import (
     VOLATILE_VICTIMS,
     FaultClass,
     FaultPlan,
+    split_seed,
 )
 
 
@@ -79,3 +82,23 @@ def test_safe_flip_regs_are_el1_data_registers():
     from repro.arch.registers import lookup_register
     for name in SAFE_FLIP_REGS:
         assert lookup_register(name).el == 1
+
+
+def test_split_seed_index_zero_is_identity():
+    assert split_seed(42, 0) == 42
+
+
+def test_split_seed_scales_to_fleet_sized_indexes():
+    seeds = {split_seed(0, index) for index in range(5000)}
+    assert len(seeds) == 5000  # no silent wrapping collisions
+
+
+@pytest.mark.parametrize("seed,cpu_index", [
+    (0, -1), (7, -100),          # negative indexes
+    (1.5, 0), ("7", 1), (None, 1),  # non-int seeds
+    (0, 1.5), (0, "2"), (0, None),  # non-int indexes
+    (True, 1), (0, True),        # bools are not seeds/indexes
+])
+def test_split_seed_rejects_malformed_inputs(seed, cpu_index):
+    with pytest.raises(ValueError):
+        split_seed(seed, cpu_index)

@@ -1,0 +1,42 @@
+"""Chaos plans: deterministic, coverage-guaranteeing, attempt-aware."""
+
+from repro.fleet.chaos import _ACTION_CYCLE, ChaosAction, ChaosPlan
+
+
+def test_same_seed_same_sabotage():
+    a = ChaosPlan.generate(5, 12)
+    b = ChaosPlan.generate(5, 12)
+    assert a.actions == b.actions
+
+
+def test_different_seeds_differ_somewhere():
+    plans = [tuple(sorted(ChaosPlan.generate(seed, 8).actions.items()))
+             for seed in range(10)]
+    assert len(set(plans)) > 1
+
+
+def test_full_cycle_covers_every_failure_mode():
+    plan = ChaosPlan.generate(0, len(_ACTION_CYCLE))
+    drawn = set(plan.actions.values())
+    assert {ChaosAction.KILL, ChaosAction.STALL, ChaosAction.CORRUPT,
+            ChaosAction.POISON} <= drawn
+
+
+def test_transient_actions_burn_on_first_attempt():
+    plan = ChaosPlan({0: ChaosAction.KILL, 1: ChaosAction.STALL,
+                      2: ChaosAction.CORRUPT})
+    for shard_id in (0, 1, 2):
+        assert plan.action_for(shard_id, 0) is not ChaosAction.NONE
+        assert plan.action_for(shard_id, 1) is ChaosAction.NONE
+        assert plan.action_for(shard_id, 2) is ChaosAction.NONE
+
+
+def test_poison_never_relents():
+    plan = ChaosPlan({0: ChaosAction.POISON})
+    for attempt in range(5):
+        assert plan.action_for(0, attempt) is ChaosAction.POISON
+
+
+def test_unlisted_shards_are_clean():
+    plan = ChaosPlan({0: ChaosAction.KILL})
+    assert plan.action_for(99, 0) is ChaosAction.NONE

@@ -1,0 +1,54 @@
+"""The ``python -m repro fleet`` surface: routing, digest, exit codes."""
+
+import json
+
+from repro.fleet import cli
+
+
+def test_main_routing_knows_fleet():
+    from repro.__main__ import SUBCOMMANDS, usage
+    names = [name for name, _, _ in SUBCOMMANDS]
+    assert "fleet" in names
+    assert "fleet" in usage()
+
+
+def test_clean_run_exits_zero_and_writes_document(tmp_path, capsys):
+    out = tmp_path / "fleet-digest.json"
+    status = cli.main(["--machines", "2", "--workers", "2",
+                       "--shard-size", "1", "--verify",
+                       "--out", str(out)])
+    assert status == 0
+    captured = capsys.readouterr().out
+    assert "accounting: planned=2 completed=2 retried=0 quarantined=0 ok" \
+        in captured
+    assert "byte-identical to the sequential reference" in captured
+    document = json.loads(out.read_text())
+    assert document["schema"] == "repro-fleet/1"
+    assert document["accounting"]["ok"] is True
+    assert document["merged"]["machine_count"] == 2
+    assert len(document["merged"]["records"]) == 2
+    assert document["merged"]["metrics"]["schema"] == "repro-metrics/1"
+    assert [s["verdict"] for s in document["shards"]] == ["completed"] * 2
+
+
+def test_chaos_run_tolerates_quarantine(tmp_path):
+    # Seed 0 over 4 shards draws corrupt/stall/poison (deterministic);
+    # the poisoned shard quarantines, and that is *not* a failure under
+    # --chaos.
+    out = tmp_path / "chaos.json"
+    status = cli.main(["--machines", "4", "--workers", "2",
+                       "--shard-size", "1", "--chaos",
+                       "--heartbeat-timeout", "2.5",
+                       "--backoff", "0.01", "--out", str(out)])
+    assert status == 0
+    document = json.loads(out.read_text())
+    accounting = document["accounting"]
+    assert accounting["ok"] is True
+    assert (accounting["completed"] + accounting["retried"]
+            + accounting["quarantined"]) == accounting["planned"] == 4
+
+
+def test_rejects_malformed_requests(capsys):
+    assert cli.main(["--machines", "0"]) == 2
+    assert cli.main(["--machines", "4", "--workers", "0"]) == 2
+    assert cli.main(["--machines", "4", "--shard-size", "0"]) == 2

@@ -1,0 +1,56 @@
+"""Fleet plans: seed-split coverage, sharding, validation."""
+
+import pytest
+
+from repro.faults.plan import split_seed
+from repro.fleet.plan import FleetPlan
+
+
+def test_same_inputs_same_plan():
+    a = FleetPlan.generate(7, 10, shard_size=3)
+    b = FleetPlan.generate(7, 10, shard_size=3)
+    assert [s.machines for s in a.shards] == [s.machines for s in b.shards]
+
+
+def test_every_machine_exactly_once():
+    plan = FleetPlan.generate(0, 17, shard_size=4)
+    indexes = [m.machine_index for m in plan.machines]
+    assert indexes == list(range(17))
+    assert plan.machine_count == 17
+    assert len(plan.shards) == 5  # 4+4+4+4+1
+
+
+def test_machine_seeds_are_seed_split():
+    plan = FleetPlan.generate(42, 8)
+    for assignment in plan.machines:
+        assert assignment.seed == split_seed(42, assignment.machine_index)
+    # index 0 keeps the fleet seed (the degenerate single-machine case)
+    assert plan.machines[0].seed == 42
+
+
+def test_machine_seeds_distinct():
+    plan = FleetPlan.generate(0, 1000, shard_size=100)
+    seeds = {m.seed for m in plan.machines}
+    assert len(seeds) == 1000
+
+
+def test_shards_are_contiguous_and_ordered():
+    plan = FleetPlan.generate(3, 12, shard_size=5)
+    assert [s.shard_id for s in plan.shards] == [0, 1, 2]
+    assert plan.shards[0].machine_indexes == (0, 1, 2, 3, 4)
+    assert plan.shards[1].machine_indexes == (5, 6, 7, 8, 9)
+    assert plan.shards[2].machine_indexes == (10, 11)
+
+
+@pytest.mark.parametrize("machines,shard_size", [
+    (0, 4), (-1, 4), (4, 0), (4, -2), ("8", 4), (8, "4"),
+    (True, 4), (8, True),
+])
+def test_generate_rejects_malformed_inputs(machines, shard_size):
+    with pytest.raises(ValueError):
+        FleetPlan.generate(0, machines, shard_size=shard_size)
+
+
+def test_generate_rejects_bad_seed_via_split_seed():
+    with pytest.raises(ValueError):
+        FleetPlan.generate(1.5, 4)

@@ -1,0 +1,182 @@
+"""Supervised end-to-end runs: real worker processes, real sabotage.
+
+Wall-clock scheduling is inherently racy (a slow CI box can make a
+healthy worker look briefly quiet), so these tests only pin down what
+the supervisor *guarantees*: exact accounting, explicit verdicts, the
+failure-ladder reasons for deliberately sabotaged shards, and merged
+exports byte-identical to the sequential reference — never the precise
+interleaving.
+"""
+
+import pytest
+
+from repro.faults.campaign import run_campaign
+from repro.fleet.chaos import ChaosAction, ChaosPlan
+from repro.fleet.merge import reference_merge
+from repro.fleet.plan import FleetPlan
+from repro.fleet.supervisor import FleetConfig, Supervisor, run_fleet
+
+#: Generous enough that a legitimately computing worker on a slow box is
+#: not mistaken for a hang; the stall tests lower it deliberately.
+_CALM = dict(shard_timeout_s=120.0, heartbeat_timeout_s=60.0,
+             backoff_base_s=0.01, poll_interval_s=0.005)
+
+
+def _state(result, shard_id):
+    return result.states[shard_id]
+
+
+# -- pure config math ------------------------------------------------------
+
+def test_backoff_doubles_and_caps():
+    config = FleetConfig(backoff_base_s=0.1, backoff_cap_s=0.5)
+    assert config.backoff_for(1) == pytest.approx(0.1)
+    assert config.backoff_for(2) == pytest.approx(0.2)
+    assert config.backoff_for(3) == pytest.approx(0.4)
+    assert config.backoff_for(4) == pytest.approx(0.5)  # capped
+    assert config.backoff_for(10) == pytest.approx(0.5)
+
+
+# -- clean fleet -----------------------------------------------------------
+
+def test_clean_fleet_completes_and_matches_reference():
+    plan = FleetPlan.generate(0, 4, shard_size=2)
+    result = run_fleet(plan, config=FleetConfig(workers=2, **_CALM))
+    assert result.accounting_ok
+    assert result.completed == 2 and result.retried == 0
+    assert result.quarantined == 0
+    reference = reference_merge(plan)
+    assert result.merge.digest == reference.digest
+    assert result.merge.prometheus_text() == reference.prometheus_text()
+    assert result.merge.json_snapshot() == reference.json_snapshot()
+
+
+def test_worker_count_never_changes_the_merge():
+    plan = FleetPlan.generate(0, 4, shard_size=2)
+    exports = []
+    for workers in (1, 2, 4):
+        result = run_fleet(plan,
+                           config=FleetConfig(workers=workers, **_CALM))
+        assert result.accounting_ok
+        exports.append((result.merge.digest,
+                        result.merge.prometheus_text(),
+                        result.merge.json_snapshot()))
+    assert exports[0] == exports[1] == exports[2]
+
+
+def test_worker_digests_equal_in_process_campaigns():
+    plan = FleetPlan.generate(0, 2, shard_size=1)
+    result = run_fleet(plan, config=FleetConfig(workers=2, **_CALM))
+    for record in result.merge.records:
+        assert record["digest"] == run_campaign(record["seed"]).digest
+
+
+# -- sabotaged fleets ------------------------------------------------------
+
+def test_killed_worker_is_retried_to_success():
+    plan = FleetPlan.generate(0, 2, shard_size=1)
+    chaos = ChaosPlan({0: ChaosAction.KILL})
+    result = run_fleet(plan, chaos=chaos,
+                       config=FleetConfig(workers=2, **_CALM))
+    assert result.accounting_ok
+    state = _state(result, 0)
+    assert state.verdict == "retried"
+    assert state.failures[0].reason == "crash"
+    assert state.attempts >= 2
+    assert result.merge.machine_count == 2
+    reference = reference_merge(plan)
+    assert result.merge.prometheus_text() == reference.prometheus_text()
+
+
+def test_corrupt_payload_is_rejected_then_retried():
+    plan = FleetPlan.generate(0, 2, shard_size=1)
+    chaos = ChaosPlan({1: ChaosAction.CORRUPT})
+    result = run_fleet(plan, chaos=chaos,
+                       config=FleetConfig(workers=2, **_CALM))
+    assert result.accounting_ok
+    state = _state(result, 1)
+    assert state.verdict == "retried"
+    assert state.failures[0].reason == "corrupt"
+    # The tampered payload never leaked into the merge: every merged
+    # digest matches the sequential truth.
+    reference = reference_merge(plan)
+    assert [r["digest"] for r in result.merge.records] \
+        == [r["digest"] for r in reference.records]
+
+
+def test_stalled_worker_is_hang_detected_and_retried():
+    plan = FleetPlan.generate(0, 2, shard_size=1)
+    chaos = ChaosPlan({0: ChaosAction.STALL})
+    config = FleetConfig(workers=2, shard_timeout_s=120.0,
+                         heartbeat_timeout_s=2.5, stall_seconds=60.0,
+                         backoff_base_s=0.01, poll_interval_s=0.005)
+    result = run_fleet(plan, chaos=chaos, config=config)
+    assert result.accounting_ok
+    state = _state(result, 0)
+    assert state.failures[0].reason == "hang"
+    assert state.verdict in ("retried", "quarantined")
+    # The healthy shard is unaffected either way.
+    assert any(r["machine"] == 1 for r in result.merge.records)
+
+
+def test_poison_shard_is_quarantined_with_full_ladder():
+    plan = FleetPlan.generate(0, 2, shard_size=1)
+    chaos = ChaosPlan({1: ChaosAction.POISON})
+    result = run_fleet(plan, chaos=chaos,
+                       config=FleetConfig(workers=2, max_retries=2,
+                                          **_CALM))
+    assert result.accounting_ok
+    state = _state(result, 1)
+    assert state.verdict == "quarantined"
+    assert state.attempts == 3  # initial + max_retries
+    assert [f.reason for f in state.failures] == ["crash"] * 3
+    assert state.records is None  # nothing from it ever merged
+    # Partial result: the healthy machine still merged, byte-identical
+    # to the reference restricted to the completed shards.
+    assert result.merge.machine_count == 1
+    reference = reference_merge(plan, shard_ids=[0])
+    assert result.merge.prometheus_text() == reference.prometheus_text()
+    assert result.merge.json_snapshot() == reference.json_snapshot()
+
+
+def test_timeout_budget_cuts_off_even_a_heartbeating_worker():
+    plan = FleetPlan.generate(0, 1, shard_size=1)
+    config = FleetConfig(workers=1, shard_timeout_s=0.05,
+                         heartbeat_timeout_s=60.0, max_retries=0,
+                         backoff_base_s=0.01, poll_interval_s=0.005)
+    result = run_fleet(plan, config=config)
+    assert result.accounting_ok
+    state = _state(result, 0)
+    assert state.verdict == "quarantined"
+    assert state.failures[0].reason == "timeout"
+    assert result.merge.machine_count == 0
+
+
+def test_every_failure_mode_at_once_keeps_exact_books():
+    """The acceptance scenario: kills, stalls, corruption and poison in
+    one fleet — every shard ends merged, retried-then-merged, or
+    explicitly quarantined; nothing is silently dropped; and the merged
+    export is byte-identical to the sequential reference over the
+    completed shards."""
+    plan = FleetPlan.generate(0, 4, shard_size=1)
+    chaos = ChaosPlan({0: ChaosAction.KILL, 1: ChaosAction.STALL,
+                       2: ChaosAction.CORRUPT, 3: ChaosAction.POISON})
+    config = FleetConfig(workers=2, shard_timeout_s=120.0,
+                         heartbeat_timeout_s=2.5, stall_seconds=60.0,
+                         max_retries=2, backoff_base_s=0.01,
+                         poll_interval_s=0.005)
+    result = run_fleet(plan, chaos=chaos, config=config)
+    assert result.accounting_ok
+    assert (result.completed + result.retried + result.quarantined
+            == result.planned == 4)
+    assert all(state.verdict is not None for state in result.states)
+    assert _state(result, 3).verdict == "quarantined"
+    assert _state(result, 0).failures[0].reason == "crash"
+    assert _state(result, 1).failures[0].reason == "hang"
+    assert _state(result, 2).failures[0].reason == "corrupt"
+    merged_ids = [state.shard_id for state in result.states
+                  if state.verdict in ("completed", "retried")]
+    reference = reference_merge(plan, shard_ids=merged_ids)
+    assert result.merge.digest == reference.digest
+    assert result.merge.prometheus_text() == reference.prometheus_text()
+    assert result.merge.json_snapshot() == reference.json_snapshot()
