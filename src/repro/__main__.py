@@ -27,7 +27,8 @@ SUBCOMMANDS = (
      "(Prometheus/JSON)"),
     ("fleet", "repro.fleet.cli",
      "supervised multi-process campaign fleet: crash/hang recovery, "
-     "quarantine, deterministic merge (--chaos for the hostile mode)"),
+     "quarantine, deterministic merge, flight recorder and live "
+     "telemetry (--chaos for the hostile mode)"),
 )
 
 

@@ -379,14 +379,16 @@ def check_fleet_merge(report=None, machines=3, seed=0):
     from repro.fleet.merge import merge_payloads, reference_merge
     from repro.fleet.plan import FleetPlan
     from repro.fleet.worker import run_shard
+    from repro.trace.export import verify_machine_trace
 
     if report is None:
         report = SanitizerReport()
     plan = FleetPlan.generate(seed, machines, shard_size=1)
     payloads = []
     for shard in plan.shards:
-        records, metrics_document = run_shard(shard)
-        payloads.append((shard.shard_id, records, metrics_document))
+        records, metrics_document, traces = run_shard(shard, trace=True)
+        payloads.append((shard.shard_id, records, metrics_document,
+                         traces))
 
     orders = [payloads, list(reversed(payloads)),
               payloads[1:] + payloads[:1]]
@@ -408,13 +410,27 @@ def check_fleet_merge(report=None, machines=3, seed=0):
             "san-fleet-merge",
             "fleet digest depends on shard arrival order "
             "(permutation %d differs)" % index)
-    reference = reference_merge(plan)
+        report.record(
+            merge.chrome_trace_json() == baseline.chrome_trace_json(),
+            "san-fleet-merge",
+            "stitched fleet trace depends on shard arrival order "
+            "(permutation %d differs)" % index)
+    reference = reference_merge(plan, trace=True)
     report.record(
         reference.prometheus_text() == baseline.prometheus_text()
         and reference.json_snapshot() == baseline.json_snapshot()
-        and reference.digest == baseline.digest,
+        and reference.digest == baseline.digest
+        and reference.chrome_trace_json() == baseline.chrome_trace_json(),
         "san-fleet-merge",
         "shuffled merge diverged from the sequential reference run")
+    # The per-machine reconciliation invariant must still hold *after*
+    # the merge — each stitched machine lane balances its own books.
+    for machine_index in sorted(baseline.traces):
+        problems = verify_machine_trace(baseline.traces[machine_index])
+        report.record(
+            not problems, "san-trace-reconcile",
+            "machine %d trace payload fails after fleet merge: %s"
+            % (machine_index, "; ".join(problems)))
     return report
 
 

@@ -4,11 +4,19 @@ Shards M simulated machines across N supervised worker processes with
 seed-split plans, survives worker crashes/hangs/corrupt payloads via
 retry-with-backoff and poison-shard quarantine, and merges per-shard
 telemetry deterministically — byte-identical to a sequential reference
-run no matter how the fleet was scheduled.  See docs/fleet.md.
+run no matter how the fleet was scheduled.  Every supervisor decision
+streams to attached sinks and can be journalled by the flight recorder
+(``repro-flight/1``) and replayed into the same accounting.  See
+docs/fleet.md.
 """
 
 from repro.fleet.chaos import ChaosAction, ChaosPlan
-from repro.fleet.merge import FleetMerge, merge_payloads, reference_merge
+from repro.fleet.merge import (
+    FleetMerge,
+    merge_payloads,
+    merge_traces,
+    reference_merge,
+)
 from repro.fleet.plan import FleetPlan, MachineAssignment, Shard
 from repro.fleet.supervisor import (
     FleetAccountingError,
@@ -17,19 +25,34 @@ from repro.fleet.supervisor import (
     Supervisor,
     run_fleet,
 )
+from repro.fleet.telemetry import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    FlightReplay,
+    FlightReplayError,
+    WatchRenderer,
+    replay,
+)
 
 __all__ = [
     "ChaosAction",
     "ChaosPlan",
+    "FLIGHT_SCHEMA",
     "FleetAccountingError",
     "FleetConfig",
     "FleetMerge",
     "FleetPlan",
     "FleetResult",
+    "FlightRecorder",
+    "FlightReplay",
+    "FlightReplayError",
     "MachineAssignment",
     "Shard",
     "Supervisor",
+    "WatchRenderer",
     "merge_payloads",
+    "merge_traces",
     "reference_merge",
+    "replay",
     "run_fleet",
 ]

@@ -6,15 +6,25 @@ retry/backoff, poison-shard quarantine) and prints the fleet digest:
 per-shard verdicts with their failure ladders, the exact accounting
 line, and the merged result digest.
 
+Live telemetry rides the same event stream the supervisor journals:
+``--watch`` renders every decision to stderr as it happens,
+``--flight-recorder DIR`` writes the ``repro-flight/1`` JSONL journal
+(and the run replays it afterwards — the journal must reproduce the
+live accounting or the run fails), ``--trace-out FILE`` collects
+per-machine trace ring buffers and writes the stitched fleet-wide
+Chrome/Perfetto trace.
+
 Exit status: 0 when the books balance and every merged machine was
 clean (quarantines are expected — and tolerated — only under
 ``--chaos``); 1 when a merged machine failed, a shard was quarantined
 without chaos, or ``--verify`` found a byte difference against the
-sequential reference; 2 on accounting violations.
+sequential reference; 2 on accounting violations — including a flight
+journal that does not replay to the live books.
 """
 
 import argparse
 import json
+import os
 import sys
 
 from repro.fleet.chaos import ChaosPlan
@@ -25,15 +35,25 @@ from repro.fleet.supervisor import (
     FleetConfig,
     Supervisor,
 )
+from repro.fleet.telemetry import (
+    FlightRecorder,
+    FlightReplayError,
+    WatchRenderer,
+    replay,
+)
 
 FLEET_SCHEMA = "repro-fleet/1"
+
+#: Journal filename inside the ``--flight-recorder`` directory.
+FLIGHT_JOURNAL = "flight.jsonl"
 
 
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro fleet",
         description="fault-tolerant fleet engine: supervised "
-                    "multi-process campaigns with deterministic merge")
+                    "multi-process campaigns with deterministic merge, "
+                    "flight recorder and live telemetry")
     parser.add_argument("--machines", type=int, default=16, metavar="M",
                         help="simulated machines to run (default 16); "
                              "machine i runs campaign seed "
@@ -72,6 +92,19 @@ def build_parser():
                         help="also run the in-process sequential "
                              "reference over the completed shards and "
                              "demand byte-identical merged exports")
+    parser.add_argument("--watch", action="store_true",
+                        help="render the live supervisor event stream "
+                             "to stderr as the fleet runs")
+    parser.add_argument("--flight-recorder", metavar="DIR", default=None,
+                        help="journal every supervisor decision as "
+                             "repro-flight/1 JSONL into DIR/%s, then "
+                             "replay the journal and demand it "
+                             "reproduce the live accounting"
+                             % FLIGHT_JOURNAL)
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="collect per-machine trace ring buffers "
+                             "and write the stitched fleet-wide "
+                             "Chrome/Perfetto trace to FILE")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="write the fleet digest document "
                              "(repro-fleet/1 JSON) to FILE")
@@ -97,13 +130,28 @@ def main(argv=None):
                          shard_timeout_s=args.timeout,
                          heartbeat_timeout_s=args.heartbeat_timeout,
                          max_retries=args.retries,
-                         backoff_base_s=args.backoff)
+                         backoff_base_s=args.backoff,
+                         trace=args.trace_out is not None)
+
+    recorder = None
+    journal_path = None
+    if args.flight_recorder is not None:
+        os.makedirs(args.flight_recorder, exist_ok=True)
+        journal_path = os.path.join(args.flight_recorder, FLIGHT_JOURNAL)
+        # Wall-clock stamps are for post-mortems; --verify runs demand
+        # deterministic journal fields, so strip them there.
+        recorder = FlightRecorder(journal_path, wall=not args.verify)
+    sinks = (WatchRenderer(),) if args.watch else ()
 
     try:
-        result = Supervisor(plan, config=config, chaos=chaos).run()
+        result = Supervisor(plan, config=config, chaos=chaos,
+                            recorder=recorder, sinks=sinks).run()
     except FleetAccountingError as exc:
         print("fleet: ACCOUNTING VIOLATION: %s" % exc, file=sys.stderr)
         return 2
+    finally:
+        if recorder is not None:
+            recorder.close()
 
     render(result, verbose=args.verbose)
 
@@ -115,6 +163,19 @@ def main(argv=None):
         print("fleet: FAIL: %d shard(s) quarantined without --chaos"
               % result.quarantined)
         status = 1
+    if result.protocol_errors:
+        print("fleet: WARNING: %d unknown worker message(s) journalled"
+              % result.protocol_errors)
+    if recorder is not None:
+        status = max(status, _check_replay(journal_path, result))
+    if args.trace_out is not None and result.merge is not None:
+        try:
+            result.merge.write_chrome_trace(args.trace_out)
+            print("fleet: wrote %s (%d machine lanes)"
+                  % (args.trace_out, len(result.merge.traces or ())))
+        except ValueError as exc:
+            print("fleet: TRACE FAILED: %s" % exc, file=sys.stderr)
+            status = max(status, 1)
     if args.verify:
         status = max(status, _verify(plan, result))
     if args.out is not None:
@@ -162,6 +223,26 @@ def render(result, verbose=False):
              merge.digest))
 
 
+def _check_replay(journal_path, result):
+    """Replay the flight journal from disk and demand it reproduce the
+    live run's books — a journal that cannot is an accounting-grade
+    failure (exit 2), because the journal *is* the post-mortem record."""
+    try:
+        replayed = replay(journal_path)
+    except FlightReplayError as exc:
+        print("fleet: REPLAY FAILED: %s" % exc, file=sys.stderr)
+        return 2
+    if not replayed.matches(result):
+        print("fleet: REPLAY FAILED: journal replays to [%s], live run "
+              "was [%s]" % (replayed.accounting_line(),
+                            result.accounting_line()), file=sys.stderr)
+        return 2
+    print("flight: journal %s replays to the live accounting "
+          "(%d events, %d protocol errors)"
+          % (journal_path, replayed.events, replayed.protocol_errors))
+    return 0
+
+
 def _verify(plan, result):
     """Re-run the completed shards sequentially in-process and compare
     the merged exports byte for byte."""
@@ -169,7 +250,8 @@ def _verify(plan, result):
         return 0
     completed = [state.shard_id for state in result.states
                  if state.verdict in ("completed", "retried")]
-    reference = reference_merge(plan, shard_ids=completed)
+    traced = result.merge.traces is not None
+    reference = reference_merge(plan, shard_ids=completed, trace=traced)
     mismatches = []
     if reference.digest != result.merge.digest:
         mismatches.append("fleet digest")
@@ -177,12 +259,16 @@ def _verify(plan, result):
         mismatches.append("prometheus export")
     if reference.json_snapshot() != result.merge.json_snapshot():
         mismatches.append("json export")
+    if traced and (reference.chrome_trace_json()
+                   != result.merge.chrome_trace_json()):
+        mismatches.append("stitched fleet trace")
     if mismatches:
         print("fleet: VERIFY FAILED: supervised merge diverged from the "
               "sequential reference in: %s" % ", ".join(mismatches))
         return 1
     print("verify: merged exports byte-identical to the sequential "
-          "reference (%d shards)" % len(completed))
+          "reference (%d shards%s)"
+          % (len(completed), ", traces included" if traced else ""))
     return 0
 
 
@@ -195,6 +281,7 @@ def _write_document(path, args, plan, result):
         "workers": result.config.workers,
         "shard_size": args.shard_size,
         "chaos": result.chaos is not None,
+        "protocol_errors": result.protocol_errors,
         "accounting": {
             "planned": result.planned,
             "completed": result.completed,

@@ -20,6 +20,18 @@ and ``completed + retried + quarantined == planned`` is enforced as an
 invariant — a shard silently dropped is a supervisor bug, and
 :meth:`Supervisor.run` raises rather than return cooked books.
 
+Every decision the supervisor takes is also **emitted as an event** to
+any attached sinks (:class:`~repro.fleet.telemetry.FlightRecorder`
+journal, ``--watch`` renderer, tests): launches, chaos firings,
+heartbeats, per-machine progress, failure classifications, backoffs,
+quarantines, the merge and the final accounting.  Events carry the
+fleet's virtual-cycle progress so the telemetry timeline is simulated
+time, not wall time.  Messages of unknown type are no longer dropped on
+the floor — they journal as ``unknown-message`` and count in the
+supervisor-side ``repro_fleet_protocol_errors_total`` family (kept out
+of the *merged* registry on purpose: the merge must stay a pure
+function of the completed machine set).
+
 Only wall-clock *scheduling* lives here.  Everything merged downstream
 is a pure function of the completed machine set, so the supervised
 export stays byte-identical to the sequential reference no matter how
@@ -33,6 +45,7 @@ from dataclasses import dataclass, field
 from repro.fleet.chaos import ChaosAction
 from repro.fleet.merge import merge_payloads
 from repro.fleet.worker import STALL_SECONDS, payload_checksum, worker_entry
+from repro.metrics.registry import MetricsRegistry
 
 
 class FleetAccountingError(RuntimeError):
@@ -51,6 +64,7 @@ class FleetConfig:
     backoff_cap_s: float = 2.0         # backoff ceiling
     poll_interval_s: float = 0.02      # supervisor loop tick
     stall_seconds: float = STALL_SECONDS  # chaos stall length
+    trace: bool = False                # collect per-machine trace payloads
 
     def backoff_for(self, failure_count):
         """Delay before the retry after the *failure_count*-th failure:
@@ -82,6 +96,7 @@ class ShardState:
     verdict: str = None  # "completed" | "retried" | "quarantined"
     records: list = None
     metrics_document: dict = None
+    traces: dict = None  # machine_index -> trace payload (trace runs)
 
     @property
     def shard_id(self):
@@ -92,7 +107,7 @@ class _Attempt:
     """One live worker process being watched."""
 
     __slots__ = ("state", "proc", "conn", "started", "last_beat",
-                 "deadline", "beats")
+                 "deadline", "beats", "machines_done", "cycles")
 
     def __init__(self, state, proc, conn, now, timeout_s):
         self.state = state
@@ -102,17 +117,23 @@ class _Attempt:
         self.last_beat = now
         self.deadline = now + timeout_s
         self.beats = 0
+        self.machines_done = 0  # last monotonic progress the worker sent
+        self.cycles = 0
 
 
 class FleetResult:
     """The supervised run's outcome: per-shard books plus the merge."""
 
-    def __init__(self, plan, config, chaos, states, merge):
+    def __init__(self, plan, config, chaos, states, merge, telemetry=None):
         self.plan = plan
         self.config = config
         self.chaos = chaos
         self.states = states  # shard-id ordered ShardStates
         self.merge = merge    # FleetMerge over completed+retried shards
+        #: Supervisor-side registry (event and protocol-error counters).
+        #: Deliberately separate from ``merge.registry`` — scheduling
+        #: telemetry must never leak into the deterministic export.
+        self.telemetry = telemetry
 
     @property
     def planned(self):
@@ -161,6 +182,14 @@ class FleetResult:
         return (self.accounting_ok
                 and (self.merge is None or self.merge.ok))
 
+    @property
+    def protocol_errors(self):
+        """Messages of unknown type the workers sent (0 on clean runs)."""
+        if self.telemetry is None:
+            return 0
+        family = self.telemetry.get("repro_fleet_protocol_errors_total")
+        return family.total()
+
     def accounting_line(self):
         return ("planned=%d completed=%d retried=%d quarantined=%d"
                 % (self.planned, self.completed, self.retried,
@@ -168,15 +197,47 @@ class FleetResult:
 
 
 class Supervisor:
-    """Runs one :class:`~repro.fleet.plan.FleetPlan` to completion."""
+    """Runs one :class:`~repro.fleet.plan.FleetPlan` to completion.
 
-    def __init__(self, plan, config=None, chaos=None):
+    *recorder* is an optional :class:`~repro.fleet.telemetry.
+    FlightRecorder`; *sinks* is any iterable of callables that receive
+    each event dict as it is emitted (the ``--watch`` renderer is just
+    a sink).  The recorder and the sinks see the identical stream.
+    """
+
+    def __init__(self, plan, config=None, chaos=None, recorder=None,
+                 sinks=()):
         self.plan = plan
         self.config = config if config is not None else FleetConfig()
         self.chaos = chaos
+        self.recorder = recorder
+        self.sinks = tuple(sinks)
+        self._vcycles = 0  # fleet virtual-cycle progress (telemetry time)
+        self.telemetry = MetricsRegistry()
+        self._events_total = self.telemetry.counter(
+            "repro_fleet_events_total",
+            "Supervisor events emitted, by event type", ("event",))
+        self._protocol_errors = self.telemetry.counter(
+            "repro_fleet_protocol_errors_total",
+            "Worker messages the supervisor could not interpret, by "
+            "message type", ("kind",))
+        self.telemetry.clock = lambda: self._vcycles
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else methods[0])
+
+    # -- the event stream ------------------------------------------------
+
+    def _emit(self, event, **fields):
+        """Emit one supervision event to the journal and every sink."""
+        entry = {"event": event, "vcycles": self._vcycles}
+        entry.update(fields)
+        self._events_total.labels(event).inc()
+        if self.recorder is not None:
+            self.recorder.record(entry)
+        for sink in self.sinks:
+            sink(entry)
+        return entry
 
     # -- the supervision loop --------------------------------------------
 
@@ -184,6 +245,11 @@ class Supervisor:
         """Supervise every shard to a verdict; returns a FleetResult
         whose books are guaranteed to balance (or raises)."""
         states = [ShardState(shard) for shard in self.plan.shards]
+        self._emit("run-begin", seed=self.plan.seed,
+                   machines=self.plan.machine_count, shards=len(states),
+                   workers=self.config.workers,
+                   chaos=self.chaos is not None,
+                   trace=self.config.trace)
         ready = [(0.0, state) for state in states]  # (not_before, state)
         running = []
 
@@ -205,6 +271,9 @@ class Supervisor:
                     state = attempt.state
                     state.verdict = ("completed" if not state.failures
                                      else "retried")
+                    self._emit("verdict", shard=state.shard_id,
+                               verdict=state.verdict,
+                               attempts=state.attempts)
                 else:
                     retry_at = self._register_failure(attempt, failure)
                     if retry_at is not None:
@@ -212,12 +281,21 @@ class Supervisor:
             if running:
                 time.sleep(self.config.poll_interval_s)
 
-        result = FleetResult(
-            self.plan, self.config, self.chaos, states,
-            merge_payloads(
-                (state.shard_id, state.records, state.metrics_document)
-                for state in states
-                if state.verdict in ("completed", "retried")))
+        merge = merge_payloads(
+            (state.shard_id, state.records, state.metrics_document,
+             state.traces)
+            for state in states
+            if state.verdict in ("completed", "retried"))
+        self._emit("merge", digest=merge.digest,
+                   machine_count=merge.machine_count, ok=merge.ok)
+        result = FleetResult(self.plan, self.config, self.chaos, states,
+                             merge, telemetry=self.telemetry)
+        self._emit("run-end", accounting={
+            "planned": result.planned,
+            "completed": result.completed,
+            "retried": result.retried,
+            "quarantined": result.quarantined,
+        }, ok=result.ok)
         result.assert_accounting()
         return result
 
@@ -231,11 +309,19 @@ class Supervisor:
         proc = self._ctx.Process(
             target=worker_entry,
             args=(child_conn, state.shard, state.attempts, action.value,
-                  self.config.stall_seconds),
+                  self.config.stall_seconds, self.config.trace),
             daemon=True)
         proc.start()
         child_conn.close()  # the worker holds the only send end now
         state.attempts += 1
+        self._emit("launch", shard=state.shard_id,
+                   attempt=state.attempts - 1,
+                   machines=len(state.shard.machines),
+                   chaos_action=action.name.lower())
+        if action is not ChaosAction.NONE:
+            self._emit("chaos", shard=state.shard_id,
+                       attempt=state.attempts - 1,
+                       action=action.name.lower())
         return _Attempt(state, proc, parent_conn, now,
                         self.config.shard_timeout_s)
 
@@ -268,23 +354,65 @@ class Supervisor:
             self._reap(attempt, force=True)
             return True, ShardFailure(
                 attempt.state.attempts - 1, "hang",
-                "no heartbeat for %.1fs (last after %d machine(s))"
-                % (now - attempt.last_beat, attempt.beats))
+                "no heartbeat for %.1fs (last progress: %d/%d machines, "
+                "%d cycles)"
+                % (now - attempt.last_beat, attempt.machines_done,
+                   len(attempt.state.shard.machines), attempt.cycles))
         return False, None
 
     def _drain(self, attempt):
         """Pull every queued message; returns the result message if one
-        arrived."""
+        arrived.  Heartbeats feed the hang detector, progress events
+        stream to the sinks, anything else journals as a protocol
+        error — never a silent drop."""
         result = None
+        shard_id = attempt.state.shard_id
         try:
             while attempt.conn.poll(0):
                 message = attempt.conn.recv()
-                if message.get("type") == "heartbeat":
+                kind = message.get("type") if isinstance(message, dict) \
+                    else None
+                if kind == "heartbeat":
                     attempt.last_beat = (
                         time.monotonic())  # lint: allow(sim-nondeterminism)
                     attempt.beats += 1
-                elif message.get("type") == "result":
+                    attempt.machines_done = max(
+                        attempt.machines_done,
+                        message.get("machines_done", 0))
+                    attempt.cycles = max(attempt.cycles,
+                                         message.get("cycles", 0))
+                    self._emit("heartbeat", shard=shard_id,
+                               machine=message.get("machine"),
+                               machines_done=message.get("machines_done"),
+                               cycles=message.get("cycles"))
+                elif kind == "progress":
+                    # Progress counts as a heartbeat too: a worker that
+                    # streams machine results is visibly not hung.
+                    attempt.last_beat = (
+                        time.monotonic())  # lint: allow(sim-nondeterminism)
+                    attempt.machines_done = max(
+                        attempt.machines_done,
+                        message.get("machines_done", 0))
+                    machine_cycles = message.get("cycles", 0)
+                    attempt.cycles += machine_cycles
+                    self._vcycles += machine_cycles
+                    self._emit(
+                        "progress", shard=shard_id,
+                        machine=message.get("machine"),
+                        verdict=message.get("verdict"),
+                        ok=message.get("ok"),
+                        cycles=machine_cycles,
+                        traps=message.get("traps"),
+                        recoveries=message.get("recoveries"),
+                        machines_done=message.get("machines_done"),
+                        machines_planned=message.get("machines_planned"),
+                        metrics_delta=message.get("metrics_delta"))
+                elif kind == "result":
                     result = message
+                else:
+                    self._protocol_errors.labels(str(kind)).inc()
+                    self._emit("unknown-message", shard=shard_id,
+                               message_type=kind)
         except (EOFError, OSError):
             pass
         return result
@@ -295,7 +423,12 @@ class Supervisor:
         state = attempt.state
         records = message.get("records")
         metrics_document = message.get("metrics")
-        checksum = payload_checksum(records, metrics_document)
+        traces = message.get("traces")
+        checksum = payload_checksum(records, metrics_document, traces)
+        self._emit("result", shard=state.shard_id,
+                   attempt=state.attempts - 1,
+                   machines=len(records or ()),
+                   checksum=message.get("checksum"))
         if checksum != message.get("checksum"):
             return ShardFailure(
                 state.attempts - 1, "corrupt",
@@ -311,6 +444,7 @@ class Supervisor:
                 % (got, want))
         state.records = records
         state.metrics_document = metrics_document
+        state.traces = traces
         return None
 
     def _register_failure(self, attempt, failure):
@@ -318,13 +452,22 @@ class Supervisor:
         when the shard crossed the quarantine threshold."""
         state = attempt.state
         state.failures.append(failure)
+        self._emit("failure", shard=state.shard_id,
+                   attempt=failure.attempt, reason=failure.reason,
+                   detail=failure.detail)
         if len(state.failures) > self.config.max_retries:
             state.verdict = "quarantined"
             state.records = None
             state.metrics_document = None
+            state.traces = None
+            self._emit("quarantine", shard=state.shard_id,
+                       failures=len(state.failures))
             return None
+        delay = self.config.backoff_for(len(state.failures))
+        self._emit("retry", shard=state.shard_id,
+                   attempt=state.attempts, delay_s=delay)
         now = time.monotonic()  # lint: allow(sim-nondeterminism)
-        return now + self.config.backoff_for(len(state.failures))
+        return now + delay
 
     def _reap(self, attempt, force=False):
         """Tear one attempt's process down and close its pipe."""
@@ -341,6 +484,7 @@ class Supervisor:
             pass
 
 
-def run_fleet(plan, config=None, chaos=None):
+def run_fleet(plan, config=None, chaos=None, recorder=None, sinks=()):
     """Convenience wrapper: supervise *plan* and return the FleetResult."""
-    return Supervisor(plan, config=config, chaos=chaos).run()
+    return Supervisor(plan, config=config, chaos=chaos, recorder=recorder,
+                      sinks=sinks).run()

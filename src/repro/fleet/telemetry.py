@@ -1,0 +1,319 @@
+"""Fleet flight recorder and live telemetry (`repro-flight/1`).
+
+The supervisor (PR 7) classified failures and balanced its books, but a
+crashed run left nothing behind except whatever scrolled past: the one
+result message per attempt was the *only* record, and a post-mortem of
+a chaos ladder meant reconstructing history from log greps.  This
+module makes the supervisor's decision stream a first-class artifact:
+
+* **FlightRecorder** — journals every supervisor decision (launch,
+  heartbeat, progress, crash/hang/timeout/corrupt classification,
+  backoff, retry, quarantine, chaos firing, unknown messages, merge,
+  final accounting) as canonicalized JSONL.  Every record carries the
+  fleet's *virtual-cycle* progress (simulated cycles reported by worker
+  progress events so far); wall-clock stamps are optional and stripped
+  for deterministic runs (``--verify``).
+
+* **replay** — a pure function over the journal alone that
+  reconstructs the run's verdict counts
+  (``completed``/``retried``/``quarantined``) and the merged digest,
+  and cross-checks them against the journalled final accounting.  If
+  ``replay(journal)`` disagrees with the live
+  :class:`~repro.fleet.supervisor.FleetResult`, either the journal is
+  incomplete or the supervisor's books are cooked — both are bugs.
+
+* **WatchRenderer** — a live one-line-per-event renderer for
+  ``python -m repro fleet --watch``: see shards launch, machines
+  complete and failures classify as they happen instead of staring at
+  a silent prompt until the digest prints.
+
+Events are plain dicts with an ``"event"`` key; the supervisor emits
+them to any number of sinks (recorder, watch renderer, tests), so the
+journal and the live view are the same stream by construction.
+"""
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+
+#: Journal schema tag, written in the ``journal-open`` header record.
+FLIGHT_SCHEMA = "repro-flight/1"
+
+#: Every event type the supervisor emits, in rough lifecycle order.
+EVENT_TYPES = (
+    "journal-open", "run-begin", "launch", "chaos", "heartbeat",
+    "progress", "result", "unknown-message", "failure", "retry",
+    "quarantine", "verdict", "merge", "run-end",
+)
+
+
+class FlightReplayError(ValueError):
+    """The journal cannot be replayed into a consistent accounting."""
+
+
+class FlightRecorder:
+    """Append-only JSONL journal of supervisor decisions.
+
+    Each record is canonicalized JSON (sorted keys, fixed separators)
+    on its own line, stamped with a monotonic sequence number and the
+    fleet's virtual-cycle progress.  With ``wall=True`` (the default)
+    records also carry a wall-clock epoch stamp — useful for real
+    post-mortems, stripped under ``--verify`` so deterministic runs
+    journal deterministic *fields* (the interleaving across workers is
+    still scheduling-dependent; the replayed accounting is not).
+
+    Use as a context manager, or call :meth:`close` explicitly; with
+    ``path=None`` the journal is kept in memory only.
+    """
+
+    def __init__(self, path=None, wall=True):
+        self.path = str(path) if path is not None else None
+        self.wall = wall
+        self.events = []
+        self._seq = 0
+        self._fh = open(self.path, "w") if self.path else None
+        self.record({"event": "journal-open", "schema": FLIGHT_SCHEMA})
+
+    def record(self, event):
+        """Journal one event dict (stamped, canonicalized, flushed)."""
+        entry = dict(event)
+        entry["seq"] = self._seq
+        self._seq += 1
+        if self.wall:
+            entry["wall"] = time.time()  # lint: allow(sim-nondeterminism)
+        self.events.append(entry)
+        if self._fh is not None:
+            self._fh.write(canonical_line(entry) + "\n")
+            self._fh.flush()
+        return entry
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def lines(self):
+        """The journal as canonical JSONL lines (memory copy)."""
+        return [canonical_line(entry) for entry in self.events]
+
+
+def canonical_line(entry):
+    """One journal record's canonical serialized form."""
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class FlightReplay:
+    """What :func:`replay` reconstructed from a journal alone."""
+
+    planned: int = 0
+    verdicts: dict = field(default_factory=dict)  # shard -> verdict
+    digest: str = None
+    machine_count: int = None
+    merge_ok: bool = None
+    events: int = 0
+    event_counts: dict = field(default_factory=dict)
+    protocol_errors: int = 0
+
+    def _count(self, verdict):
+        return sum(1 for v in self.verdicts.values() if v == verdict)
+
+    @property
+    def completed(self):
+        return self._count("completed")
+
+    @property
+    def retried(self):
+        return self._count("retried")
+
+    @property
+    def quarantined(self):
+        return self._count("quarantined")
+
+    def accounting_line(self):
+        return ("planned=%d completed=%d retried=%d quarantined=%d"
+                % (self.planned, self.completed, self.retried,
+                   self.quarantined))
+
+    def matches(self, result):
+        """Does this replay agree with a live ``FleetResult``?"""
+        return (self.planned == result.planned
+                and self.completed == result.completed
+                and self.retried == result.retried
+                and self.quarantined == result.quarantined
+                and (result.merge is None
+                     or self.digest == result.merge.digest))
+
+
+def replay(source):
+    """Reconstruct the fleet accounting from a flight journal alone.
+
+    *source* is a journal path, an iterable of JSONL lines, or an
+    iterable of already-parsed record dicts.  The replay is pure: the
+    verdict counts come from the per-shard ``verdict``/``quarantine``
+    events, the planned count from ``run-begin`` (falling back to the
+    launched shard set), and the digest from the ``merge`` event.  A
+    journal whose final ``run-end`` accounting disagrees with the
+    replayed counts raises :class:`FlightReplayError` — the journal is
+    evidence, and inconsistent evidence must not pass silently.
+    """
+    out = FlightReplay()
+    launched = set()
+    end_accounting = None
+    saw_header = False
+    for entry in _records(source):
+        event = entry.get("event")
+        out.events += 1
+        out.event_counts[event] = out.event_counts.get(event, 0) + 1
+        if event == "journal-open":
+            schema = entry.get("schema")
+            if schema != FLIGHT_SCHEMA:
+                raise FlightReplayError(
+                    "journal schema is %r, want %r"
+                    % (schema, FLIGHT_SCHEMA))
+            saw_header = True
+        elif event == "run-begin":
+            out.planned = entry.get("shards", 0)
+        elif event == "launch":
+            launched.add(entry.get("shard"))
+        elif event == "verdict":
+            out.verdicts[entry["shard"]] = entry["verdict"]
+        elif event == "quarantine":
+            out.verdicts[entry["shard"]] = "quarantined"
+        elif event == "unknown-message":
+            out.protocol_errors += 1
+        elif event == "merge":
+            out.digest = entry.get("digest")
+            out.machine_count = entry.get("machine_count")
+            out.merge_ok = entry.get("ok")
+        elif event == "run-end":
+            end_accounting = entry.get("accounting")
+    if not saw_header:
+        raise FlightReplayError("journal has no journal-open header "
+                                "(is this a repro-flight/1 file?)")
+    if not out.planned:
+        out.planned = len(launched)
+    balanced = (out.completed + out.retried + out.quarantined
+                == out.planned)
+    if not balanced:
+        raise FlightReplayError(
+            "replayed books do not balance: %s" % out.accounting_line())
+    if end_accounting is not None:
+        want = {"planned": out.planned, "completed": out.completed,
+                "retried": out.retried, "quarantined": out.quarantined}
+        got = {key: end_accounting.get(key) for key in want}
+        if got != want:
+            raise FlightReplayError(
+                "journalled run-end accounting %r disagrees with the "
+                "replayed event stream %r" % (got, want))
+    return out
+
+
+def _records(source):
+    """Yield parsed record dicts from a path, lines, or dicts."""
+    if isinstance(source, (str, bytes)):
+        with open(source) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        return
+    for item in source:
+        if isinstance(item, dict):
+            yield item
+        else:
+            item = item.strip()
+            if item:
+                yield json.loads(item)
+
+
+class WatchRenderer:
+    """Live one-line-per-event renderer for ``--watch``.
+
+    Heartbeats are summarized (one dot column would be noise at fleet
+    scale); everything else prints as it happens.  Intended for a human
+    at a terminal, so it writes to *stream* (stderr by default) and
+    never touches the machine-readable digest on stdout.
+    """
+
+    #: Event types too chatty to print one line each.
+    QUIET = ("heartbeat",)
+
+    def __init__(self, stream=None, show_heartbeats=False):
+        self.stream = stream if stream is not None else sys.stderr
+        self.show_heartbeats = show_heartbeats
+
+    def __call__(self, event):
+        kind = event.get("event")
+        if kind in self.QUIET and not self.show_heartbeats:
+            return
+        line = self.format(event)
+        if line:
+            print(line, file=self.stream, flush=True)
+
+    def format(self, event):
+        kind = event.get("event")
+        prefix = "watch: [%12s cyc] %-12s" % (
+            format(event.get("vcycles", 0), ","), kind)
+        if kind == "run-begin":
+            return "%s seed=%s machines=%s shards=%s workers=%s%s" % (
+                prefix, event.get("seed"), event.get("machines"),
+                event.get("shards"), event.get("workers"),
+                " chaos=on" if event.get("chaos") else "")
+        if kind == "launch":
+            chaos = event.get("chaos_action")
+            return "%s shard=%s attempt=%s%s" % (
+                prefix, event.get("shard"), event.get("attempt"),
+                "" if chaos in (None, "none") else " chaos=%s" % chaos)
+        if kind == "heartbeat":
+            return "%s shard=%s m%06d (%s done, %s cycles)" % (
+                prefix, event.get("shard"), event.get("machine", 0),
+                event.get("machines_done"), event.get("cycles"))
+        if kind == "progress":
+            return ("%s shard=%s m%06d verdict=%s cycles=%s traps=%s "
+                    "recoveries=%s (%s/%s)" % (
+                        prefix, event.get("shard"),
+                        event.get("machine", 0), event.get("verdict"),
+                        event.get("cycles"), event.get("traps"),
+                        event.get("recoveries"),
+                        event.get("machines_done"),
+                        event.get("machines_planned")))
+        if kind == "failure":
+            return "%s shard=%s attempt=%s %s: %s" % (
+                prefix, event.get("shard"), event.get("attempt"),
+                event.get("reason"), event.get("detail"))
+        if kind == "retry":
+            return "%s shard=%s attempt=%s backoff=%.3fs" % (
+                prefix, event.get("shard"), event.get("attempt"),
+                event.get("delay_s", 0.0))
+        if kind == "quarantine":
+            return "%s shard=%s after %s failure(s)" % (
+                prefix, event.get("shard"), event.get("failures"))
+        if kind == "verdict":
+            return "%s shard=%s %s" % (prefix, event.get("shard"),
+                                       event.get("verdict"))
+        if kind == "unknown-message":
+            return "%s shard=%s type=%r" % (prefix, event.get("shard"),
+                                            event.get("message_type"))
+        if kind == "merge":
+            return "%s %s machines, digest %.16s" % (
+                prefix, event.get("machine_count"),
+                event.get("digest") or "")
+        if kind == "run-end":
+            accounting = event.get("accounting", {})
+            return "%s %s" % (prefix, " ".join(
+                "%s=%s" % (key, accounting.get(key))
+                for key in ("planned", "completed", "retried",
+                            "quarantined")))
+        return "%s %s" % (prefix, {key: value
+                                   for key, value in sorted(event.items())
+                                   if key not in ("event", "vcycles",
+                                                  "seq", "wall")})

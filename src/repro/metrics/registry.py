@@ -361,6 +361,11 @@ class MetricsRegistry:
                     "metrics": self.snapshot()}
         return json.dumps(document, sort_keys=True, indent=indent) + "\n"
 
+    def delta_cursor(self):
+        """A :class:`DeltaCursor` positioned at the registry's current
+        state — the streaming-export hook the fleet workers use."""
+        return DeltaCursor(self)
+
     # -- merging (the fleet layer's fold hook) ---------------------------
 
     def merge_snapshot(self, document):
@@ -418,6 +423,111 @@ class MetricsRegistry:
                     for index, count in enumerate(entry["buckets"]):
                         child.counts[index] += count
         return self
+
+
+def snapshot_delta(base, current):
+    """Pure diff of two :meth:`MetricsRegistry.snapshot` dicts.
+
+    Returns a snapshot-shaped dict containing only what moved since
+    *base*: counter and histogram series subtract (value, sum, count and
+    per-bucket counts), gauge series carry their current value when it
+    changed.  Unchanged series and empty families are omitted, so the
+    delta of a quiet interval is ``{}``.  Folding every delta of a run
+    through :meth:`MetricsRegistry.merge_snapshot` reproduces the final
+    counters and histograms exactly — which is what makes the fleet's
+    streaming ``progress`` events loss-checkable against the final
+    result payload.
+    """
+    out = {}
+    for name, body in current.items():
+        base_series = {}
+        base_body = base.get(name)
+        if base_body is not None:
+            if (base_body["kind"] != body["kind"]
+                    or base_body["labelnames"] != body["labelnames"]):
+                raise ValueError(
+                    "metric %r changed schema between snapshots: "
+                    "%r -> %r" % (name,
+                                  (base_body["kind"],
+                                   base_body["labelnames"]),
+                                  (body["kind"], body["labelnames"])))
+            for entry in base_body["series"]:
+                key = tuple(entry["labels"][label]
+                            for label in base_body["labelnames"])
+                base_series[key] = entry
+        moved = []
+        for entry in body["series"]:
+            key = tuple(entry["labels"][label]
+                        for label in body["labelnames"])
+            before = base_series.get(key)
+            delta = _series_delta(body["kind"], before, entry)
+            if delta is not None:
+                moved.append(delta)
+        if moved:
+            out[name] = {"kind": body["kind"], "help": body["help"],
+                         "labelnames": list(body["labelnames"]),
+                         "series": moved}
+    return out
+
+
+def _series_delta(kind, before, entry):
+    """One series' movement between two snapshots; None when quiet."""
+    if kind == "histogram":
+        if before is None:
+            changed = entry["count"] != 0 or entry["sum"] != 0
+            delta = {"labels": dict(entry["labels"]),
+                     "le": list(entry["le"]),
+                     "sum": entry["sum"], "count": entry["count"],
+                     "buckets": list(entry["buckets"])}
+        else:
+            delta = {
+                "labels": dict(entry["labels"]),
+                "le": list(entry["le"]),
+                "sum": entry["sum"] - before["sum"],
+                "count": entry["count"] - before["count"],
+                "buckets": [after - prior for after, prior
+                            in zip(entry["buckets"], before["buckets"])],
+            }
+            changed = delta["count"] != 0 or delta["sum"] != 0
+        return delta if changed else None
+    previous = 0 if before is None else before["value"]
+    if kind == "counter":
+        moved = entry["value"] - previous
+        if moved == 0:
+            return None
+        return {"labels": dict(entry["labels"]), "value": moved}
+    # Gauges merge by *set*, so the delta carries the current value —
+    # but only when it moved (or the series is new).
+    if before is not None and entry["value"] == previous:
+        return None
+    return {"labels": dict(entry["labels"]), "value": entry["value"]}
+
+
+class DeltaCursor:
+    """Incremental ``repro-metrics/1`` delta documents over a registry.
+
+    Each :meth:`advance` returns the movement since the previous call
+    (or since construction) as a mergeable document — the fleet workers
+    stream one per machine so the supervisor can watch counters grow
+    without waiting for the shard's final checksummed payload.
+    """
+
+    def __init__(self, registry):
+        self.registry = registry
+        self._base = registry.snapshot()
+
+    def advance(self, virtual_cycles=None):
+        current = self.registry.snapshot()
+        delta = snapshot_delta(self._base, current)
+        self._base = current
+        return {
+            "schema": "repro-metrics/1",
+            "delta": True,
+            "virtual_cycles": (self.registry.now()
+                               if virtual_cycles is None
+                               else virtual_cycles),
+            "metrics": delta,
+        }
 
 
 def _parse_bound(text):

@@ -103,15 +103,15 @@ def write_chrome_trace(tracer, path, label=None):
 
 def validate_chrome_trace(document):
     """Check *document* (a parsed JSON object) against the format's
-    required keys; returns ``{"events": n, "spans": n, "instants": n}``
-    or raises ``ValueError``."""
+    required keys; returns ``{"events": n, "spans": n, "instants": n,
+    "metadata": n}`` or raises ``ValueError``."""
     if not isinstance(document, dict) or "traceEvents" not in document:
         raise ValueError("not a JSON-object-format trace: missing "
                          "'traceEvents'")
     events = document["traceEvents"]
     if not isinstance(events, list):
         raise ValueError("'traceEvents' must be a list")
-    spans = instants = 0
+    spans = instants = metadata = 0
     for index, event in enumerate(events):
         for key in REQUIRED_EVENT_KEYS:
             if key not in event:
@@ -123,10 +123,70 @@ def validate_chrome_trace(document):
             spans += 1
         elif event["ph"] == "i":
             instants += 1
+        elif event["ph"] == "M":
+            # Metadata events (process_name / process_sort_index lanes
+            # the fleet merge emits).
+            metadata += 1
         else:
             raise ValueError("event %d has unexpected phase %r"
                              % (index, event["ph"]))
-    return {"events": len(events), "spans": spans, "instants": instants}
+    return {"events": len(events), "spans": spans, "instants": instants,
+            "metadata": metadata}
+
+
+# -- fleet payloads (per-machine ring-buffer export) ----------------
+
+
+def tracer_payload(tracer):
+    """One machine's trace ring-buffer as a JSON-clean payload.
+
+    This is the unit the fleet workers ship alongside their metrics
+    document: the trace events plus the reconciliation the tracer can
+    still compute while it owns the ledger — downstream consumers (the
+    fleet merge) only see the payload, so the reconciliation rides with
+    the events and :func:`verify_machine_trace` re-derives the recorded
+    cycle sum from the events themselves to keep the payload honest.
+    """
+    recon = tracer.reconcile()
+    return {
+        "events": trace_events(tracer),
+        "dropped_spans": tracer.dropped_spans,
+        "dropped_instants": tracer.dropped_instants,
+        "reconciliation": {
+            "recorded_cycles": recon.recorded_cycles,
+            "dropped_cycles": recon.dropped_cycles,
+            "open_cycles": recon.open_cycles,
+            "unattributed_cycles": recon.unattributed_cycles,
+            "ledger_delta": recon.ledger_delta,
+            "exact": recon.exact,
+        },
+    }
+
+
+def verify_machine_trace(payload):
+    """Check one machine's trace payload: the reconciliation must be
+    exact, and the recorded-cycle sum recomputed from the span events
+    must equal the reconciliation's claim.  Returns a list of problem
+    strings (empty means the payload reconciles)."""
+    problems = []
+    recon = payload.get("reconciliation")
+    if not isinstance(recon, dict):
+        return ["payload has no reconciliation block"]
+    if not recon.get("exact"):
+        problems.append(
+            "span cycle attribution does not reconcile: recorded %s + "
+            "dropped %s + open %s + unattributed %s != ledger delta %s"
+            % (recon.get("recorded_cycles"), recon.get("dropped_cycles"),
+               recon.get("open_cycles"), recon.get("unattributed_cycles"),
+               recon.get("ledger_delta")))
+    recomputed = sum(event["args"].get("self_cycles", 0)
+                     for event in payload.get("events", ())
+                     if event.get("ph") == "X")
+    if recomputed != recon.get("recorded_cycles"):
+        problems.append(
+            "events claim %d recorded cycles, reconciliation says %s"
+            % (recomputed, recon.get("recorded_cycles")))
+    return problems
 
 
 # -- breakdown tree -------------------------------------------------

@@ -52,3 +52,59 @@ def test_rejects_malformed_requests(capsys):
     assert cli.main(["--machines", "0"]) == 2
     assert cli.main(["--machines", "4", "--workers", "0"]) == 2
     assert cli.main(["--machines", "4", "--shard-size", "0"]) == 2
+
+
+def test_flight_recorder_writes_a_replayable_journal(tmp_path, capsys):
+    journal_dir = tmp_path / "flight"
+    status = cli.main(["--machines", "2", "--workers", "2",
+                       "--shard-size", "1", "--verify",
+                       "--flight-recorder", str(journal_dir)])
+    assert status == 0
+    captured = capsys.readouterr().out
+    assert "replays to the live accounting" in captured
+    journal = journal_dir / cli.FLIGHT_JOURNAL
+    assert journal.exists()
+    from repro.fleet.telemetry import replay
+    replayed = replay(str(journal))
+    assert replayed.planned == 2
+    assert replayed.completed == 2
+    # --verify runs strip wall-clock stamps from every record.
+    for line in journal.read_text().splitlines():
+        assert "wall" not in json.loads(line)
+
+
+def test_trace_out_writes_a_loadable_fleet_trace(tmp_path, capsys):
+    trace_file = tmp_path / "fleet-trace.json"
+    status = cli.main(["--machines", "2", "--workers", "2",
+                       "--shard-size", "1", "--verify",
+                       "--trace-out", str(trace_file)])
+    assert status == 0
+    captured = capsys.readouterr().out
+    assert "traces included" in captured
+    assert "machine lanes" in captured
+    from repro.trace.export import validate_chrome_trace
+    document = json.loads(trace_file.read_text())
+    counts = validate_chrome_trace(document)
+    assert counts["metadata"] == 4  # two lanes, two metadata each
+    assert document["otherData"]["machines"] == 2
+
+
+def test_watch_streams_events_to_stderr(capsys):
+    status = cli.main(["--machines", "2", "--workers", "1",
+                       "--shard-size", "1", "--watch"])
+    assert status == 0
+    err = capsys.readouterr().err
+    assert "watch: " in err
+    assert "run-begin" in err and "run-end" in err
+    assert "progress" in err
+
+
+def test_chaos_run_with_recorder_still_replays(tmp_path, capsys):
+    journal_dir = tmp_path / "flight"
+    status = cli.main(["--machines", "4", "--workers", "2",
+                       "--shard-size", "1", "--chaos",
+                       "--heartbeat-timeout", "2.5",
+                       "--backoff", "0.01",
+                       "--flight-recorder", str(journal_dir)])
+    assert status == 0
+    assert "replays to the live accounting" in capsys.readouterr().out

@@ -7,7 +7,7 @@ import pytest
 
 from repro.metrics.registry import (CYCLE_BUCKETS, Counter, Gauge, Histogram,
                                     MetricsRegistry, escape_label_value,
-                                    format_value)
+                                    format_value, snapshot_delta)
 
 
 class TestPrimitives:
@@ -163,3 +163,101 @@ class TestExporters:
     def test_default_cycle_buckets_end_with_inf(self):
         assert CYCLE_BUCKETS[-1] == math.inf
         assert list(CYCLE_BUCKETS) == sorted(CYCLE_BUCKETS)
+
+
+class TestSnapshotDelta:
+    """snapshot_delta / DeltaCursor: the streaming-export diff."""
+
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "h", ("k",))
+        registry.gauge("depth", "h")
+        registry.histogram("lat", "h", buckets=(10, 100))
+        return registry
+
+    def test_quiet_interval_deltas_to_empty(self):
+        registry = self._registry()
+        registry.get("t_total").labels("x").inc(3)
+        base = registry.snapshot()
+        assert snapshot_delta(base, registry.snapshot()) == {}
+
+    def test_counter_delta_is_the_movement_not_the_total(self):
+        registry = self._registry()
+        counter = registry.get("t_total")
+        counter.labels("x").inc(3)
+        base = registry.snapshot()
+        counter.labels("x").inc(2)
+        counter.labels("y").inc(1)
+        delta = snapshot_delta(base, registry.snapshot())
+        series = {tuple(s["labels"].items()): s["value"]
+                  for s in delta["t_total"]["series"]}
+        assert series[(("k", "x"),)] == 2
+        assert series[(("k", "y"),)] == 1
+
+    def test_gauge_delta_carries_the_current_value(self):
+        registry = self._registry()
+        registry.get("depth").labels().set(5)
+        base = registry.snapshot()
+        registry.get("depth").labels().set(2)
+        delta = snapshot_delta(base, registry.snapshot())
+        assert delta["depth"]["series"][0]["value"] == 2
+
+    def test_histogram_delta_subtracts_sum_count_and_buckets(self):
+        registry = self._registry()
+        hist = registry.get("lat")
+        hist.labels().observe(5)
+        base = registry.snapshot()
+        hist.labels().observe(50)
+        delta = snapshot_delta(base, registry.snapshot())
+        series = delta["lat"]["series"][0]
+        assert series["count"] == 1
+        assert series["sum"] == 50
+        assert series["buckets"] == [0, 1, 1]
+
+    def test_delta_does_not_alias_the_live_snapshot(self):
+        registry = self._registry()
+        hist = registry.get("lat")
+        base = registry.snapshot()
+        hist.labels().observe(5)
+        delta = snapshot_delta(base, registry.snapshot())
+        series = delta["lat"]["series"][0]
+        hist.labels().observe(7)
+        assert series["count"] == 1  # frozen, not a view
+
+    def test_schema_change_refuses_to_diff(self):
+        before = self._registry()
+        before.get("t_total").labels("x").inc()
+        base = before.snapshot()
+        after = MetricsRegistry()
+        after.gauge("t_total", "h", ("k",))
+        after.get("t_total").labels("x").set(1)
+        with pytest.raises(ValueError, match="schema"):
+            snapshot_delta(base, after.snapshot())
+
+    def test_folding_every_delta_reproduces_the_final_counters(self):
+        registry = self._registry()
+        cursor = registry.delta_cursor()
+        folded = MetricsRegistry()
+        for step in range(4):
+            registry.get("t_total").labels("x").inc(step + 1)
+            registry.get("lat").labels().observe(10 * step + 1)
+            document = cursor.advance(virtual_cycles=step)
+            assert document["schema"] == "repro-metrics/1"
+            assert document["delta"] is True
+            assert document["virtual_cycles"] == step
+            folded.merge_snapshot(document)
+        assert folded.get("t_total").labels("x").value \
+            == registry.get("t_total").labels("x").value == 10
+        want = registry.get("lat").labels()
+        got = folded.get("lat").labels()
+        assert (got.count, got.sum, got.counts) \
+            == (want.count, want.sum, want.counts)
+
+    def test_cursor_rebaselines_so_advances_do_not_overlap(self):
+        registry = self._registry()
+        cursor = registry.delta_cursor()
+        registry.get("t_total").labels("x").inc(3)
+        first = cursor.advance()
+        second = cursor.advance()
+        assert first["metrics"]["t_total"]["series"][0]["value"] == 3
+        assert second["metrics"] == {}
