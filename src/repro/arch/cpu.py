@@ -140,6 +140,15 @@ class Cpu:
         # (enforced by san-metrics-ledger).
         self.metrics = None
 
+        # Optional dispatch-redundancy observatory binding
+        # (repro.profile.redundancy.MachineRedundancy).  Counts how
+        # often the classification ladder and the trap path re-derive
+        # the same decision so the host profiler can project what a
+        # precompiled dispatch table would save.  Observe-only, never
+        # charges the ledger, disabled path is one attribute check
+        # (enforced by san-profile-zero-cycles).
+        self.redundancy = None
+
     # ------------------------------------------------------------------
     # Context management
     # ------------------------------------------------------------------
@@ -395,12 +404,23 @@ class Cpu:
             # access does — hardware register or deferred page).
             value = hook.filter_sysreg_write(self, reg, value)
 
+        # The redundancy observatory needs the resolution context as it
+        # was *before* the access: a trapping access world-switches
+        # underneath us while the handler runs.
+        redundancy = self.redundancy
+        context = (redundancy.context_key(self)
+                   if redundancy is not None else None)
+
         if self.current_el == ExceptionLevel.EL2:
             result = self._access_at_el2(reg, is_write, value, enc)
         elif self.at_virtual_el2:
             result = self._access_at_virtual_el2(reg, is_write, value, enc)
         else:
             result = self._access_at_guest_el1(reg, is_write, value, enc)
+
+        if redundancy is not None:
+            redundancy.note_classification(context, reg.name, enc,
+                                           is_write, result[1])
 
         if hook is not None:
             if not is_write:
@@ -618,6 +638,9 @@ class Cpu:
                 "recursive trap while handling a trap at EL2: %s"
                 % syndrome.describe())
         self.traps.record(reason)
+        redundancy = self.redundancy
+        if redundancy is not None:
+            redundancy.note_trap(self, reason)
         # One trap span per TrapCounter.record: traps the handler causes
         # while emulating this one nest through the call stack, so the
         # span tree's trap count is the exit-multiplication factor.

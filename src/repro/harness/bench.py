@@ -25,6 +25,15 @@ File schema (``repro-bench/1``)::
 
 Everything is virtual-cycle timestamped; two runs of the same tree
 produce byte-identical files (modulo the sequence number).
+
+``--profile`` additionally runs the sweep under the host profiler
+(:mod:`repro.profile`) and writes ``PROF_<n>.json`` (the
+``repro-profile/1`` document) and ``PROF_<n>.folded`` (collapsed-stack
+flamegraph input) next to the ``BENCH_<n>.json`` the run corresponds
+to.  Host time is nondeterministic, so the ``PROF_*`` sidecars never
+participate in the trajectory/golden byte-diffs — their filenames
+deliberately do not match ``BENCH_PATTERN`` — and profiling never
+changes the bench payload itself (``san-profile-zero-cycles``).
 """
 
 import json
@@ -58,27 +67,40 @@ def tolerance_for(config, benchmark, metric):
 
 
 def run_bench(iterations=DEFAULT_ITERATIONS, configs=None,
-              arm_costs=None, x86_costs=None):
+              arm_costs=None, x86_costs=None, profiler=None):
     """Measure every config x benchmark cell under one shared registry.
 
     Returns the payload dict (without a sequence number — the caller
-    assigns it when writing the trajectory file).
+    assigns it when writing the trajectory file).  *profiler*, when
+    given, is a :class:`~repro.profile.profiler.HostProfiler`: the
+    sweep runs inside its window with the redundancy observatory bound
+    per config.  Profiling is observe-only, so the payload is
+    byte-identical with or without it (``san-profile-zero-cycles``).
     """
     names = list(configs) if configs is not None else sorted(ALL_CONFIGS)
     registry = MetricsRegistry()
     machines = []
     results = {}
-    for name in names:
-        costs = (arm_costs if ALL_CONFIGS[name].platform == "arm"
-                 else x86_costs)
-        suite = make_microbench(name, costs=costs, registry=registry)
-        machines.append(suite.machine)
-        cells = {}
-        for benchmark in MICROBENCHMARKS:
-            measured = suite.run(benchmark, iterations)
-            cells[benchmark] = {"cycles": measured.cycles,
-                                "traps": measured.traps}
-        results[name] = cells
+    if profiler is not None:
+        profiler.start()
+    try:
+        for name in names:
+            costs = (arm_costs if ALL_CONFIGS[name].platform == "arm"
+                     else x86_costs)
+            suite = make_microbench(name, costs=costs, registry=registry)
+            machines.append(suite.machine)
+            if profiler is not None:
+                profiler.attach_machine(suite.machine, config=name)
+            cells = {}
+            for benchmark in MICROBENCHMARKS:
+                measured = suite.run(benchmark, iterations)
+                cells[benchmark] = {"cycles": measured.cycles,
+                                    "traps": measured.traps}
+            results[name] = cells
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            profiler.detach_machine()
     # The registry's virtual clock: total simulated cycles across every
     # machine the run touched (read-only — exporting charges nothing).
     registry.clock = lambda: sum(machine.ledger.total
@@ -186,6 +208,7 @@ def main(argv=None, arm_costs=None, x86_costs=None):
     configs = []
     write = True
     force = False
+    profile = False
     while argv:
         arg = argv.pop(0)
         if arg == "--iterations" and argv:
@@ -198,10 +221,12 @@ def main(argv=None, arm_costs=None, x86_costs=None):
             write = False
         elif arg == "--force":
             force = True
+        elif arg == "--profile":
+            profile = True
         elif arg in ("-h", "--help"):
             print("usage: python -m repro bench [--iterations N] "
                   "[--dir PATH] [--config NAME ...] [--no-write] "
-                  "[--force]")
+                  "[--force] [--profile]")
             return 0
         else:
             print("bench: unknown argument %r" % arg, file=sys.stderr)
@@ -212,9 +237,14 @@ def main(argv=None, arm_costs=None, x86_costs=None):
                   % (name, ", ".join(sorted(ALL_CONFIGS))), file=sys.stderr)
             return 2
 
+    profiler = None
+    if profile:
+        from repro.profile.profiler import HostProfiler
+        profiler = HostProfiler()
     payload = run_bench(iterations=iterations,
                         configs=configs or None,
-                        arm_costs=arm_costs, x86_costs=x86_costs)
+                        arm_costs=arm_costs, x86_costs=x86_costs,
+                        profiler=profiler)
     problems = validate_payload(payload)
     if problems:
         for problem in problems:
@@ -256,13 +286,42 @@ def main(argv=None, arm_costs=None, x86_costs=None):
         # trajectory entry per change even when the costs held still.
         print("bench: OK — %d cells identical to BENCH_%d.json, "
               "trajectory unchanged" % (total, last_sequence))
-        return 0
-    if write:
-        path = write_payload(payload, directory, last_sequence + 1)
+        sequence = last_sequence
+    elif write:
+        sequence = last_sequence + 1
+        path = write_payload(payload, directory, sequence)
         print("bench: OK — %d cells written to %s" % (total, path))
     else:
         print("bench: OK — %d cells (not written)" % total)
+        sequence = max(last_sequence, 1)
+    if profiler is not None:
+        write_profile_sidecar(profiler, payload, directory, sequence,
+                              write=write)
     return 0
+
+
+def write_profile_sidecar(profiler, payload, directory, sequence,
+                          write=True):
+    """The ``--profile`` sidecars: ``PROF_<n>.json`` +
+    ``PROF_<n>.folded`` next to the trajectory entry the run
+    corresponds to (never byte-diffed — host time is nondeterministic).
+    """
+    from repro.profile.export import (collapsed_stacks, profile_document,
+                                      render_redundancy, write_json)
+    document = profile_document(
+        profiler, scenario="bench-%d" % sequence,
+        meta={"iterations": payload["iterations"],
+              "configs": sorted(payload["results"])})
+    if write:
+        json_path = Path(directory) / ("PROF_%d.json" % sequence)
+        write_json(document, json_path)
+        folded_path = Path(directory) / ("PROF_%d.folded" % sequence)
+        folded_path.write_text(collapsed_stacks(document))
+        print("bench: profile sidecar %s (+ %s; host %.1f ms, "
+              "excluded from byte-diffs)"
+              % (json_path, folded_path.name, document["wall_ns"] / 1e6))
+    print(render_redundancy(document, top=0))
+    return document
 
 
 if __name__ == "__main__":

@@ -95,12 +95,20 @@ class CycleLedger:
     (:mod:`repro.metrics.instrument`) so metrics and the tracer can ride
     the same run without fighting over the ``observer`` slot.  Like the
     observer, it must never charge the ledger.
+
+    ``profile_sink`` is the third slot, reserved for the host profiler's
+    redundancy observatory (:mod:`repro.profile`): it measures this very
+    fan-out — how many consumer calls each charge dispatch pays — so it
+    rides last and is excluded from its own fan-out count.  Same
+    contract: observe-only, never charges (enforced by
+    ``san-profile-zero-cycles``).
     """
 
     total: int = 0
     by_category: dict = field(default_factory=dict)
     observer: object = field(default=None, repr=False, compare=False)
     metrics_sink: object = field(default=None, repr=False, compare=False)
+    profile_sink: object = field(default=None, repr=False, compare=False)
 
     def charge(self, cycles, category="other"):
         """Add *cycles* to the ledger under *category*."""
@@ -112,6 +120,8 @@ class CycleLedger:
             self.observer(cycles, category)
         if self.metrics_sink is not None:
             self.metrics_sink(cycles, category)
+        if self.profile_sink is not None:
+            self.profile_sink(cycles, category)
 
     def snapshot(self):
         """Return ``(total, dict-copy)`` for later differencing."""

@@ -1,0 +1,354 @@
+"""Exporters for ``repro-profile/1`` documents.
+
+A profile document is JSON with host-nanosecond phase accounting, the
+collapsed call stacks (flamegraph input), and the redundancy
+observatory's report.  Host time is nondeterministic by nature, so
+these documents live in ``PROF_*`` sidecar files that no golden
+byte-diff ever covers; the *shape* is contractual, though —
+:func:`validate_profile` is the schema-drift gate CI runs.
+
+Also here: the human renderings (phase table, redundancy report), the
+hotspot **diff** between two documents (how a perf PR proves its win
+phase by phase), and the deterministic :func:`merge_profiles` fold the
+fleet uses to aggregate per-worker profiles.
+"""
+
+import json
+
+from repro.profile.sites import group_for_phase
+
+PROFILE_SCHEMA = "repro-profile/1"
+DIFF_SCHEMA = "repro-profile-diff/1"
+
+#: Numeric fields every redundancy site must carry (the CI drift gate).
+SITE_FIELDS = ("derivations", "distinct_keys", "stable_keys",
+               "unstable_keys", "projected_hits", "projected_hit_rate")
+
+#: The sites a profile must always name (acceptance contract).
+REQUIRED_SITES = ("trap-dispatch", "classification", "hook-chain")
+
+#: Extra fan-out fields only the hook-chain site carries.
+HOOK_CHAIN_FIELDS = ("dispatches", "invocations",
+                     "projected_fused_savings")
+
+
+def profile_document(profiler, scenario, meta=None):
+    """Build the ``repro-profile/1`` document for one profiling run."""
+    phases = {}
+    for phase, stat in sorted(profiler.phases.items()):
+        phases[phase] = {
+            "group": group_for_phase(phase),
+            "calls": stat.calls,
+            "self_ns": stat.self_ns,
+            "cum_ns": stat.cum_ns,
+        }
+    stacks = {";".join(key): ns
+              for key, ns in profiler.stacks.items() if ns > 0}
+    document = {
+        "schema": PROFILE_SCHEMA,
+        "scenario": scenario,
+        "wall_ns": profiler.wall_ns,
+        "phases": phases,
+        "stacks": stacks,
+        "redundancy": profiler.redundancy.report(),
+    }
+    if meta:
+        document["meta"] = dict(meta)
+    return document
+
+
+def validate_profile(document):
+    """Schema check; returns a list of problems (empty means valid)."""
+    problems = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    if document.get("schema") != PROFILE_SCHEMA:
+        problems.append("schema is %r, want %r"
+                        % (document.get("schema"), PROFILE_SCHEMA))
+    if not isinstance(document.get("wall_ns"), int):
+        problems.append("wall_ns missing or not an integer")
+    phases = document.get("phases")
+    if not isinstance(phases, dict):
+        problems.append("phases missing")
+    else:
+        for phase, entry in sorted(phases.items()):
+            for fieldname in ("calls", "self_ns", "cum_ns"):
+                if not isinstance(entry.get(fieldname), int):
+                    problems.append("phase %s: missing %s"
+                                    % (phase, fieldname))
+            if not isinstance(entry.get("group"), str):
+                problems.append("phase %s: missing group" % phase)
+    if not isinstance(document.get("stacks"), dict):
+        problems.append("stacks missing")
+    sites = (document.get("redundancy") or {}).get("sites")
+    if not isinstance(sites, dict):
+        problems.append("redundancy.sites missing")
+        return problems
+    for site in REQUIRED_SITES:
+        entry = sites.get(site)
+        if not isinstance(entry, dict):
+            problems.append("redundancy site %r missing" % site)
+            continue
+        for fieldname in SITE_FIELDS:
+            if not isinstance(entry.get(fieldname), (int, float)):
+                problems.append("redundancy site %s: missing %s"
+                                % (site, fieldname))
+        if not isinstance(entry.get("top"), list):
+            problems.append("redundancy site %s: missing top" % site)
+    hook_chain = sites.get("hook-chain")
+    if isinstance(hook_chain, dict):
+        for fieldname in HOOK_CHAIN_FIELDS:
+            if not isinstance(hook_chain.get(fieldname), int):
+                problems.append("redundancy site hook-chain: missing %s"
+                                % fieldname)
+        if not isinstance(hook_chain.get("per_hook"), dict):
+            problems.append("redundancy site hook-chain: missing "
+                            "per_hook")
+    return problems
+
+
+def collapsed_stacks(document):
+    """The flamegraph input: one ``frame;frame;frame weight`` line per
+    collapsed stack (weights are host nanoseconds), sorted for
+    determinism given the same samples."""
+    lines = []
+    for stack, ns in sorted(document.get("stacks", {}).items()):
+        lines.append("%s %d" % (stack, ns))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_phase_table(document, top=None):
+    """The self/cumulative host-time table, hottest phase first."""
+    phases = document.get("phases", {})
+    wall = document.get("wall_ns") or 0
+    rows = sorted(phases.items(),
+                  key=lambda item: (-item[1]["self_ns"], item[0]))
+    if top is not None:
+        rows = rows[:top]
+    header = ("%-28s %-14s %10s %10s %6s %10s"
+              % ("phase", "group", "calls", "self_ms", "self%",
+                 "cum_ms"))
+    lines = ["scenario: %s  (wall %.3f ms)"
+             % (document.get("scenario"), wall / 1e6),
+             header, "-" * len(header)]
+    for phase, entry in rows:
+        share = (100.0 * entry["self_ns"] / wall) if wall else 0.0
+        lines.append("%-28s %-14s %10d %10.3f %5.1f%% %10.3f"
+                     % (phase, entry["group"], entry["calls"],
+                        entry["self_ns"] / 1e6, share,
+                        entry["cum_ns"] / 1e6))
+    return "\n".join(lines)
+
+
+def render_redundancy(document, top=5):
+    """The redundancy report: per-site re-derivation counts and the
+    projected dispatch-table hit rates."""
+    sites = document.get("redundancy", {}).get("sites", {})
+    lines = ["redundancy observatory (what a precompiled dispatch "
+             "table would save):"]
+    for site in REQUIRED_SITES:
+        entry = sites.get(site)
+        if entry is None:
+            lines.append("  %s: (no data)" % site)
+            continue
+        lines.append(
+            "  %-16s %8d decisions re-derived over %d distinct keys "
+            "(%d stable); projected table hits: %d (%.1f%% hit rate)"
+            % (site, entry["derivations"], entry["distinct_keys"],
+               entry["stable_keys"], entry["projected_hits"],
+               100.0 * entry["projected_hit_rate"]))
+        for item in entry.get("top", [])[:top]:
+            lines.append("    %7dx %-52s -> %s%s"
+                         % (item["count"], item["key"], item["outcome"],
+                            "" if item["stable"] else " (UNSTABLE)"))
+        if site == "hook-chain":
+            lines.append(
+                "    fan-out: %d hook invocations over %d dispatches "
+                "(per hook: %s); fusing the chain would save %d calls"
+                % (entry.get("invocations", 0),
+                   entry.get("dispatches", 0),
+                   ", ".join("%s=%d" % kv for kv in sorted(
+                       entry.get("per_hook", {}).items())) or "none",
+                   entry.get("projected_fused_savings", 0)))
+    return "\n".join(lines)
+
+
+# -- the hotspot diff ----------------------------------------------------
+
+def diff_documents(before, after):
+    """Compare two profile documents; returns the
+    ``repro-profile-diff/1`` document with per-phase host-time deltas
+    and per-site redundancy deltas."""
+    for name, document in (("before", before), ("after", after)):
+        problems = validate_profile(document)
+        if problems:
+            raise ValueError("%s document is not repro-profile/1: %s"
+                             % (name, "; ".join(problems)))
+    phases = {}
+    names = set(before["phases"]) | set(after["phases"])
+    empty = {"calls": 0, "self_ns": 0, "cum_ns": 0}
+    for phase in sorted(names):
+        b = before["phases"].get(phase, empty)
+        a = after["phases"].get(phase, empty)
+        phases[phase] = {
+            fieldname: {"before": b[fieldname], "after": a[fieldname],
+                        "delta": a[fieldname] - b[fieldname]}
+            for fieldname in ("calls", "self_ns", "cum_ns")
+        }
+    sites = {}
+    before_sites = before["redundancy"]["sites"]
+    after_sites = after["redundancy"]["sites"]
+    for site in sorted(set(before_sites) | set(after_sites)):
+        b = before_sites.get(site, {})
+        a = after_sites.get(site, {})
+        entry = {}
+        for fieldname in SITE_FIELDS + HOOK_CHAIN_FIELDS:
+            if fieldname not in b and fieldname not in a:
+                continue
+            bval = b.get(fieldname, 0)
+            aval = a.get(fieldname, 0)
+            entry[fieldname] = {"before": bval, "after": aval,
+                                "delta": aval - bval}
+        sites[site] = entry
+    return {
+        "schema": DIFF_SCHEMA,
+        "scenarios": {"before": before.get("scenario"),
+                      "after": after.get("scenario")},
+        "wall_ns": {"before": before["wall_ns"],
+                    "after": after["wall_ns"],
+                    "delta": after["wall_ns"] - before["wall_ns"]},
+        "phases": phases,
+        "redundancy": {"sites": sites},
+    }
+
+
+def render_diff(diff, top=20):
+    """Human form of a profile diff: hottest movement first."""
+    wall = diff["wall_ns"]
+    lines = ["profile diff: %s -> %s"
+             % (diff["scenarios"]["before"], diff["scenarios"]["after"]),
+             "wall: %.3f ms -> %.3f ms (%+.3f ms)"
+             % (wall["before"] / 1e6, wall["after"] / 1e6,
+                wall["delta"] / 1e6), ""]
+    header = ("%-28s %12s %12s %12s %10s"
+              % ("phase", "self_ms_before", "self_ms_after",
+                 "self_ms_delta", "calls_d"))
+    lines += [header, "-" * len(header)]
+    rows = sorted(diff["phases"].items(),
+                  key=lambda item: (-abs(item[1]["self_ns"]["delta"]),
+                                    item[0]))
+    for phase, entry in rows[:top]:
+        self_ns = entry["self_ns"]
+        lines.append("%-28s %14.3f %12.3f %+13.3f %+10d"
+                     % (phase, self_ns["before"] / 1e6,
+                        self_ns["after"] / 1e6, self_ns["delta"] / 1e6,
+                        entry["calls"]["delta"]))
+    lines.append("")
+    lines.append("redundancy deltas:")
+    for site, entry in sorted(diff["redundancy"]["sites"].items()):
+        if "derivations" not in entry:
+            continue
+        derivations = entry["derivations"]
+        hits = entry.get("projected_hits", {"delta": 0})
+        rate = entry.get("projected_hit_rate",
+                         {"before": 0.0, "after": 0.0})
+        lines.append(
+            "  %-16s derivations %+d (now %d), projected hits %+d, "
+            "hit rate %.1f%% -> %.1f%%"
+            % (site, derivations["delta"], derivations["after"],
+               hits["delta"], 100.0 * rate["before"],
+               100.0 * rate["after"]))
+    return "\n".join(lines)
+
+
+# -- the fleet aggregation fold ------------------------------------------
+
+def merge_profiles(documents, scenario=None):
+    """Deterministically fold per-worker profile documents into one.
+
+    Pure function of the input sequence: phase times, stack weights and
+    redundancy counters add; rates are recomputed from the merged
+    counts.  The fleet merge calls this in shard-id order, so the
+    aggregate is as order-blind as the rest of the merged exports.
+    Fleet machines carry disjoint config labels, which keeps the
+    summed distinct/stable key counts exact.
+    """
+    documents = [doc for doc in documents if doc is not None]
+    if not documents:
+        raise ValueError("no profile documents to merge")
+    phases = {}
+    stacks = {}
+    wall_ns = 0
+    sites = {}
+    per_hook = {}
+    scenarios = []
+    for document in documents:
+        problems = validate_profile(document)
+        if problems:
+            raise ValueError("cannot merge invalid profile: %s"
+                             % "; ".join(problems))
+        scenarios.append(document.get("scenario"))
+        wall_ns += document["wall_ns"]
+        for phase, entry in document["phases"].items():
+            merged = phases.setdefault(
+                phase, {"group": entry["group"], "calls": 0,
+                        "self_ns": 0, "cum_ns": 0})
+            for fieldname in ("calls", "self_ns", "cum_ns"):
+                merged[fieldname] += entry[fieldname]
+        for stack, ns in document.get("stacks", {}).items():
+            stacks[stack] = stacks.get(stack, 0) + ns
+        for site, entry in document["redundancy"]["sites"].items():
+            merged = sites.setdefault(
+                site, {fieldname: 0 for fieldname in SITE_FIELDS})
+            for fieldname in SITE_FIELDS:
+                if fieldname == "projected_hit_rate":
+                    continue
+                merged[fieldname] += entry.get(fieldname, 0)
+            for fieldname in HOOK_CHAIN_FIELDS:
+                if fieldname in entry:
+                    merged[fieldname] = (merged.get(fieldname, 0)
+                                         + entry[fieldname])
+            for hook, count in entry.get("per_hook", {}).items():
+                per_hook[hook] = per_hook.get(hook, 0) + count
+            tops = merged.setdefault("_top", {})
+            for item in entry.get("top", []):
+                slot = tops.setdefault(
+                    item["key"], {"count": 0, "outcome": item["outcome"],
+                                  "stable": True})
+                slot["count"] += item["count"]
+                if not item["stable"] \
+                        or slot["outcome"] != item["outcome"]:
+                    slot["stable"] = False
+    for site, merged in sites.items():
+        derivations = merged["derivations"]
+        merged["projected_hit_rate"] = (
+            merged["projected_hits"] / derivations if derivations
+            else 0.0)
+        tops = merged.pop("_top", {})
+        ranked = sorted(tops.items(),
+                        key=lambda item: (-item[1]["count"], item[0]))
+        merged["top"] = [{"key": key, "count": slot["count"],
+                          "outcome": slot["outcome"],
+                          "stable": slot["stable"]}
+                         for key, slot in ranked[:10]]
+        if site == "hook-chain":
+            merged["per_hook"] = dict(sorted(per_hook.items()))
+    if scenario is None:
+        scenario = "merge(%d profiles)" % len(documents)
+    return {
+        "schema": PROFILE_SCHEMA,
+        "scenario": scenario,
+        "wall_ns": wall_ns,
+        "phases": dict(sorted(phases.items())),
+        "stacks": dict(sorted(stacks.items())),
+        "redundancy": {"sites": sites},
+        "meta": {"merged": len(documents), "scenarios": scenarios},
+    }
+
+
+def write_json(document, path):
+    """Write a document with the house JSON conventions."""
+    with open(path, "w") as fh:
+        json.dump(document, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    return path

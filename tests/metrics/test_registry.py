@@ -261,3 +261,39 @@ class TestSnapshotDelta:
         second = cursor.advance()
         assert first["metrics"]["t_total"]["series"][0]["value"] == 3
         assert second["metrics"] == {}
+
+    def test_back_to_back_cursors_both_delta_to_empty(self):
+        # Two cursors opened with no movement between them agree the
+        # interval was quiet — and stay independent afterwards.
+        registry = self._registry()
+        first = registry.delta_cursor()
+        second = registry.delta_cursor()
+        assert first.advance()["metrics"] == {}
+        assert second.advance()["metrics"] == {}
+        registry.get("t_total").labels("x").inc(4)
+        assert first.advance()["metrics"]["t_total"]["series"][0]["value"] \
+            == 4
+        assert second.advance()["metrics"]["t_total"]["series"][0]["value"] \
+            == 4
+
+    def test_fresh_cursor_on_a_moved_registry_starts_empty(self):
+        registry = self._registry()
+        registry.get("t_total").labels("x").inc(9)
+        cursor = registry.delta_cursor()
+        # History before the cursor is baseline, not movement.
+        assert cursor.advance()["metrics"] == {}
+
+    def test_cursor_sees_merge_snapshot_as_movement(self):
+        registry = self._registry()
+        registry.get("t_total").labels("x").inc(1)
+        cursor = registry.delta_cursor()
+        other = self._registry()
+        other.get("t_total").labels("x").inc(5)
+        other.get("lat").labels().observe(50)
+        registry.merge_snapshot({"metrics": other.snapshot()})
+        delta = cursor.advance()["metrics"]
+        assert delta["t_total"]["series"][0]["value"] == 5
+        lat = delta["lat"]["series"][0]
+        assert (lat["count"], lat["sum"]) == (1, 50)
+        # And the cursor rebaselines past the merge like any movement.
+        assert cursor.advance()["metrics"] == {}

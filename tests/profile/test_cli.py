@@ -1,0 +1,82 @@
+"""The ``python -m repro profile`` surface: routing, file modes, runs."""
+
+import json
+
+from repro.profile import cli
+from repro.profile.export import validate_profile
+
+from tests.profile.test_export import build_document
+
+
+def test_main_routing_knows_profile():
+    from repro.__main__ import SUBCOMMANDS, usage
+    names = [name for name, _, _ in SUBCOMMANDS]
+    assert "profile" in names
+    assert "profile" in usage()
+
+
+def _write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+class TestValidateMode:
+    def test_valid_document_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, "a.json", build_document())
+        assert cli.main(["--validate", path]) == 0
+        assert "valid repro-profile/1" in capsys.readouterr().out
+
+    def test_schema_drift_exits_one_and_names_it(self, tmp_path, capsys):
+        document = build_document()
+        del document["redundancy"]["sites"]["hook-chain"]
+        path = _write(tmp_path, "bad.json", document)
+        assert cli.main(["--validate", path]) == 1
+        assert "SCHEMA DRIFT" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_one(self, tmp_path):
+        assert cli.main(["--validate", str(tmp_path / "nope.json")]) == 1
+
+
+class TestDiffMode:
+    def test_diff_reports_deltas(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json",
+                   build_document(scenario="before", trap_ns=10))
+        b = _write(tmp_path, "b.json",
+                   build_document(scenario="after", trap_ns=30))
+        assert cli.main(["--diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "profile diff: before -> after" in out
+        assert "trap.dispatch" in out
+        assert "redundancy deltas:" in out
+
+    def test_diff_of_invalid_document_exits_one(self, tmp_path, capsys):
+        broken = build_document()
+        broken["phases"] = "nope"
+        a = _write(tmp_path, "a.json", broken)
+        b = _write(tmp_path, "b.json", build_document())
+        assert cli.main(["--diff", a, b]) == 1
+
+
+def test_unknown_config_exits_two(capsys):
+    assert cli.main(["--config", "no-such-config"]) == 2
+    assert "unknown config" in capsys.readouterr().err
+
+
+def test_campaign_scenario_end_to_end(tmp_path, capsys):
+    json_path = tmp_path / "prof.json"
+    folded_path = tmp_path / "prof.folded"
+    status = cli.main(["--scenario", "campaign", "--seed", "0",
+                       "--json", str(json_path),
+                       "--flamegraph", str(folded_path)])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "redundancy observatory" in out
+    document = json.loads(json_path.read_text())
+    assert validate_profile(document) == []
+    assert document["scenario"] == "campaign-seed-0"
+    assert document["phases"]["trap.dispatch"]["calls"] > 0
+    # Flamegraph lines are "stack weight" pairs over the same stacks.
+    lines = folded_path.read_text().splitlines()
+    assert lines and all(part.rsplit(" ", 1)[1].isdigit()
+                         for part in lines)

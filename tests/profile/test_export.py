@@ -1,0 +1,140 @@
+"""repro-profile/1 exporters: schema gate, diff, merge, renderings."""
+
+import json
+
+import pytest
+
+from repro.profile.export import (
+    collapsed_stacks,
+    diff_documents,
+    merge_profiles,
+    profile_document,
+    render_diff,
+    render_phase_table,
+    render_redundancy,
+    validate_profile,
+    write_json,
+)
+from repro.profile.profiler import HostProfiler
+
+from tests.profile.test_profiler import TRAP, FakeClock
+from tests.profile.test_redundancy import FakeEnc, FakeLedger
+
+
+def build_document(scenario="unit", trap_ns=15, classifications=1):
+    """A small but fully real document: the profiler and observatory
+    are driven by hand, then exported through the production builder."""
+    clock = FakeClock()
+    profiler = HostProfiler(clock_ns=clock)
+    profiler._active = True
+    profiler._last_ns = 0
+    binding = profiler.redundancy.bind("cfg", ledger=FakeLedger())
+    for _ in range(classifications):
+        binding.note_classification("el1", "HCR_EL2", FakeEnc("MRS"),
+                                    False, "direct")
+    binding.on_charge(1, "trap")
+    profiler._callback(TRAP, "call", None)
+    clock.now = trap_ns
+    profiler._callback(TRAP, "return", None)
+    profiler.stop()
+    return profile_document(profiler, scenario=scenario)
+
+
+class TestValidate:
+    def test_real_document_is_valid(self):
+        assert validate_profile(build_document()) == []
+
+    def test_missing_site_is_schema_drift(self):
+        document = build_document()
+        del document["redundancy"]["sites"]["trap-dispatch"]
+        problems = validate_profile(document)
+        assert any("trap-dispatch" in problem for problem in problems)
+
+    def test_missing_hook_chain_fanout_is_schema_drift(self):
+        document = build_document()
+        del document["redundancy"]["sites"]["hook-chain"]["per_hook"]
+        assert any("per_hook" in problem
+                   for problem in validate_profile(document))
+
+    def test_non_integer_wall_is_schema_drift(self):
+        document = build_document()
+        document["wall_ns"] = "fast"
+        assert any("wall_ns" in problem
+                   for problem in validate_profile(document))
+
+
+class TestRenderings:
+    def test_collapsed_stacks_are_flamegraph_lines(self):
+        assert collapsed_stacks(build_document(trap_ns=15)) \
+            == "cpu:_trap 15\n"
+
+    def test_phase_table_names_phase_and_scenario(self):
+        table = render_phase_table(build_document(scenario="sweep"))
+        assert "sweep" in table
+        assert "trap.dispatch" in table
+        assert "trap-dispatch" in table  # the group column
+
+    def test_redundancy_report_names_sites_and_hit_rates(self):
+        text = render_redundancy(build_document(classifications=4))
+        for site in ("classification", "trap-dispatch", "hook-chain"):
+            assert site in text
+        assert "hit rate" in text
+        assert "75.0%" in text  # 3 of 4 derivations would hit
+
+
+class TestDiff:
+    def test_diff_reports_per_phase_and_per_site_deltas(self):
+        before = build_document(trap_ns=10, classifications=1)
+        after = build_document(trap_ns=45, classifications=3)
+        diff = diff_documents(before, after)
+        assert diff["schema"] == "repro-profile-diff/1"
+        phase = diff["phases"]["trap.dispatch"]["self_ns"]
+        assert (phase["before"], phase["after"], phase["delta"]) \
+            == (10, 45, 35)
+        site = diff["redundancy"]["sites"]["classification"]["derivations"]
+        assert site["delta"] == 2
+        rendered = render_diff(diff)
+        assert "trap.dispatch" in rendered
+        assert "classification" in rendered
+
+    def test_diff_refuses_invalid_documents(self):
+        bad = build_document()
+        bad["schema"] = "something/9"
+        with pytest.raises(ValueError):
+            diff_documents(bad, build_document())
+
+
+class TestMerge:
+    def test_merge_sums_everything_and_revalidates(self):
+        a = build_document(scenario="w0", trap_ns=10, classifications=2)
+        b = build_document(scenario="w1", trap_ns=30, classifications=1)
+        merged = merge_profiles([a, b], scenario="fleet")
+        assert validate_profile(merged) == []
+        assert merged["scenario"] == "fleet"
+        assert merged["wall_ns"] == a["wall_ns"] + b["wall_ns"]
+        assert merged["phases"]["trap.dispatch"]["self_ns"] == 40
+        assert merged["stacks"]["cpu:_trap"] == 40
+        classification = merged["redundancy"]["sites"]["classification"]
+        assert classification["derivations"] == 3
+        assert classification["projected_hits"] == 1  # 2+1 on one key
+        assert merged["meta"] == {"merged": 2, "scenarios": ["w0", "w1"]}
+
+    def test_merge_is_deterministic_for_the_same_sequence(self):
+        docs = [build_document(scenario="w%d" % index, trap_ns=5 + index)
+                for index in range(3)]
+        assert merge_profiles(docs) == merge_profiles(docs)
+
+    def test_merge_refuses_empty_and_invalid_input(self):
+        with pytest.raises(ValueError):
+            merge_profiles([])
+        broken = build_document()
+        del broken["redundancy"]
+        with pytest.raises(ValueError):
+            merge_profiles([build_document(), broken])
+
+
+def test_write_json_roundtrips(tmp_path):
+    document = build_document()
+    path = tmp_path / "prof.json"
+    write_json(document, path)
+    assert json.loads(path.read_text()) == document

@@ -1,0 +1,143 @@
+"""The redundancy observatory: decision keys, stability, projections."""
+
+from repro.profile.redundancy import RedundancyObservatory, _Site
+
+
+class FakeEnc:
+    def __init__(self, name):
+        self.name = name
+
+
+class FakeLedger:
+    def __init__(self, observer=None, metrics_sink=None):
+        self.observer = observer
+        self.metrics_sink = metrics_sink
+
+
+class TestSite:
+    def test_stable_repeats_project_as_table_hits(self):
+        site = _Site("s")
+        for _ in range(5):
+            site.note(("cfg", "HCR_EL2"), "direct")
+        report = site.report()
+        assert report["derivations"] == 5
+        assert report["distinct_keys"] == 1
+        assert report["stable_keys"] == 1
+        assert report["projected_hits"] == 4  # first derivation misses
+        assert report["projected_hit_rate"] == 4 / 5
+
+    def test_outcome_flips_mark_the_key_unstable(self):
+        site = _Site("s")
+        site.note(("cfg", "X"), "trap")
+        site.note(("cfg", "X"), "direct")
+        report = site.report()
+        assert report["stable_keys"] == 0
+        assert report["unstable_keys"] == 1
+        assert report["projected_hits"] == 0
+        assert report["top"][0]["stable"] is False
+
+    def test_top_ranks_by_count_then_key(self):
+        site = _Site("s")
+        site.note(("a",), "x")
+        site.note(("b",), "x")
+        site.note(("b",), "x")
+        report = site.report(top=2)
+        assert [item["key"] for item in report["top"]] == ["b", "a"]
+
+    def test_enum_outcomes_use_their_value(self):
+        from repro.arch.cpu import AccessKind
+        site = _Site("s")
+        site.note(("k",), AccessKind.DIRECT_EL1)
+        assert site.report()["top"][0]["outcome"] \
+            == AccessKind.DIRECT_EL1.value
+
+    def test_empty_site_reports_zero_rate(self):
+        report = _Site("s").report()
+        assert report["derivations"] == 0
+        assert report["projected_hit_rate"] == 0.0
+
+
+class TestBindings:
+    def test_classification_keys_carry_the_config_label(self):
+        observatory = RedundancyObservatory()
+        binding = observatory.bind("neve-nested")
+        binding.note_classification("vel2+neve", "HCR_EL2",
+                                    FakeEnc("MSR"), True, "virtual")
+        top = observatory.classification.report()["top"][0]
+        assert top["key"] == "neve-nested/HCR_EL2/vel2+neve/msr/w"
+        assert top["outcome"] == "virtual"
+
+    def test_charge_dispatch_counts_armed_consumers(self):
+        observatory = RedundancyObservatory()
+        armed = observatory.bind(
+            "a", ledger=FakeLedger(observer=object(),
+                                   metrics_sink=object()))
+        idle = observatory.bind("b", ledger=FakeLedger())
+        armed.on_charge(10, "trap")
+        armed.on_charge(5, "trap")
+        idle.on_charge(3, "mmio")
+        assert observatory.hook_dispatches == 3
+        assert observatory.hook_invocations == 4  # 2 consumers x 2
+        assert observatory.per_hook == {"observer": 2, "metrics_sink": 2}
+        report = observatory.report()["sites"]["hook-chain"]
+        assert report["dispatches"] == 3
+        assert report["invocations"] == 4
+        # A fused chain pays 1 call per *armed* dispatch: 2 instead of 4.
+        assert report["projected_fused_savings"] == 2
+
+    def test_report_always_names_the_three_sites(self):
+        report = RedundancyObservatory().report()
+        assert set(report["sites"]) \
+            == {"classification", "trap-dispatch", "hook-chain"}
+
+    def test_same_run_twice_reports_identically(self):
+        def run():
+            observatory = RedundancyObservatory()
+            binding = observatory.bind("cfg", ledger=FakeLedger())
+            for reg in ("A", "B", "A"):
+                binding.note_classification("el1", reg, FakeEnc("MRS"),
+                                            False, "direct")
+            binding.on_charge(1, "trap")
+            return observatory.report()
+        assert run() == run()
+
+
+class TestContextKey:
+    def _cpu(self, **attrs):
+        class FakeCpu:
+            pass
+        cpu = FakeCpu()
+        for name, value in attrs.items():
+            setattr(cpu, name, value)
+        return cpu
+
+    def test_el2_and_vhe_contexts(self):
+        from repro.arch.exceptions import ExceptionLevel
+        observatory = RedundancyObservatory()
+        binding = observatory.bind("cfg")
+        cpu = self._cpu(current_el=ExceptionLevel.EL2, host_e2h=False)
+        assert binding.context_key(cpu) == "el2"
+        cpu.host_e2h = True
+        assert binding.context_key(cpu) == "el2+e2h"
+
+    def test_virtual_el2_context_carries_the_neve_bit(self):
+        from repro.arch.exceptions import ExceptionLevel
+        binding = RedundancyObservatory().bind("cfg")
+        cpu = self._cpu(current_el=ExceptionLevel.EL1,
+                        at_virtual_el2=True, virtual_e2h=False,
+                        neve_enabled=True)
+        assert binding.context_key(cpu) == "vel2+neve"
+        cpu.virtual_e2h = True
+        assert binding.context_key(cpu) == "vel2+vhe+neve"
+        cpu.neve_enabled = False
+        cpu.virtual_e2h = False
+        assert binding.context_key(cpu) == "vel2"
+
+    def test_plain_el_contexts(self):
+        from repro.arch.exceptions import ExceptionLevel
+        binding = RedundancyObservatory().bind("cfg")
+        cpu = self._cpu(current_el=ExceptionLevel.EL1,
+                        at_virtual_el2=False)
+        assert binding.context_key(cpu) == "el1"
+        cpu.current_el = ExceptionLevel.EL0
+        assert binding.context_key(cpu) == "el0"

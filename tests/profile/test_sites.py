@@ -1,0 +1,36 @@
+"""The phase site table: frame -> phase mapping and grouping."""
+
+from repro.profile.sites import group_for_phase, phase_for_code
+
+
+def test_trap_dispatch_sites_map():
+    assert phase_for_code("src/repro/arch/cpu.py", "_trap") \
+        == "trap.dispatch"
+    assert phase_for_code("src/repro/arch/cpu.py", "sysreg_access") \
+        == "classify.sysreg_access"
+    assert phase_for_code("src/repro/arch/cpu.py", "_deferred_access") \
+        == "vncr.deferred"
+
+
+def test_file_catch_all_uses_the_function_name():
+    assert phase_for_code("src/repro/arch/cpu.py", "hvc") == "cpu.hvc"
+    assert phase_for_code("src/repro/hypervisor/world_switch.py",
+                          "enter_guest") == "ws.enter_guest"
+
+
+def test_unknown_frames_are_unmapped():
+    # Unmapped frames inherit their caller's phase in the profiler.
+    assert phase_for_code("/usr/lib/python3/json/encoder.py",
+                          "iterencode") is None
+    assert phase_for_code("tests/profile/test_sites.py", "anything") \
+        is None
+
+
+def test_groups_cover_the_taxonomy():
+    assert group_for_phase("trap.dispatch") == "trap-dispatch"
+    assert group_for_phase("classify.sysreg_access") == "classification"
+    assert group_for_phase("ws.enter_guest") == "world-switch"
+    assert group_for_phase("vncr.deferred") == "vncr"
+    assert group_for_phase("hooks.metrics_sink") == "hook-chain"
+    assert group_for_phase("ledger.charge") == "hook-chain"
+    assert group_for_phase("something.else") == "other"
