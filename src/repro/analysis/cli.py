@@ -6,7 +6,8 @@ sources, the sanitized exit-multiplication smoke scenario, the
 telemetry-registry checks (``san-metrics-reconcile``,
 ``san-metrics-ledger``), the fleet merge-determinism check
 (``san-fleet-merge``), the host-profiler invisibility check
-(``san-profile-zero-cycles``), and the doc lint (``doc-link``,
+(``san-profile-zero-cycles``), the dispatch fast-path parity check
+(``san-fastpath-parity``), and the doc lint (``doc-link``,
 ``doc-subcommand``) over ``README.md`` and ``docs/``.  Any finding
 fails the run (exit status 1), which is what CI keys on.
 
@@ -26,6 +27,7 @@ Usage::
     python -m repro lint --no-docs        # skip the doc lint
     python -m repro lint --no-fleet       # skip the san-fleet-merge check
     python -m repro lint --no-profile     # skip san-profile-zero-cycles
+    python -m repro lint --no-fastpath    # skip san-fastpath-parity
     python -m repro lint --no-statecheck  # skip the shared-state passes
     python -m repro lint --statecheck     # shardability report only
     python -m repro lint --statecheck --statecheck-json report.json
@@ -71,6 +73,9 @@ def build_parser():
     parser.add_argument("--no-profile", action="store_true",
                         help="skip the host-profiler invisibility check "
                              "(san-profile-zero-cycles)")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="skip the dispatch fast-path parity check "
+                             "(san-fastpath-parity)")
     parser.add_argument("--no-statecheck", action="store_true",
                         help="skip the shared-state passes (static "
                              "shardability gate + san-shared-state)")
@@ -187,6 +192,13 @@ def main(argv=None):
         report = check_profile_zero_cycles()
         findings.extend(report.violations)
         passes.append(("profile-zero-cycles[%d checks]" % report.checks,
+                       len(report.violations)))
+
+    if not args.no_fastpath:
+        from repro.analysis.sanitizer import check_fastpath_parity
+        report = check_fastpath_parity()
+        findings.extend(report.violations)
+        passes.append(("fastpath-parity[%d checks]" % report.checks,
                        len(report.violations)))
 
     if not args.no_statecheck:

@@ -50,6 +50,7 @@ from repro.arch.registers import (
     NeveBehavior,
     RegClass,
     RegisterFile,
+    dispatch_row,
     e2h_counterpart,
     lookup_register,
 )
@@ -76,6 +77,39 @@ class AccessKind(enum.Enum):
     UNDEFINED = "undefined"
 
 
+# --------------------------------------------------------------------------
+# Trap-dispatch fast path vocabulary.
+#
+# The resolution context and action opcodes are shared between the fast
+# path below and the precompiled table builder
+# (:mod:`repro.arch.dispatch`).  They live here — not in the dispatch
+# module — so the dependency points one way only (dispatch imports cpu,
+# never the reverse).
+# --------------------------------------------------------------------------
+
+#: Resolution contexts: everything the classification ladder branches on
+#: besides the register/encoding/op, collapsed to one small code.  The
+#: virtual-EL2 codes are deliberately **NEVE-blind** — whether VNCR_EL2
+#: is enabled is carried separately (it changes at runtime, and the
+#: per-CPU verdict cache is invalidated when it does).
+CTX_EL2 = 0  # host hypervisor at EL2, E2H clear
+CTX_EL2_E2H = 1  # VHE host hypervisor at EL2, E2H set
+CTX_VEL2 = 2  # guest hypervisor at virtual EL2, non-VHE
+CTX_VEL2_VHE = 3  # VHE guest hypervisor at virtual EL2
+CTX_GUEST = 4  # an ordinary guest at EL0/EL1
+
+#: Action opcodes a dispatch-table row resolves to.  ``OP_UNDEF`` and
+#: ``OP_UNDEF_NOCHARGE`` are distinct on purpose: the ``vhe_only`` /
+#: ``read_only`` UNDEFs raise *before* the access is charged, ladder
+#: UNDEFs raise *after* — collapsing them would shift the ledger.
+OP_HW = 0  # (OP_HW, bank_is_el2, target_name, AccessKind)
+OP_DEFER = 1  # (OP_DEFER, target SysReg): deferred-access-page traffic
+OP_TRAP = 2  # (OP_TRAP,): trap to the host hypervisor
+OP_GIC = 3  # (OP_GIC,): GIC CPU interface (SGI-trap decided inside)
+OP_UNDEF = 4  # (OP_UNDEF,): UndefinedInstruction after the charge
+OP_UNDEF_NOCHARGE = 5  # (OP_UNDEF_NOCHARGE,): UNDEF before the charge
+
+
 class Cpu:
     """One simulated CPU (a physical core).
 
@@ -86,7 +120,7 @@ class Cpu:
     """
 
     def __init__(self, arch=None, costs=None, ledger=None, traps=None,
-                 memory=None, cpu_id=0):
+                 memory=None, cpu_id=0, dispatch=None):
         self.arch = arch if arch is not None else ArchConfig()
         self.costs = costs if costs is not None else ARM_COSTS
         self.ledger = ledger if ledger is not None else CycleLedger()
@@ -139,6 +173,21 @@ class Cpu:
         # never charges the ledger, disabled path is one attribute check
         # (enforced by san-metrics-ledger).
         self.metrics = None
+
+        # Precompiled dispatch table (repro.arch.dispatch.DispatchTable),
+        # shared by every CPU of a machine.  When armed, sysreg_access
+        # delegates to _fast_sysreg_access: one verdict-cache lookup
+        # replaces the classification ladder.  None (the default for
+        # bare Cpu instances) keeps the reference ladder below.
+        self.dispatch = dispatch
+        # Per-CPU verdict cache over the table, keyed
+        # (context, name, encoding, is_write) — the same shape as the
+        # redundancy observatory's classification keys.  The context
+        # codes are NEVE-blind, so the cache MUST be invalidated
+        # whenever the hardware VNCR_EL2 enable state may have changed
+        # (see invalidate_verdict_cache).
+        self._verdicts = {}
+        self._neve_verdict_state = None  # cached neve_enabled, or None
 
         # Optional dispatch-redundancy observatory binding
         # (repro.profile.redundancy.MachineRedundancy).  Counts how
@@ -386,8 +435,13 @@ class Cpu:
         """Perform a system register access; returns ``(value, AccessKind)``.
 
         This is the single resolution point for the semantics table in the
-        module docstring.
+        module docstring.  With a precompiled dispatch table armed, the
+        resolution is served from the verdict cache instead of walking
+        the classification ladder; the two paths are byte-identical in
+        every observable effect (``san-fastpath-parity``).
         """
+        if self.dispatch is not None:
+            return self._fast_sysreg_access(name, is_write, value, enc)
         reg = lookup_register(name)
         if reg.vhe_only and not self.arch.has_vhe:
             raise UndefinedInstruction(name, is_write)
@@ -430,6 +484,104 @@ class Cpu:
             if hook.serror_pending(self):
                 self.deliver_serror()
         return result
+
+    # -- the precompiled fast path --------------------------------------
+
+    def _fast_sysreg_access(self, name, is_write, value, enc):
+        """Table-driven twin of the slow path above.
+
+        Effect ordering is identical by construction: pre-charge UNDEF
+        -> ledger charge -> fault-hook write filter -> redundancy
+        context snapshot -> mechanism (which may raise a post-charge
+        UNDEF) -> redundancy note -> fault-hook read filter / SError.
+        Only the *decision* is precompiled; every mechanism runs the
+        same code the ladder would have called.
+        """
+        if self.current_el == ExceptionLevel.EL2:
+            ctx = CTX_EL2_E2H if self.host_e2h else CTX_EL2
+        elif self.nv_enabled and self.current_el == ExceptionLevel.EL1:
+            ctx = CTX_VEL2_VHE if self.virtual_e2h else CTX_VEL2
+        else:
+            ctx = CTX_GUEST
+        key = (ctx, name, enc, is_write)
+        entry = self._verdicts.get(key)
+        if entry is None:
+            entry = self._resolve_verdict(ctx, key, name, enc, is_write)
+        reg, action = entry
+        op = action[0]
+        if op == OP_UNDEF_NOCHARGE:
+            raise UndefinedInstruction(name, is_write)
+
+        cost = self.costs.sysreg_write if is_write else self.costs.sysreg_read
+        self.ledger.charge(cost, "sysreg")
+
+        hook = self.fault_hook
+        if hook is not None and is_write:
+            value = hook.filter_sysreg_write(self, reg, value)
+
+        redundancy = self.redundancy
+        context = (redundancy.context_key(self)
+                   if redundancy is not None else None)
+
+        if op == OP_HW:
+            _op, bank_is_el2, target, kind = action
+            regfile = self.el2_regs if bank_is_el2 else self.el1_regs
+            result = self._hw_access(regfile, target, is_write, value,
+                                     kind)
+            if is_write and bank_is_el2 and target == "VNCR_EL2":
+                # The hardware NEVE enable state may just have flipped;
+                # the NEVE-blind verdict cache is stale.
+                self.invalidate_verdict_cache()
+        elif op == OP_DEFER:
+            result = self._deferred_access(action[1], is_write, value)
+        elif op == OP_TRAP:
+            result = self._sysreg_trap(reg, is_write, value, enc)
+        elif op == OP_GIC:
+            result = self._gic_cpu_access(reg, is_write, value)
+        else:  # OP_UNDEF: a ladder-level UNDEF, after the charge.
+            raise UndefinedInstruction(reg.name, is_write)
+
+        if redundancy is not None:
+            redundancy.note_classification(context, reg.name, enc,
+                                           is_write, result[1])
+
+        if hook is not None:
+            if not is_write:
+                read_value, kind = result
+                result = (hook.filter_sysreg_read(self, reg, read_value),
+                          kind)
+            if hook.serror_pending(self):
+                self.deliver_serror()
+        return result
+
+    def _resolve_verdict(self, ctx, key, name, enc, is_write):
+        """Verdict-cache miss: consult the machine's dispatch table
+        (which itself resolves each distinct key once, by partial
+        evaluation of the ladder) and memoize the action per CPU."""
+        row = dispatch_row(name)
+        neve = False
+        if ctx == CTX_VEL2 or ctx == CTX_VEL2_VHE:
+            neve = self._neve_verdict_state
+            if neve is None:
+                neve = self.neve_enabled
+                self._neve_verdict_state = neve
+        action = self.dispatch.resolve(ctx, neve, row.reg, enc, is_write)
+        entry = (row.reg, action)
+        self._verdicts[key] = entry
+        return entry
+
+    def invalidate_verdict_cache(self):
+        """Drop every cached dispatch verdict and the cached NEVE state.
+
+        The verdict keys are deliberately NEVE-blind (the enable bit is
+        runtime state, not context), so every transition that can change
+        ``VNCR_EL2.Enable`` must invalidate: the host enabling/disabling
+        the runner, page relocation, and the recovery layer's
+        degrade/re-promote transitions.  Harmless (and cheap) on a CPU
+        running the reference ladder.
+        """
+        self._verdicts.clear()
+        self._neve_verdict_state = None
 
     # -- resolution per context -----------------------------------------
 

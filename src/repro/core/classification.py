@@ -4,6 +4,12 @@ These functions return the specification tables as data, so tests can
 assert the counts the paper states (27 VM system registers, the Table 4
 hypervisor control rows, 30 GIC hypervisor interface registers) and the
 report harness can print them (experiment E7 in DESIGN.md).
+
+The classification is also what makes the trap-dispatch fast path
+(:mod:`repro.arch.dispatch`) sound: every behaviour here is a pure
+function of (register, EL context, encoding, access direction, NEVE
+enable), so verdicts precompile into flat tables and cache per access
+key — the hot loop never needs to consult these tables at access time.
 """
 
 from repro.arch.registers import NeveBehavior, RegClass, iter_registers

@@ -22,6 +22,10 @@ HostProfiler` instances.
 
 #: Ordered (file suffix, function name or None, phase) rules.
 SITE_RULES = (
+    # -- the precompiled dispatch fast path -----------------------------
+    ("repro/arch/cpu.py", "_fast_sysreg_access", "dispatch.fastpath"),
+    ("repro/arch/cpu.py", "_resolve_verdict", "dispatch.resolve"),
+    ("repro/arch/dispatch.py", None, "dispatch.table"),
     # -- trap dispatch and sysreg classification (arch/cpu.py) ----------
     ("repro/arch/cpu.py", "_trap", "trap.dispatch"),
     ("repro/arch/cpu.py", "_sysreg_trap", "trap.dispatch"),
@@ -62,6 +66,7 @@ SITE_RULES = (
     ("repro/metrics/instrument.py", None, "hooks.metrics"),
     ("repro/metrics/registry.py", None, "hooks.registry"),
     ("repro/metrics/counters.py", None, "hooks.counters"),
+    ("repro/metrics/cycles.py", "_fused_chain", "hooks.fused"),
     ("repro/metrics/cycles.py", "charge", "ledger.charge"),
     ("repro/metrics/cycles.py", None, "ledger.other"),
     ("repro/faults/points.py", None, "hooks.fault_injector"),
@@ -77,6 +82,7 @@ SITE_RULES = (
 #: table group rows by these so "where do host seconds go" reads at a
 #: glance (trap dispatch vs. classification vs. world switch vs. hooks).
 PHASE_GROUPS = (
+    ("dispatch.", "dispatch-table"),
     ("trap.", "trap-dispatch"),
     ("classify.", "classification"),
     ("ws.", "world-switch"),

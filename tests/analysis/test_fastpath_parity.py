@@ -1,0 +1,71 @@
+"""End-to-end parity of the dispatch fast path, per configuration.
+
+``san-fastpath-parity`` is the lint-time gate; these tests pin the
+same contract in the tier-1 suite: for every configuration in
+ALL_CONFIGS the fast path must leave every export byte-identical —
+microbench cells, ledger breakdown, trap reasons, the metrics
+registry's JSON and Prometheus text, and the canonical trace
+serialization.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import build_parser
+from repro.analysis.sanitizer import check_fastpath_parity
+from repro.harness.configs import ALL_CONFIGS, make_microbench
+from repro.metrics.registry import MetricsRegistry
+from repro.trace.export import tracer_payload
+from repro.trace.spans import Tracer
+
+
+def _run_config(name, fastpath):
+    registry = MetricsRegistry()
+    suite = make_microbench(name, registry=registry, fastpath=fastpath)
+    tracer = None
+    if ALL_CONFIGS[name].platform == "arm":
+        tracer = Tracer()
+        tracer.attach_machine(suite.machine)
+    results = suite.run_all()
+    machine = suite.machine
+    registry.clock = lambda: machine.ledger.total
+    trace_json = None
+    if tracer is not None:
+        tracer.stop()
+        trace_json = json.dumps(tracer_payload(tracer), sort_keys=True,
+                                separators=(",", ":"))
+    return {
+        "results": results,
+        "ledger": machine.ledger.snapshot(),
+        "traps": dict(machine.traps.by_reason),
+        "json": registry.json_snapshot(),
+        "prometheus": registry.prometheus_text(),
+        "trace": trace_json,
+        "machine": machine,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(ALL_CONFIGS))
+def test_exports_identical_fastpath_on_vs_off(name):
+    slow = _run_config(name, fastpath=False)
+    fast = _run_config(name, fastpath=True)
+    for key in ("results", "ledger", "traps", "json", "prometheus",
+                "trace"):
+        assert slow[key] == fast[key], (
+            "%s: %s export diverged under the fast path" % (name, key))
+    if ALL_CONFIGS[name].platform == "arm":
+        assert fast["machine"].dispatch is not None
+        assert fast["machine"].dispatch.resolutions > 0
+
+
+def test_sanitizer_fastpath_parity_clean():
+    report = check_fastpath_parity(hypercalls=1)
+    assert report.checks >= 32
+    report.assert_clean()
+
+
+def test_lint_cli_has_no_fastpath_flag():
+    args = build_parser().parse_args(["--no-fastpath"])
+    assert args.no_fastpath
+    assert not build_parser().parse_args([]).no_fastpath
